@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # specfaas-apps
+//!
+//! The three application suites the SpecFaaS paper evaluates (§VII,
+//! Table II), plus the dataset and trace generators that stand in for the
+//! proprietary data sources:
+//!
+//! * [`faaschain`] — six real-world-shaped FaaS applications with
+//!   *explicit* workflows (chain lengths 2–10): Login, SmartHome,
+//!   Banking, FlightBooking, HotelBooking, OnlinePurchase.
+//! * [`trainticket`] — five applications with *implicit* workflows,
+//!   shaped after the serverless TrainTicket port (functions call other
+//!   functions as subroutines; gather functions aggregate leaf services).
+//! * [`alibaba`] — five implicit-workflow applications synthesized from
+//!   the published statistics of Alibaba's production microservice traces
+//!   (17.6 functions/app, 3.4 callees per calling function, DAG depth 5),
+//!   plus the node-utilization trace generator behind Fig. 4.
+//! * [`azure_blobs`] — a synthetic blob-access trace matched to the
+//!   Azure Functions statistics of Observation 4.
+//! * [`datasets`] — skewed input generators (user pools, ticket routes,
+//!   product catalogs) that drive realistic memoization hit rates.
+//! * [`characterize`] — the suite characterization of Table I.
+//!
+//! Every application is a real [`specfaas_workflow::AppSpec`]: functions
+//! genuinely compute outputs from inputs, read and write the simulated
+//! key-value store, and (for implicit suites) call each other — so
+//! speculation, validation and squashing exercise true data flow.
+
+pub mod alibaba;
+pub mod azure_blobs;
+pub mod characterize;
+pub mod datasets;
+pub mod faaschain;
+pub mod suite;
+pub mod trainticket;
+
+pub use characterize::{SuiteCharacterization, characterize_suite};
+pub use suite::{all_suites, AppBundle, Suite};

@@ -1,0 +1,118 @@
+//! Application bundles: an [`AppSpec`] plus its input generator and
+//! storage seeder, grouped into the paper's three suites.
+
+use std::sync::Arc;
+
+use specfaas_sim::SimRng;
+use specfaas_storage::{KvStore, Value};
+use specfaas_workflow::AppSpec;
+
+/// A runnable application: spec + input generation + storage seeding.
+#[derive(Clone)]
+pub struct AppBundle {
+    /// The application.
+    pub app: Arc<AppSpec>,
+    /// Draws one request input document.
+    pub make_input: Arc<dyn Fn(&mut SimRng) -> Value + Send + Sync>,
+    /// Seeds global storage before a run.
+    pub seed: Arc<dyn Fn(&mut KvStore, &mut SimRng) + Send + Sync>,
+}
+
+impl std::fmt::Debug for AppBundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppBundle")
+            .field("app", &self.app.name)
+            .field("suite", &self.app.suite)
+            .finish()
+    }
+}
+
+impl AppBundle {
+    /// Creates a bundle.
+    pub fn new(
+        app: AppSpec,
+        make_input: impl Fn(&mut SimRng) -> Value + Send + Sync + 'static,
+        seed: impl Fn(&mut KvStore, &mut SimRng) + Send + Sync + 'static,
+    ) -> Self {
+        AppBundle {
+            app: Arc::new(app),
+            make_input: Arc::new(make_input),
+            seed: Arc::new(seed),
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.app.name
+    }
+}
+
+/// One of the paper's three application suites (Table II).
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Suite name (`"FaaSChain"`, `"TrainTicket"`, `"Alibaba"`).
+    pub name: &'static str,
+    /// The applications.
+    pub apps: Vec<AppBundle>,
+}
+
+/// Builds all three suites (16 applications total).
+pub fn all_suites() -> Vec<Suite> {
+    vec![
+        Suite {
+            name: "FaaSChain",
+            apps: crate::faaschain::apps(),
+        },
+        Suite {
+            name: "TrainTicket",
+            apps: crate::trainticket::apps(),
+        },
+        Suite {
+            name: "Alibaba",
+            apps: crate::alibaba::apps(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_applications_as_in_the_paper() {
+        let suites = all_suites();
+        assert_eq!(suites.len(), 3);
+        let total: usize = suites.iter().map(|s| s.apps.len()).sum();
+        assert_eq!(total, 16, "paper evaluates 16 applications");
+        assert_eq!(suites[0].apps.len(), 6, "FaaSChain has 6 apps");
+        assert_eq!(suites[1].apps.len(), 5, "TrainTicket has 5 apps");
+        assert_eq!(suites[2].apps.len(), 5, "Alibaba has 5 apps");
+    }
+
+    #[test]
+    fn workflow_types_match_table1() {
+        let suites = all_suites();
+        for app in &suites[0].apps {
+            assert!(!app.app.is_implicit(), "{} should be explicit", app.name());
+        }
+        for suite in &suites[1..] {
+            for app in &suite.apps {
+                assert!(app.app.is_implicit(), "{} should be implicit", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_app_generates_inputs_and_seeds() {
+        let mut rng = SimRng::seed(1);
+        for suite in all_suites() {
+            for app in suite.apps {
+                let mut kv = KvStore::new();
+                (app.seed)(&mut kv, &mut rng);
+                let v = (app.make_input)(&mut rng);
+                // Inputs must be reproducible documents, not Null.
+                assert!(!v.is_null(), "{} produced a null input", app.name());
+            }
+        }
+    }
+}

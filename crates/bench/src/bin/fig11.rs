@@ -1,0 +1,99 @@
+//! Fig. 11 — end-to-end speedup of SpecFaaS over the baseline for every
+//! application at Low / Medium / High load (100 / 250 / 500 RPS), plus
+//! suite averages, plus the cold-start variant of §VIII-A.
+//!
+//! Load is driven closed-loop: a client pool sized so the baseline is
+//! offered the paper's request rate. At levels beyond a system's capacity
+//! the pool self-throttles (as a real fixed-pool load generator does), so
+//! latencies stay finite while still reflecting saturation.
+
+use specfaas_bench::report::{speedup, Table};
+use specfaas_bench::runner::{
+    measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
+};
+use specfaas_core::{SpecConfig, SpecEngine};
+use specfaas_platform::{BaselineEngine, Load};
+use specfaas_sim::SimRng;
+
+fn main() {
+    println!("== Fig. 11: SpecFaaS speedup over baseline (warm) ==\n");
+    let mut t = Table::new(["Suite", "App", "Low", "Medium", "High", "Avg"]);
+    let mut grand = Vec::new();
+    for suite in specfaas_apps::all_suites() {
+        let mut suite_speedups = vec![Vec::new(), Vec::new(), Vec::new()];
+        for bundle in &suite.apps {
+            let mut row = vec![suite.name.to_string(), bundle.name().to_string()];
+            let mut app_speedups = Vec::new();
+            for (li, load) in Load::all().into_iter().enumerate() {
+                let p = ExperimentParams::default().at_rps(load.rps());
+                let base = measure_baseline_concurrent(bundle, p);
+                let spec = measure_spec_concurrent(bundle, SpecConfig::full(), p);
+                let s = base.mean_response_ms() / spec.mean_response_ms();
+                suite_speedups[li].push(s);
+                app_speedups.push(s);
+                row.push(speedup(s));
+            }
+            let avg = app_speedups.iter().sum::<f64>() / 3.0;
+            grand.push(avg);
+            row.push(speedup(avg));
+            t.row(row);
+        }
+        let mut avg_row = vec![suite.name.to_string(), "AVERAGE".to_string()];
+        let mut all = Vec::new();
+        for s in &suite_speedups {
+            let a = s.iter().sum::<f64>() / s.len() as f64;
+            all.push(a);
+            avg_row.push(speedup(a));
+        }
+        avg_row.push(speedup(all.iter().sum::<f64>() / 3.0));
+        t.row(avg_row);
+    }
+    println!("{}", t.render());
+    let overall = grand.iter().sum::<f64>() / grand.len() as f64;
+    println!("Overall average speedup: {}", speedup(overall));
+    println!("Paper reference: 4.6x average (FaaSChain 5.2/5.0/4.9, TrainTicket");
+    println!("4.2/4.4/4.3, Alibaba 4.4/4.5/4.6 at Low/Medium/High).\n");
+
+    println!("== Fig. 11 cold-start variant (§VIII-A): containers reclaimed ==\n");
+    cold_variant();
+}
+
+/// §VIII-A repeats the experiment without warming up the environment:
+/// here every warm container pool is flushed (idle reclamation) before a
+/// single measured request, so every function launch pays a cold start —
+/// which SpecFaaS overlaps across speculative launches.
+fn cold_variant() {
+    let mut t = Table::new(["Suite", "AvgSpeedup(cold)"]);
+    for suite in specfaas_apps::all_suites() {
+        let mut speedups = Vec::new();
+        for bundle in &suite.apps {
+            let seed = 0xC01D;
+            // Baseline: fresh engine, no prewarm, first request is cold.
+            let bd = {
+                let mut b = BaselineEngine::new(bundle.app.clone(), seed);
+                let mut rng = SimRng::seed(seed);
+                (bundle.seed)(&mut b.kv, &mut rng);
+                b.run_single((bundle.make_input)(&mut rng))
+            };
+            // SpecFaaS: tables trained from earlier invocations, then all
+            // containers reclaimed; the measured request cold-starts
+            // every function but overlaps the starts speculatively.
+            let sd = {
+                let mut e = SpecEngine::new(bundle.app.clone(), SpecConfig::full(), seed);
+                e.prewarm();
+                let mut rng = SimRng::seed(seed);
+                (bundle.seed)(&mut e.kv, &mut rng);
+                let gen = bundle.make_input.clone();
+                e.run_closed(100, move |r| gen(r));
+                e.flush_warm_containers();
+                let mut rng2 = SimRng::seed(seed ^ 1);
+                e.run_single((bundle.make_input)(&mut rng2))
+            };
+            speedups.push(bd.as_millis_f64() / sd.as_millis_f64().max(0.001));
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        t.row([suite.name.to_string(), speedup(avg)]);
+    }
+    println!("{}", t.render());
+    println!("Paper reference: 5.2x / 4.5x / 4.7x (FaaSChain / TrainTicket / Alibaba).");
+}

@@ -1,0 +1,54 @@
+//! Observations 3, 4 and 5 — global-state access patterns, blob-trace
+//! write statistics, and side-effect classes.
+
+use specfaas_apps::azure_blobs::{generate, BlobTraceConfig};
+use specfaas_bench::report::{pct, Table};
+use specfaas_sim::SimRng;
+use specfaas_storage::blob::BlobTraceStats;
+use specfaas_workflow::analysis::RegistryProfile;
+
+fn main() {
+    println!("== Observation 3/5: function side-effect profile per suite ==\n");
+    let mut t = Table::new([
+        "Suite",
+        "NoGlobalRead",
+        "NoGlobalWrite",
+        "SideEffectFree",
+        "Pure",
+    ]);
+    for suite in specfaas_apps::all_suites() {
+        let mut agg = Vec::new();
+        for bundle in &suite.apps {
+            agg.push(RegistryProfile::of(&bundle.app.registry));
+        }
+        let n = agg.len() as f64;
+        let mean = |f: &dyn Fn(&RegistryProfile) -> f64| agg.iter().map(|p| f(p)).sum::<f64>() / n;
+        t.row([
+            suite.name.to_string(),
+            pct(mean(&|p| p.no_global_read_fraction)),
+            pct(mean(&|p| p.no_global_write_fraction)),
+            pct(mean(&|p| p.side_effect_free_fraction)),
+            pct(mean(&|p| p.pure_fraction)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper reference: 75.8% (TrainTicket) / 85.1% (FaaSChain) read no");
+    println!("writable global state; 63.4% of surveyed functions have no side effects.\n");
+
+    println!("== Observation 4: blob-access trace statistics ==\n");
+    let mut rng = SimRng::seed(0xB10B);
+    let trace = generate(&BlobTraceConfig::default(), &mut rng);
+    let s = BlobTraceStats::compute(&trace).expect("non-empty trace");
+    let mut t = Table::new(["Metric", "Measured", "Paper"]);
+    t.row(["accesses analyzed".to_string(), s.accesses.to_string(), "40M".into()]);
+    t.row(["write fraction".to_string(), pct(s.write_fraction), "23%".into()]);
+    t.row(["read-only blobs".to_string(), pct(s.read_only_blob_fraction), "66.7%".into()]);
+    t.row([
+        "writable blobs written <10x".to_string(),
+        pct(s.writable_written_lt10_fraction),
+        "99.9%".into(),
+    ]);
+    t.row(["write->read gap >1s".to_string(), pct(s.gap_over_1s_fraction), "96%".into()]);
+    t.row(["write->read gap >10s".to_string(), pct(s.gap_over_10s_fraction), "27%".into()]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment binary's logic in sequence — the full
+//! reproduction of the paper's evaluation section in one command:
+//!
+//! ```text
+//! cargo run --release -p specfaas-bench --bin run_all
+//! ```
+//!
+//! (Each artifact is also available as its own binary; see the crate
+//! docs.) Output is plain text, one section per table/figure.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig3", "fig4", "obs2", "obs34", "fig11", "fig12", "table3", "fig13", "fig14",
+        "table4", "ablations",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

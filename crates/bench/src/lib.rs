@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # specfaas-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! SpecFaaS paper's evaluation (§VIII). One binary per artifact:
+//!
+//! | Binary   | Paper artifact |
+//! |----------|----------------|
+//! | `table1` | Table I — application-suite characterization |
+//! | `fig3`   | Fig. 3 — cold-start response-time breakdown |
+//! | `fig4`   | Fig. 4 — CDF of P50–P90 node CPU utilization |
+//! | `obs2`   | Observation 2 — most-popular-sequence share |
+//! | `obs34`  | Observations 3/4/5 — side-effect & blob-trace stats |
+//! | `fig11`  | Fig. 11 — speedup per application × load |
+//! | `fig12`  | Fig. 12 — speedup breakdown (cumulative ablation) |
+//! | `table3` | Table III — effective throughput under QoS |
+//! | `fig13`  | Fig. 13 — normalized P99 tail latency |
+//! | `fig14`  | Fig. 14 — speedup vs branch-prediction hit rate |
+//! | `table4` | Table IV — CPU utilization of squash mechanisms |
+//! | `run_all`| everything above, in sequence |
+//!
+//! The library half provides the shared measurement protocol
+//! ([`runner`]) and plain-text table rendering ([`report`]).
+
+pub mod report;
+pub mod runner;
+
+pub use runner::{
+    measure_baseline_open, measure_spec_open, prepared_baseline, prepared_spec, ExperimentParams,
+};

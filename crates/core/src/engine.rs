@@ -1,0 +1,2507 @@
+//! The SpecFaaS engine: the speculative controller driving the platform
+//! substrate (paper §V–§VI).
+//!
+//! Per application invocation the engine maintains a [`Pipeline`] of
+//! program-ordered function slots and a [`DataBuffer`]. It repeatedly
+//! picks the next function from the [`SequenceTable`] (predicting branch
+//! outcomes and memoizing data dependences), launches it — possibly
+//! speculatively — on the cluster, detects mispredictions and dependence
+//! violations, squashes and re-launches offenders, and commits functions
+//! strictly in order. Persistent structures (sequence table, branch
+//! predictor, memoization tables, stall list) live across invocations and
+//! are only ever updated with committed, non-speculative data (§V-E).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use specfaas_platform::cluster::{Cluster, NodeId};
+use specfaas_platform::container::ContainerAcquire;
+use specfaas_platform::exec::{FnInstance, InstanceId, InstanceState};
+use specfaas_platform::metrics::{InvocationRecord, RunMetrics};
+use specfaas_platform::overheads::OverheadModel;
+use specfaas_platform::workload::{RequestId, Workload};
+use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
+use specfaas_storage::{KvStore, Value};
+use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId, Interp, Program};
+
+use crate::config::{SpecConfig, SquashMechanism};
+use crate::databuffer::{DataBuffer, ReadResult};
+use crate::memo::MemoTables;
+use crate::pipeline::{Pipeline, SlotId, SlotRole, SlotState};
+use crate::predictor::{BranchPredictor, BranchSite, PathHistory, Prediction};
+use crate::seqtable::SequenceTable;
+use crate::stall::StallList;
+
+/// Events of the speculative engine.
+#[derive(Debug)]
+enum Ev {
+    Arrival,
+    /// Spec-launch overhead paid; acquire container + core.
+    Launch(InstanceId),
+    /// Cold start finished.
+    ContainerReady(InstanceId),
+    /// The instance's pending effect completed; step the interpreter.
+    Resume(InstanceId, Option<Value>),
+    /// Commit controller service finished; apply the commit.
+    CommitApply(RequestId, SlotId),
+    /// Process-kill / container-kill squash finished; release resources.
+    SquashRelease(InstanceId, bool),
+    /// Final response delivered.
+    Complete(RequestId),
+}
+
+/// Why a squash happens (drives reset-vs-remove semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SquashKind {
+    /// Control misprediction: wrong-path slots are removed outright.
+    WrongPath,
+    /// Data misprediction: the first victim re-executes with a corrected
+    /// input; everything after it is removed.
+    WrongInput,
+    /// Data-dependence violation: the first victim re-executes with the
+    /// same input (it will now read forwarded data); the rest is removed.
+    Violation,
+}
+
+#[derive(Debug, Default)]
+struct CallState {
+    /// Call-site cursor (how many calls the caller has issued).
+    cursor: usize,
+    /// Prefetched callee slots, in call order, not yet consumed.
+    prefetched: Vec<SlotId>,
+}
+
+#[derive(Debug)]
+struct StalledRead {
+    slot: SlotId,
+    inst: InstanceId,
+    key: String,
+    producer: SlotId,
+}
+
+/// A committed-knowledge record, applied to the persistent tables only
+/// when the whole invocation completes (so speculative data never leaks
+/// into them, §V-E).
+#[derive(Debug)]
+enum Learned {
+    Memo {
+        func: FuncId,
+        input: Value,
+        output: Value,
+        callee_inputs: Vec<Value>,
+    },
+    Branch {
+        entry: usize,
+        path: PathHistory,
+        taken: bool,
+    },
+    Calls {
+        caller: FuncId,
+        callees: Vec<FuncId>,
+    },
+}
+
+/// A committed call observation bubbled up from a consumed callee:
+/// its own input/output plus its *direct* callee list, promoted to the
+/// persistent tables when the owning top-level entry slot commits.
+#[derive(Debug)]
+struct CallRecord {
+    func: FuncId,
+    input: Value,
+    output: Value,
+    callee_funcs: Vec<FuncId>,
+    callee_inputs: Vec<Value>,
+}
+
+#[derive(Debug)]
+struct Req {
+    arrived: SimTime,
+    ctrl: NodeId,
+    measured: bool,
+    pipeline: Pipeline,
+    buffer: DataBuffer,
+    slot_inst: HashMap<SlotId, InstanceId>,
+    call_state: HashMap<SlotId, CallState>,
+    /// Callee slot → caller slot blocked waiting for it.
+    waiting_callers: HashMap<SlotId, SlotId>,
+    /// Caller slot → callee args it is waiting to consume (revalidated on
+    /// callee completion).
+    waiting_args: HashMap<SlotId, Value>,
+    stalled_reads: Vec<StalledRead>,
+    /// Slots whose HTTP request is deferred until they are head.
+    deferred_http: HashMap<SlotId, InstanceId>,
+    /// Slots whose program-order successor has been created.
+    extended: HashSet<SlotId>,
+    /// Core-time consumed by completed-but-uncommitted slots.
+    slot_cpu: HashMap<SlotId, SimDuration>,
+    /// Fork-join contributions: join entry → (payloads by pipeline pos).
+    fork_joins: HashMap<usize, Vec<Value>>,
+    /// Call observations per top-level entry slot, promoted at commit.
+    call_records: HashMap<SlotId, Vec<CallRecord>>,
+    /// Commit currently being processed.
+    committing: Option<SlotId>,
+    learned: Vec<Learned>,
+    committed_sequence: Vec<u32>,
+    functions_run: u32,
+    functions_squashed: u32,
+    end_committed: bool,
+    completed: bool,
+}
+
+struct InstMeta {
+    req: RequestId,
+    slot: SlotId,
+    container_acquired: bool,
+}
+
+/// The SpecFaaS speculative execution engine for one application.
+///
+/// # Example
+///
+/// ```no_run
+/// use specfaas_core::{SpecEngine, SpecConfig};
+/// # fn app() -> specfaas_workflow::AppSpec { unimplemented!() }
+/// let mut engine = SpecEngine::new(std::sync::Arc::new(app()), SpecConfig::full(), 42);
+/// engine.prewarm();
+/// // Warm the predictor + memoization tables, then measure.
+/// engine.run_closed(200, |_rng| specfaas_storage::Value::Null);
+/// let metrics = engine.run_closed(100, |_rng| specfaas_storage::Value::Null);
+/// println!("mean response: {:.2} ms", metrics.mean_response_ms());
+/// ```
+pub struct SpecEngine {
+    app: Arc<AppSpec>,
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Global storage.
+    pub kv: KvStore,
+    /// Timing constants.
+    pub model: OverheadModel,
+    /// Speculation policy.
+    pub config: SpecConfig,
+    sim: Simulator<Ev>,
+    rng: SimRng,
+    seqtable: SequenceTable,
+    predictor: BranchPredictor,
+    memos: MemoTables,
+    stall_list: StallList,
+    instances: HashMap<InstanceId, FnInstance>,
+    meta: HashMap<InstanceId, InstMeta>,
+    /// Lazily squashed instances still running in the background.
+    orphans: HashSet<InstanceId>,
+    requests: HashMap<RequestId, Req>,
+    next_inst: u64,
+    next_req: u64,
+    metrics: RunMetrics,
+    workload: Option<Workload>,
+    gen_deadline: SimTime,
+    input_gen: Option<Box<dyn FnMut(&mut SimRng) -> Value>>,
+    measure_from: SimTime,
+    /// Closed-loop mode: each completion immediately submits the next
+    /// request (bounded concurrency, like a fixed client pool).
+    closed_loop: bool,
+}
+
+impl SpecEngine {
+    /// Creates an engine for `app` on the paper's 5-node testbed.
+    pub fn new(app: Arc<AppSpec>, config: SpecConfig, seed: u64) -> Self {
+        let functions = app.registry.len();
+        let seqtable = SequenceTable::new(app.compiled.clone());
+        SpecEngine {
+            app,
+            cluster: Cluster::paper_testbed(),
+            kv: KvStore::new(),
+            model: OverheadModel::default(),
+            predictor: BranchPredictor::new(config.branch_confidence_window),
+            memos: MemoTables::new(functions, config.memo_capacity),
+            stall_list: StallList::new(config.stall_after_squashes),
+            config,
+            sim: Simulator::new(),
+            rng: SimRng::seed(seed),
+            seqtable,
+            instances: HashMap::new(),
+            meta: HashMap::new(),
+            orphans: HashSet::new(),
+            requests: HashMap::new(),
+            next_inst: 0,
+            next_req: 0,
+            metrics: RunMetrics::new(),
+            workload: None,
+            gen_deadline: SimTime::ZERO,
+            input_gen: None,
+            measure_from: SimTime::ZERO,
+            closed_loop: false,
+        }
+    }
+
+    /// Pre-warms containers for every function on every node.
+    pub fn prewarm(&mut self) {
+        let funcs: Vec<FuncId> = self.app.registry.iter().map(|(id, _)| id).collect();
+        // §IV: the paper assumes function start-up overheads have been
+        // removed by prior cold-start work, so the warm pool must cover
+        // the offered concurrency even under speculative fan-out.
+        self.cluster.prewarm_all(funcs, 64);
+    }
+
+    /// The application under test.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// The branch predictor (for hit-rate reporting).
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.predictor
+    }
+
+    /// The memoization tables (for hit-rate and size reporting).
+    pub fn memos(&self) -> &MemoTables {
+        &self.memos
+    }
+
+    /// The stall list (for squash-minimization statistics).
+    pub fn stall_list(&self) -> &StallList {
+        &self.stall_list
+    }
+
+    // ------------------------------------------------------------------
+    // Request lifecycle
+    // ------------------------------------------------------------------
+
+    fn submit_request(&mut self, input: Value) -> RequestId {
+        let id = RequestId(self.next_req);
+        self.next_req += 1;
+        let ctrl = self.cluster.pick_controller();
+        let now = self.sim.now();
+        let mut req = Req {
+            arrived: now,
+            ctrl,
+            measured: now >= self.measure_from,
+            pipeline: Pipeline::new(),
+            buffer: DataBuffer::new(),
+            slot_inst: HashMap::new(),
+            call_state: HashMap::new(),
+            waiting_callers: HashMap::new(),
+            waiting_args: HashMap::new(),
+            stalled_reads: Vec::new(),
+            deferred_http: HashMap::new(),
+            extended: HashSet::new(),
+            slot_cpu: HashMap::new(),
+            fork_joins: HashMap::new(),
+            call_records: HashMap::new(),
+            committing: None,
+            learned: Vec::new(),
+            committed_sequence: Vec::new(),
+            functions_run: 0,
+            functions_squashed: 0,
+            end_committed: false,
+            completed: false,
+        };
+        let start = self.seqtable.start();
+        let func = self.seqtable.func_at(start);
+        let slot = req
+            .pipeline
+            .push_back(func, SlotRole::Entry { entry: start }, PathHistory::start());
+        {
+            let s = req.pipeline.slot_mut(slot).expect("fresh slot");
+            s.input = Some(input);
+            s.non_speculative = self.app.registry.spec(func).annotations.non_speculative;
+        }
+        self.requests.insert(id, req);
+        self.metrics.submitted += 1;
+        // Predict the start function's output so extension can speculate
+        // past it immediately.
+        self.refresh_prediction(id, slot);
+        self.pump(id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // The pump: extend speculation, launch ready slots, try commits
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self, req_id: RequestId) {
+        if !self.requests.contains_key(&req_id) {
+            return;
+        }
+        self.extend(req_id);
+        self.launch_ready(req_id);
+        self.release_deferred_http(req_id);
+        self.try_commit(req_id);
+        self.check_complete(req_id);
+    }
+
+    /// Fires the response once the workflow end has committed and no
+    /// slots remain in flight (checked after every transition — slots can
+    /// leave the pipeline outside the commit path, e.g. orphaned-callee
+    /// cleanup).
+    fn check_complete(&mut self, req_id: RequestId) {
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        if req.end_committed && req.pipeline.is_empty() && !req.completed {
+            req.completed = true;
+            self.sim
+                .schedule_in(self.model.response_return, Ev::Complete(req_id));
+        }
+    }
+
+    /// The last slot of `anchor`'s descendant block (the anchor itself or
+    /// its最later callee-descendants), after which a program-order
+    /// successor belongs.
+    fn block_end(req: &Req, anchor: SlotId) -> SlotId {
+        let mut block: HashSet<SlotId> = HashSet::new();
+        block.insert(anchor);
+        let mut last = anchor;
+        let order: Vec<SlotId> = req.pipeline.iter_order().collect();
+        let start = req.pipeline.position(anchor).expect("anchor live");
+        for &s in &order[start + 1..] {
+            let slot = req.pipeline.slot(s).expect("slot live");
+            match slot.role {
+                SlotRole::Callee { caller, .. } if block.contains(&caller) => {
+                    block.insert(s);
+                    last = s;
+                }
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// Creates program-order successors for every unextended entry slot
+    /// whose successor payload is (actually or speculatively) known.
+    fn extend(&mut self, req_id: RequestId) {
+        let depth = self.config.effective_depth(self.cluster.occupancy());
+        loop {
+            let Some(req) = self.requests.get(&req_id) else { return };
+            if req.pipeline.len() >= depth
+                || req.pipeline.total_created() as usize >= self.config.max_slots_per_request
+            {
+                return;
+            }
+            // Find the first unextended entry slot (program order).
+            let candidate = req
+                .pipeline
+                .iter_order()
+                .find(|s| {
+                    !req.extended.contains(s)
+                        && matches!(
+                            req.pipeline.slot(*s).expect("live").role,
+                            SlotRole::Entry { .. }
+                        )
+                })
+                .and_then(|s| {
+                    let slot = req.pipeline.slot(s).expect("live");
+                    let SlotRole::Entry { entry } = slot.role else { unreachable!() };
+                    Some((s, entry))
+                });
+            let Some((slot_id, entry)) = candidate else { return };
+            if !self.extend_one(req_id, slot_id, entry) {
+                return;
+            }
+        }
+    }
+
+    /// Attempts to create the successor of one entry slot. Returns true
+    /// if extension made progress (successor created or slot marked
+    /// terminally extended).
+    fn extend_one(&mut self, req_id: RequestId, slot_id: SlotId, entry: usize) -> bool {
+        let kind = self.seqtable.kind_at(entry).clone();
+        let req = self.requests.get(&req_id).expect("live request");
+        let slot = req.pipeline.slot(slot_id).expect("live slot");
+        let completed = slot.state == SlotState::Completed;
+        let slot_input = slot.input.clone();
+        let slot_output = slot.output.clone();
+        let slot_path = slot.path;
+        let slot_func = slot.func;
+        let slot_input_spec = slot.input_speculative;
+        let slot_pred_out = slot.predicted_output.clone();
+
+        let (next_entry, payload, payload_spec, predicted_dir) = match kind {
+            EntryKind::Simple { next } => {
+                let Some(n) = next else {
+                    self.mark_extended(req_id, slot_id);
+                    return true;
+                };
+                // Join entries are speculation barriers: handled at commit.
+                if self.seqtable.compiled().entries[n].join_arity > 1 {
+                    self.mark_extended(req_id, slot_id);
+                    return true;
+                }
+                if completed {
+                    (n, slot_output.expect("completed has output"), false, None)
+                } else if self.config.memoization {
+                    match slot_pred_out {
+                        Some(p) => (n, p, true, None),
+                        None => return false, // stuck until completion
+                    }
+                } else {
+                    return false;
+                }
+            }
+            EntryKind::Branch {
+                ref field,
+                taken,
+                not_taken,
+            } => {
+                let outcome = if completed {
+                    Some(Self::branch_outcome(
+                        slot_output.as_ref().expect("completed"),
+                        field.as_deref(),
+                    ))
+                } else if !self.config.branch_prediction {
+                    None
+                } else {
+                    self.predict_branch(entry, slot_path, slot_func, slot_input.as_ref())
+                };
+                let Some(dir) = outcome else { return false };
+                let target = if dir { taken } else { not_taken };
+                // Record the prediction on the branch slot (for later
+                // validation) when it was actually a prediction.
+                if !completed {
+                    let req = self.requests.get_mut(&req_id).expect("live");
+                    req.pipeline.slot_mut(slot_id).expect("live").predicted_taken = Some(dir);
+                }
+                let Some(n) = target else {
+                    // Predicted end of workflow: nothing to launch until
+                    // the branch resolves.
+                    self.mark_extended(req_id, slot_id);
+                    return true;
+                };
+                if self.seqtable.compiled().entries[n].join_arity > 1 {
+                    self.mark_extended(req_id, slot_id);
+                    return true;
+                }
+                // Branch functions route, passing their input through.
+                let payload = slot_input.clone().expect("slot has input");
+                (
+                    n,
+                    payload,
+                    slot_input_spec || !completed,
+                    (!completed).then_some(dir),
+                )
+            }
+            EntryKind::Fork { .. } => {
+                // Conservative: parallel fan-out happens at commit.
+                self.mark_extended(req_id, slot_id);
+                return true;
+            }
+        };
+        let _ = predicted_dir;
+
+        // Create the successor slot after this slot's descendant block.
+        let req = self.requests.get_mut(&req_id).expect("live request");
+        let anchor = Self::block_end(req, slot_id);
+        let func = self.seqtable.func_at(next_entry);
+        let new_path = slot_path.extend(slot_func.0);
+        let new_id =
+            req.pipeline
+                .insert_after(anchor, func, SlotRole::Entry { entry: next_entry }, new_path);
+        let annotations = self.app.registry.spec(func).annotations;
+        let pred_iter = req
+            .pipeline
+            .slot(slot_id)
+            .map(|p| p.iteration + 1)
+            .unwrap_or(0);
+        {
+            let s = req.pipeline.slot_mut(new_id).expect("fresh slot");
+            s.input = Some(payload);
+            s.input_speculative = payload_spec;
+            s.non_speculative = annotations.non_speculative;
+            if let SlotRole::Entry { entry: e } = s.role {
+                if e <= entry {
+                    s.iteration = pred_iter;
+                }
+            }
+        }
+        req.extended.insert(slot_id);
+        // Memo-predict the new slot's own output so extension can continue.
+        self.refresh_prediction(req_id, new_id);
+        true
+    }
+
+    fn mark_extended(&mut self, req_id: RequestId, slot_id: SlotId) {
+        self.requests
+            .get_mut(&req_id)
+            .expect("live")
+            .extended
+            .insert(slot_id);
+    }
+
+    /// Looks up the memoization table for a slot's input and stores the
+    /// predicted output on the slot.
+    fn refresh_prediction(&mut self, req_id: RequestId, slot_id: SlotId) {
+        if !self.config.memoization {
+            return;
+        }
+        let req = self.requests.get_mut(&req_id).expect("live");
+        let Some(slot) = req.pipeline.slot_mut(slot_id) else { return };
+        let Some(input) = slot.input.clone() else { return };
+        let func = slot.func.0;
+        if let Some(entry) = self.memos.table_mut(func).lookup(&input) {
+            slot.predicted_output = Some(entry.output.clone());
+        }
+    }
+
+    fn branch_outcome(output: &Value, field: Option<&str>) -> bool {
+        match field {
+            Some(f) => output.get_field(f).map(Value::truthy).unwrap_or(false),
+            None => output.truthy(),
+        }
+    }
+
+    /// Predicts an unresolved branch, honouring forced-accuracy mode.
+    fn predict_branch(
+        &mut self,
+        entry: usize,
+        path: PathHistory,
+        func: FuncId,
+        input: Option<&Value>,
+    ) -> Option<bool> {
+        let site = BranchSite::Entry(entry);
+        let pred = if let Some(acc) = self.config.forced_branch_accuracy {
+            let input = input?;
+            let actual = self.oracle_outcome(entry, func, input)?;
+            self.predictor
+                .predict(site, path, Some((actual, acc, &mut self.rng)))
+        } else {
+            self.predictor.predict(site, path, None)
+        };
+        match pred {
+            Prediction::Taken => Some(true),
+            Prediction::NotTaken => Some(false),
+            Prediction::NoSpeculation => None,
+        }
+    }
+
+    /// Omniscient evaluation of a branch condition function (used only by
+    /// the forced-accuracy oracle of Fig. 14): runs the cond program
+    /// functionally against a snapshot view of committed storage.
+    fn oracle_outcome(&mut self, entry: usize, func: FuncId, input: &Value) -> Option<bool> {
+        let program: Program = self.app.registry.spec(func).program.clone();
+        let mut scratch: HashMap<String, Value> = HashMap::new();
+        // Seed reads lazily by pre-copying every key the store holds is
+        // wasteful; instead run with an empty scratch and fall back to
+        // committed values by pre-populating on demand is not possible
+        // through the closure API, so copy the (small) store.
+        for (k, v) in self.kv.iter() {
+            scratch.insert(k.to_owned(), v.clone());
+        }
+        let mut rng = self.rng.split();
+        let out = Interp::run_functional(
+            &program,
+            input.clone(),
+            &mut scratch,
+            &mut |_, _, _, _| Ok(Value::Null),
+            &mut rng,
+        )
+        .ok()?;
+        let field = match self.seqtable.kind_at(entry) {
+            EntryKind::Branch { field, .. } => field.clone(),
+            _ => None,
+        };
+        Some(Self::branch_outcome(&out, field.as_deref()))
+    }
+
+    /// Launches every launchable slot.
+    fn launch_ready(&mut self, req_id: RequestId) {
+        let Some(req) = self.requests.get(&req_id) else { return };
+        let ready: Vec<SlotId> = req
+            .pipeline
+            .iter_order()
+            .filter(|s| {
+                let slot = req.pipeline.slot(*s).expect("live");
+                slot.state == SlotState::Created
+                    && slot.input.is_some()
+                    && (!slot.non_speculative || req.pipeline.is_head(*s))
+            })
+            .collect();
+        for s in ready {
+            self.launch_slot(req_id, s);
+        }
+    }
+
+    fn launch_slot(&mut self, req_id: RequestId, slot_id: SlotId) {
+        let now = self.sim.now();
+        let (ctrl, func, input) = {
+            let req = self.requests.get_mut(&req_id).expect("live");
+            let slot = req.pipeline.slot_mut(slot_id).expect("live");
+            slot.state = SlotState::Running;
+            (req.ctrl, slot.func, slot.input.clone().expect("input"))
+        };
+        let annotations = self.app.registry.spec(func).annotations;
+
+        // Pure-function skip (§V-B): on a memoization hit, skip execution
+        // entirely. Disabled by default to match the paper's conservative
+        // evaluation.
+        if self.config.pure_function_skip && annotations.pure_function {
+            if let Some(entry) = self.memos.table_mut(func.0).lookup(&input) {
+                let output = entry.output.clone();
+                let req = self.requests.get_mut(&req_id).expect("live");
+                let slot = req.pipeline.slot_mut(slot_id).expect("live");
+                slot.state = SlotState::Completed;
+                slot.output = Some(output);
+                req.functions_run += 1;
+                self.metrics.functions_started += 1;
+                self.on_slot_completed(req_id, slot_id);
+                return;
+            }
+        }
+
+        // Sequence-table fast path: no conductor, just a cheap controller
+        // launch operation plus the fixed wire cost.
+        let delay = self.model.platform_fixed
+            + self
+                .cluster
+                .controller_delay(ctrl, now, self.model.spec_launch_service);
+        let id = InstanceId(self.next_inst);
+        self.next_inst += 1;
+        let node = self.cluster.pick_node();
+        let program = self.app.registry.spec(func).program.clone();
+        let child_rng = self.rng.split();
+        let mut inst = FnInstance::new(id, func, node, &program, input, child_rng, now);
+        inst.breakdown.platform = delay;
+        self.instances.insert(id, inst);
+        self.meta.insert(
+            id,
+            InstMeta {
+                req: req_id,
+                slot: slot_id,
+                container_acquired: false,
+            },
+        );
+        let req = self.requests.get_mut(&req_id).expect("live");
+        req.slot_inst.insert(slot_id, id);
+        req.functions_run += 1;
+        self.metrics.functions_started += 1;
+        self.sim.schedule_in(delay, Ev::Launch(id));
+
+        // Implicit-workflow callee prefetch (§V-D): launching f with a
+        // memoized input row lets us launch its callees speculatively.
+        self.prefetch_callees(req_id, slot_id);
+    }
+
+    /// Speculatively creates and launches the learned callees of a slot.
+    fn prefetch_callees(&mut self, req_id: RequestId, caller_slot: SlotId) {
+        if !self.config.branch_prediction || !self.config.memoization {
+            // For implicit workflows the two mechanisms only work together
+            // (§VIII-B).
+            return;
+        }
+        let depth = self.config.effective_depth(self.cluster.occupancy());
+        let (caller_func, caller_input, caller_path) = {
+            let req = self.requests.get(&req_id).expect("live");
+            let slot = req.pipeline.slot(caller_slot).expect("live");
+            (slot.func, slot.input.clone(), slot.path)
+        };
+        let Some(input) = caller_input else { return };
+        if !self.seqtable.knows_caller(caller_func) {
+            return;
+        }
+        let Some(row) = self.memos.table(caller_func.0).peek(&input) else { return };
+        let callee_inputs = row.callee_inputs.clone();
+        let edges: Vec<(usize, FuncId, f64)> = self
+            .seqtable
+            .callees_of(caller_func)
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.callee, self.seqtable.call_probability(caller_func, i)))
+            .collect();
+
+        let mut anchor = caller_slot;
+        let mut created = Vec::new();
+        for (site, callee, prob) in edges {
+            if prob < 0.5 + self.config.branch_confidence_window {
+                break; // stop prefetching at the first unlikely call
+            }
+            let Some(args) = callee_inputs.get(site).cloned() else { break };
+            let req = self.requests.get_mut(&req_id).expect("live");
+            if req.pipeline.len() >= depth {
+                break;
+            }
+            let path = caller_path.extend(caller_func.0);
+            let id = req.pipeline.insert_after(
+                anchor,
+                callee,
+                SlotRole::Callee {
+                    caller: caller_slot,
+                    site,
+                },
+                path,
+            );
+            {
+                let s = req.pipeline.slot_mut(id).expect("fresh");
+                s.input = Some(args);
+                s.input_speculative = true;
+                s.non_speculative =
+                    self.app.registry.spec(callee).annotations.non_speculative;
+            }
+            req.call_state
+                .entry(caller_slot)
+                .or_default()
+                .prefetched
+                .push(id);
+            anchor = Self::block_end(req, id);
+            created.push(id);
+        }
+        for id in created {
+            // Launch unless annotation defers it.
+            let launchable = {
+                let req = self.requests.get(&req_id).expect("live");
+                let slot = req.pipeline.slot(id).expect("live");
+                slot.state == SlotState::Created
+                    && (!slot.non_speculative || req.pipeline.is_head(id))
+            };
+            if launchable {
+                self.launch_slot(req_id, id); // recursively prefetches
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instance event handling
+    // ------------------------------------------------------------------
+
+    fn on_launch(&mut self, id: InstanceId) {
+        if self.orphans.contains(&id) {
+            // Lazily squashed before launch resolved — treat as normal
+            // container acquisition so resources balance.
+        }
+        let Some(meta) = self.meta.get_mut(&id) else {
+            return; // killed before launch
+        };
+        meta.container_acquired = true;
+        let inst = self.instances.get_mut(&id).expect("live instance");
+        let node = inst.node;
+        let func = inst.func;
+        match self.cluster.acquire_container(node, func, &self.model) {
+            ContainerAcquire::Warm => self.try_start(id),
+            ContainerAcquire::Cold(d) => {
+                let inst = self.instances.get_mut(&id).expect("live");
+                inst.breakdown.container_creation = self.model.container_creation;
+                inst.breakdown.runtime_setup = self.model.runtime_setup;
+                inst.state = InstanceState::ColdStarting;
+                self.sim.schedule_in(d, Ev::ContainerReady(id));
+            }
+        }
+    }
+
+    fn try_start(&mut self, id: InstanceId) {
+        if !self.instances.contains_key(&id) {
+            return;
+        }
+        let now = self.sim.now();
+        let inst = self.instances.get_mut(&id).expect("live");
+        let node = inst.node;
+        if self.cluster.node_mut(node).cores.try_acquire(now) {
+            inst.state = InstanceState::Running;
+            inst.started_at = Some(now);
+            self.sim.schedule_now(Ev::Resume(id, None));
+        } else {
+            inst.state = InstanceState::WaitingCore;
+            self.cluster.node_mut(node).cores.enqueue(id);
+        }
+    }
+
+    fn on_resume(&mut self, id: InstanceId, resume: Option<Value>) {
+        if !self.instances.contains_key(&id) {
+            return; // killed
+        }
+        if self.orphans.contains(&id) {
+            self.orphan_step(id, resume);
+            return;
+        }
+        let Some(meta) = self.meta.get(&id) else {
+            return; // squashed; awaiting SquashRelease
+        };
+        let (req_id, slot_id) = (meta.req, meta.slot);
+        // A blocked instance must re-acquire an execution slot first.
+        let now = self.sim.now();
+        if self
+            .instances
+            .get(&id)
+            .map(|i| i.state == InstanceState::Blocked)
+            .unwrap_or(false)
+        {
+            let inst = self.instances.get_mut(&id).expect("live");
+            let node = inst.node;
+            if self.cluster.node_mut(node).cores.try_acquire(now) {
+                let inst = self.instances.get_mut(&id).expect("live");
+                inst.state = InstanceState::Running;
+                inst.started_at = Some(now);
+            } else {
+                let inst = self.instances.get_mut(&id).expect("live");
+                inst.pending_resume = Some(resume);
+                inst.state = InstanceState::WaitingCore;
+                self.cluster.node_mut(node).cores.enqueue(id);
+                return;
+            }
+        }
+        let mut inst = self.instances.remove(&id).expect("live");
+        let effect = match inst.step(resume) {
+            Ok(e) => e,
+            Err(err) => {
+                let out = Value::map([("error", Value::str(err.to_string()))]);
+                self.instances.insert(id, inst);
+                self.complete_slot(req_id, slot_id, id, out);
+                return;
+            }
+        };
+        match effect {
+            Effect::Compute(d) => {
+                inst.breakdown.execution += d;
+                self.instances.insert(id, inst);
+                self.sim.schedule_in(d, Ev::Resume(id, None));
+            }
+            Effect::Get { key } => {
+                self.instances.insert(id, inst);
+                self.handle_get(req_id, slot_id, id, key);
+            }
+            Effect::Set { key, value } => {
+                self.instances.insert(id, inst);
+                self.handle_set(req_id, slot_id, id, key, value);
+            }
+            Effect::Http { .. } => {
+                self.instances.insert(id, inst);
+                let req = self.requests.get(&req_id).expect("live");
+                if Self::effectively_head(req, slot_id) {
+                    self.sim
+                        .schedule_in(self.model.http_latency, Ev::Resume(id, None));
+                } else {
+                    // Deferred until the function turns non-speculative
+                    // (§VI, "Side-effect Handling").
+                    let req = self.requests.get_mut(&req_id).expect("live");
+                    req.deferred_http.insert(slot_id, id);
+                    self.block_instance(id);
+                }
+            }
+            Effect::FileWrite { name, data } => {
+                inst.files.insert(name, data);
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, None));
+            }
+            Effect::FileRead { name } => {
+                let v = inst.files.get(&name).cloned().unwrap_or(Value::Null);
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, Some(v)));
+            }
+            Effect::Call { func, args } => {
+                self.instances.insert(id, inst);
+                self.handle_call(req_id, slot_id, id, &func, args);
+            }
+            Effect::Done(out) => {
+                self.instances.insert(id, inst);
+                self.complete_slot(req_id, slot_id, id, out);
+            }
+        }
+    }
+
+    /// Releases the instance's execution slot while it blocks (waiting
+    /// on a callee, a stalled read, or a deferred side effect). A blocked
+    /// handler process is descheduled by the OS; its container stays
+    /// allocated.
+    fn block_instance(&mut self, id: InstanceId) {
+        let now = self.sim.now();
+        let Some(inst) = self.instances.get_mut(&id) else { return };
+        if inst.state != InstanceState::Running {
+            return;
+        }
+        if let Some(start) = inst.started_at.take() {
+            inst.accumulated_core += now - start;
+        }
+        inst.state = InstanceState::Blocked;
+        let node = inst.node;
+        if let Some(next) = self.cluster.node_mut(node).cores.release(now) {
+            self.grant_core(next, now);
+        }
+    }
+
+    /// Hands a freed slot to a queued instance and starts/resumes it.
+    fn grant_core(&mut self, next: InstanceId, now: SimTime) {
+        if let Some(w) = self.instances.get_mut(&next) {
+            w.state = InstanceState::Running;
+            w.started_at = Some(now);
+            let resume = w.pending_resume.take().unwrap_or(None);
+            self.sim.schedule_now(Ev::Resume(next, resume));
+        }
+    }
+
+    /// Storage read through the Data Buffer (§V-C).
+    fn handle_get(&mut self, req_id: RequestId, slot_id: SlotId, id: InstanceId, key: String) {
+        let lat = self.kv.latency().read + self.model.data_buffer_hop;
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        // The slot may have been squashed away while this operation was
+        // in flight (kill latency); reads from dying executions are void.
+        let Some(slot) = req.pipeline.slot(slot_id) else { return };
+        let my_func = slot.func;
+
+        // Stall-list check (§V-C): if this (producer, consumer, record)
+        // has squashed before, stall instead of reading prematurely.
+        if self.config.stall_optimization {
+            let producers = self.stall_list.producers_for(my_func, &key);
+            if !producers.is_empty() {
+                let my_pos = req.pipeline.position(slot_id).expect("live");
+                let pending_producer = req
+                    .pipeline
+                    .iter_order()
+                    .take(my_pos)
+                    .find(|p| {
+                        let s = req.pipeline.slot(*p).expect("live");
+                        producers.contains(&s.func)
+                            && s.state != SlotState::Completed
+                            && !req.buffer.has_write(*p, &key)
+                    });
+                if let Some(producer) = pending_producer {
+                    req.stalled_reads.push(StalledRead {
+                        slot: slot_id,
+                        inst: id,
+                        key,
+                        producer,
+                    });
+                    self.stall_list.record_stall();
+                    self.block_instance(id);
+                    return;
+                }
+            }
+        }
+        let value = match req.buffer.read(slot_id, &key, &req.pipeline) {
+            ReadResult::Forwarded(v) => v,
+            ReadResult::Global => self.kv.get(&key).cloned().unwrap_or(Value::Null),
+        };
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.breakdown.execution += lat;
+        }
+        self.sim.schedule_in(lat, Ev::Resume(id, Some(value)));
+    }
+
+    /// Storage write through the Data Buffer: buffered, with out-of-order
+    /// RAW detection (§V-C).
+    fn handle_set(
+        &mut self,
+        req_id: RequestId,
+        slot_id: SlotId,
+        id: InstanceId,
+        key: String,
+        value: Value,
+    ) {
+        let lat = self.kv.latency().write + self.model.data_buffer_hop;
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        // Writes from squashed-in-flight executions are void (§V-E).
+        let Some(slot) = req.pipeline.slot(slot_id) else { return };
+        let my_func = slot.func;
+        let victims = req.buffer.write(slot_id, &key, value, &req.pipeline);
+
+        // Remember the producer→consumer pairs that squash (stall list).
+        if let Some(first) = victims.first() {
+            let consumer_func = req.pipeline.slot(*first).map(|s| s.func);
+            if let Some(cf) = consumer_func {
+                self.stall_list.record_squash(my_func, cf, &key);
+            }
+            let first = *first;
+            self.squash_from(req_id, first, SquashKind::Violation);
+        }
+
+        // Release any stalled reads waiting for this producer+key.
+        self.release_stalls(req_id, Some((slot_id, key)));
+
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.breakdown.execution += lat;
+        }
+        self.sim.schedule_in(lat, Ev::Resume(id, None));
+    }
+
+    /// Re-resolves stalled reads whose producer wrote the record,
+    /// completed, or disappeared.
+    fn release_stalls(&mut self, req_id: RequestId, wrote: Option<(SlotId, String)>) {
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let mut released = Vec::new();
+        req.stalled_reads.retain(|sr| {
+            let producer_live = req.pipeline.slot(sr.producer).is_some();
+            let producer_done = req
+                .pipeline
+                .slot(sr.producer)
+                .map(|s| s.state == SlotState::Completed)
+                .unwrap_or(true);
+            let produced = req.buffer.has_write(sr.producer, &sr.key)
+                || wrote
+                    .as_ref()
+                    .map(|(p, k)| *p == sr.producer && *k == sr.key)
+                    .unwrap_or(false);
+            if !producer_live || producer_done || produced {
+                released.push((sr.slot, sr.inst, sr.key.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (slot, inst, key) in released {
+            // Re-issue the read, now past the stall window.
+            if self.instances.contains_key(&inst) {
+                self.handle_get(req_id, slot, inst, key);
+            }
+        }
+    }
+
+    /// Implicit-workflow call: match against prefetched callees or spawn
+    /// on demand (§V-D).
+    fn handle_call(
+        &mut self,
+        req_id: RequestId,
+        caller_slot: SlotId,
+        caller_inst: InstanceId,
+        func_name: &str,
+        args: Value,
+    ) {
+        let Some(callee_func) = self.app.registry.lookup(func_name) else {
+            // Unknown callee: resolve as Null after an RPC hop.
+            self.sim
+                .schedule_in(self.model.transfer_fixed, Ev::Resume(caller_inst, Some(Value::Null)));
+            return;
+        };
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        if req.pipeline.slot(caller_slot).is_none() {
+            return; // caller squashed while the call was in flight
+        }
+        let cs = req.call_state.entry(caller_slot).or_default();
+        let site = cs.cursor;
+        cs.cursor += 1;
+
+        // Drop leading prefetch entries whose slots were squashed away.
+        while let Some(&h) = cs.prefetched.first() {
+            if req.pipeline.slot(h).is_none() {
+                cs.prefetched.remove(0);
+            } else {
+                break;
+            }
+        }
+        // Is there a prefetched callee slot for this site?
+        let prefetched = cs.prefetched.first().copied();
+        if let Some(cslot) = prefetched {
+            let matches = req
+                .pipeline
+                .slot(cslot)
+                .map(|s| {
+                    s.func == callee_func
+                        && s.input.as_ref() == Some(&args)
+                        && matches!(s.role, SlotRole::Callee { site: ps, .. } if ps == site)
+                })
+                .unwrap_or(false);
+            if matches {
+                let cs = req.call_state.get_mut(&caller_slot).expect("present");
+                cs.prefetched.remove(0);
+                let state = req.pipeline.slot(cslot).expect("live").state;
+                if state == SlotState::Completed {
+                    self.consume_callee(req_id, caller_slot, caller_inst, cslot);
+                } else {
+                    // Stall the caller until the callee completes (§V-D);
+                    // the blocked caller yields its execution slot.
+                    req.waiting_callers.insert(cslot, caller_slot);
+                    req.waiting_args.insert(caller_slot, args);
+                    self.block_instance(caller_inst);
+                    // The callee may just have become the non-speculative
+                    // execution point: release its deferred side effects.
+                    self.release_deferred_http(req_id);
+                }
+                return;
+            }
+            // Mismatch: squash the wrong prefetch (and everything after).
+            let cs = req.call_state.get_mut(&caller_slot).expect("present");
+            cs.prefetched.remove(0);
+            self.squash_from(req_id, cslot, SquashKind::WrongPath);
+        }
+
+        // Spawn the callee on demand (non-speculative input).
+        let req = self.requests.get_mut(&req_id).expect("live");
+        let caller_path = req.pipeline.slot(caller_slot).expect("live").path;
+        let anchor = Self::block_end(req, caller_slot);
+        let cslot = req.pipeline.insert_after(
+            anchor,
+            callee_func,
+            SlotRole::Callee {
+                caller: caller_slot,
+                site,
+            },
+            caller_path,
+        );
+        {
+            let s = req.pipeline.slot_mut(cslot).expect("fresh");
+            s.input = Some(args.clone());
+            s.non_speculative = self
+                .app
+                .registry
+                .spec(callee_func)
+                .annotations
+                .non_speculative;
+        }
+        req.waiting_callers.insert(cslot, caller_slot);
+        req.waiting_args.insert(caller_slot, args);
+        let launchable = {
+            let req = self.requests.get(&req_id).expect("live");
+            let slot = req.pipeline.slot(cslot).expect("live");
+            !slot.non_speculative || req.pipeline.is_head(cslot)
+        };
+        self.block_instance(caller_inst);
+        if launchable {
+            self.launch_slot(req_id, cslot);
+        }
+        self.release_deferred_http(req_id);
+    }
+
+    /// True when `slot` is non-speculative in the paper's sense: it is
+    /// the pipeline head, or it is a callee whose entire caller chain is
+    /// head-and-blocked-waiting on it (§V-D: the caller stalls at the
+    /// call site, so the callee is the actual execution point).
+    fn effectively_head(req: &Req, slot: SlotId) -> bool {
+        let mut cur = slot;
+        loop {
+            if req.pipeline.is_head(cur) {
+                return true;
+            }
+            let Some(s) = req.pipeline.slot(cur) else { return false };
+            match s.role {
+                SlotRole::Callee { caller, .. }
+                    if req.waiting_callers.get(&cur) == Some(&caller) =>
+                {
+                    cur = caller;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// The top-level entry slot a callee ultimately works for (walks the
+    /// caller chain).
+    fn entry_ancestor(req: &Req, slot: SlotId) -> Option<SlotId> {
+        let mut cur = slot;
+        loop {
+            let s = req.pipeline.slot(cur)?;
+            match s.role {
+                SlotRole::Entry { .. } => return Some(cur),
+                SlotRole::Callee { caller, .. } => cur = caller,
+            }
+        }
+    }
+
+    /// Resumes any deferred side effects whose slot has become
+    /// effectively non-speculative.
+    fn release_deferred_http(&mut self, req_id: RequestId) {
+        let Some(req) = self.requests.get(&req_id) else { return };
+        let ready: Vec<(SlotId, InstanceId)> = req
+            .deferred_http
+            .iter()
+            .filter(|(slot, _)| Self::effectively_head(req, **slot))
+            .map(|(s, i)| (*s, *i))
+            .collect();
+        let req = self.requests.get_mut(&req_id).expect("live");
+        for (slot, inst) in ready {
+            req.deferred_http.remove(&slot);
+            self.sim
+                .schedule_in(self.model.http_latency, Ev::Resume(inst, None));
+        }
+    }
+
+    /// Folds a completed callee into its caller: merge Data Buffer
+    /// columns, record learning, remove the callee slot, resume the
+    /// caller with the callee's output.
+    fn consume_callee(
+        &mut self,
+        req_id: RequestId,
+        caller_slot: SlotId,
+        caller_inst: InstanceId,
+        callee_slot: SlotId,
+    ) {
+        let req = self.requests.get_mut(&req_id).expect("live");
+        req.buffer.merge(callee_slot, caller_slot);
+        let callee = req.pipeline.remove(callee_slot);
+        req.extended.remove(&callee_slot);
+        req.waiting_callers.remove(&callee_slot);
+        req.waiting_args.remove(&caller_slot);
+        let output = callee.output.clone().expect("completed callee");
+        req.committed_sequence.push(callee.func.0);
+        // The caller's memo row records its *direct* calls only.
+        if let Some(caller) = req.pipeline.slot_mut(caller_slot) {
+            caller.learned_calls.push((
+                callee.func,
+                callee.input.clone().expect("callee input"),
+                output.clone(),
+            ));
+        }
+        // Bubble the callee's own observation (with its direct callee
+        // list) to the owning entry slot for commit-time promotion.
+        if let Some(entry) = Self::entry_ancestor(req, caller_slot) {
+            req.call_records.entry(entry).or_default().push(CallRecord {
+                func: callee.func,
+                input: callee.input.clone().expect("callee input"),
+                output: output.clone(),
+                callee_funcs: callee.learned_calls.iter().map(|(f, _, _)| *f).collect(),
+                callee_inputs: callee
+                    .learned_calls
+                    .iter()
+                    .map(|(_, i, _)| i.clone())
+                    .collect(),
+            });
+        }
+        req.call_state.remove(&callee_slot);
+        // Move callee CPU accounting into the caller's bucket.
+        if let Some(t) = req.slot_cpu.remove(&callee_slot) {
+            *req.slot_cpu.entry(caller_slot).or_insert(SimDuration::ZERO) += t;
+        }
+        self.sim.schedule_in(
+            self.model.data_buffer_hop,
+            Ev::Resume(caller_inst, Some(output)),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Completion, validation, commit
+    // ------------------------------------------------------------------
+
+    fn complete_slot(&mut self, req_id: RequestId, slot_id: SlotId, id: InstanceId, output: Value) {
+        let now = self.sim.now();
+        // Release execution resources.
+        let inst = self.instances.remove(&id).expect("live");
+        self.meta.remove(&id);
+        self.release_instance_resources(&inst, true, now);
+        self.metrics.breakdowns.push(inst.breakdown);
+        let core_time = inst.accumulated_core
+            + inst
+                .started_at
+                .map(|s| now - s)
+                .unwrap_or(SimDuration::ZERO);
+
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        if req.pipeline.slot(slot_id).is_none() {
+            // Slot squashed while its completion event was in flight.
+            self.metrics.squashed_core_time += core_time;
+            return;
+        }
+        req.slot_inst.remove(&slot_id);
+        *req.slot_cpu.entry(slot_id).or_insert(SimDuration::ZERO) += core_time;
+        {
+            let slot = req.pipeline.slot_mut(slot_id).expect("live");
+            slot.state = SlotState::Completed;
+            slot.output = Some(output);
+        }
+        // Prefetched callees the caller never consumed (e.g. a
+        // conditional call not taken this run) are wasted speculation:
+        // squash them and their descendants.
+        self.squash_unconsumed_callees(req_id, slot_id);
+        self.on_slot_completed(req_id, slot_id);
+    }
+
+    /// Removes every still-live prefetched callee of a just-completed
+    /// caller, together with their descendant blocks.
+    fn squash_unconsumed_callees(&mut self, req_id: RequestId, caller: SlotId) {
+        let leftovers: Vec<SlotId> = {
+            let Some(req) = self.requests.get_mut(&req_id) else { return };
+            match req.call_state.remove(&caller) {
+                Some(cs) => cs.prefetched,
+                None => return,
+            }
+        };
+        for head in leftovers {
+            // Collect the callee's contiguous descendant block and squash
+            // it (removal, not reset: the work is simply not needed).
+            let block: Vec<SlotId> = {
+                let Some(req) = self.requests.get(&req_id) else { return };
+                if req.pipeline.slot(head).is_none() {
+                    continue;
+                }
+                let end = Self::block_end(req, head);
+                let start = req.pipeline.position(head).expect("live");
+                let stop = req.pipeline.position(end).expect("live");
+                req.pipeline
+                    .iter_order()
+                    .skip(start)
+                    .take(stop - start + 1)
+                    .collect()
+            };
+            for s in block {
+                self.squash_slot(req_id, s, false);
+            }
+        }
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        req.waiting_callers
+            .retain(|callee, _| req.pipeline.slot(*callee).is_some());
+        req.stalled_reads
+            .retain(|sr| req.pipeline.slot(sr.slot).is_some());
+    }
+
+    /// Post-completion processing: resolve branches, validate successor
+    /// inputs, wake waiting callers, release stalls, pump.
+    fn on_slot_completed(&mut self, req_id: RequestId, slot_id: SlotId) {
+        // 1. Branch resolution (control-dependence validation).
+        self.resolve_branch(req_id, slot_id);
+        // 2. Data-dependence validation of the program-order successor.
+        self.validate_successor(req_id, slot_id);
+        // 3. Wake a caller stalled on this callee.
+        self.wake_waiting_caller(req_id, slot_id);
+        // 4. Stalled reads watching this producer can proceed.
+        self.release_stalls(req_id, None);
+        // 5. Fork-join contributions are handled at commit (conservative).
+        self.pump(req_id);
+    }
+
+    fn resolve_branch(&mut self, req_id: RequestId, slot_id: SlotId) {
+        let Some(req) = self.requests.get(&req_id) else { return };
+        let Some(slot) = req.pipeline.slot(slot_id) else { return };
+        let SlotRole::Entry { entry } = slot.role else { return };
+        let EntryKind::Branch { field, .. } = self.seqtable.kind_at(entry).clone() else {
+            return;
+        };
+        let Some(predicted) = slot.predicted_taken else {
+            return; // never speculated past
+        };
+        let output = slot.output.clone().expect("completed");
+        let actual = Self::branch_outcome(&output, field.as_deref());
+        self.predictor.record_outcome(predicted == actual);
+        {
+            let req = self.requests.get_mut(&req_id).expect("live");
+            let slot = req.pipeline.slot_mut(slot_id).expect("live");
+            slot.predicted_taken = None; // resolved
+        }
+        if predicted != actual {
+            // Squash the wrong path: everything after the branch.
+            let req = self.requests.get_mut(&req_id).expect("live");
+            let succ = req.pipeline.successors(slot_id);
+            if let Some(first) = succ.first().copied() {
+                self.squash_from(req_id, first, SquashKind::WrongPath);
+            }
+            // Allow re-extension along the correct path.
+            let req = self.requests.get_mut(&req_id).expect("live");
+            req.extended.remove(&slot_id);
+        }
+    }
+
+    /// Validates the memo-predicted input of this slot's program-order
+    /// successor against the actual output (§V-B).
+    fn validate_successor(&mut self, req_id: RequestId, slot_id: SlotId) {
+        let Some(req) = self.requests.get(&req_id) else { return };
+        let Some(slot) = req.pipeline.slot(slot_id) else { return };
+        let SlotRole::Entry { entry } = slot.role else { return };
+        let output = slot.output.clone().expect("completed");
+        let expected = match self.seqtable.kind_at(entry) {
+            EntryKind::Simple { .. } => output,
+            // Branch entries route their own input through; forks are
+            // spawned at commit with actual outputs.
+            EntryKind::Branch { .. } => slot.input.clone().expect("input"),
+            EntryKind::Fork { .. } => return,
+        };
+        // The successor is the first Entry-role slot after this slot's
+        // descendant block.
+        let anchor = Self::block_end(req, slot_id);
+        let pos = req.pipeline.position(anchor).expect("live");
+        let order: Vec<SlotId> = req.pipeline.iter_order().collect();
+        let Some(&succ) = order.get(pos + 1) else { return };
+        let s = req.pipeline.slot(succ).expect("live");
+        if !matches!(s.role, SlotRole::Entry { .. }) {
+            return;
+        }
+        if s.input_speculative {
+            if s.input.as_ref() == Some(&expected) {
+                // Validated: the prediction was right.
+                let req = self.requests.get_mut(&req_id).expect("live");
+                req.pipeline.slot_mut(succ).expect("live").input_speculative = false;
+            } else {
+                self.squash_from(req_id, succ, SquashKind::WrongInput);
+                let req = self.requests.get_mut(&req_id).expect("live");
+                if let Some(s) = req.pipeline.slot_mut(succ) {
+                    s.input = Some(expected);
+                    s.input_speculative = false;
+                }
+                self.refresh_prediction(req_id, succ);
+            }
+        }
+    }
+
+    fn wake_waiting_caller(&mut self, req_id: RequestId, callee_slot: SlotId) {
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(caller_slot) = req.waiting_callers.remove(&callee_slot) else {
+            return;
+        };
+        let Some(&caller_inst) = req.slot_inst.get(&caller_slot) else {
+            // The caller was squashed while this callee ran; it will
+            // re-issue the call against fresh state, so this completed
+            // callee is an orphan — drop it (buffered writes included).
+            req.buffer.squash(callee_slot);
+            req.waiting_args.remove(&caller_slot);
+            if req.pipeline.slot(callee_slot).is_some() {
+                req.pipeline.remove(callee_slot);
+                req.extended.remove(&callee_slot);
+                if let Some(t) = req.slot_cpu.remove(&callee_slot) {
+                    self.metrics.squashed_core_time += t;
+                }
+                req.functions_squashed += 1;
+            }
+            return;
+        };
+        self.consume_callee(req_id, caller_slot, caller_inst, callee_slot);
+    }
+
+    fn try_commit(&mut self, req_id: RequestId) {
+        let now = self.sim.now();
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        if req.committing.is_some() || req.completed {
+            return;
+        }
+        let Some(head) = req.pipeline.committable() else { return };
+        // Callee heads are consumed by their caller, not committed.
+        if matches!(
+            req.pipeline.slot(head).expect("live").role,
+            SlotRole::Callee { .. }
+        ) {
+            return;
+        }
+        req.committing = Some(head);
+        let ctrl = req.ctrl;
+        let delay = self
+            .cluster
+            .controller_delay(ctrl, now, self.model.spec_commit_service);
+        self.sim.schedule_in(delay, Ev::CommitApply(req_id, head));
+    }
+
+    fn on_commit_apply(&mut self, req_id: RequestId, slot_id: SlotId) {
+        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        req.committing = None;
+        if req.pipeline.head() != Some(slot_id)
+            || req.pipeline.slot(slot_id).map(|s| s.state) != Some(SlotState::Completed)
+        {
+            self.try_commit(req_id);
+            return;
+        }
+        // Flush buffered writes to global storage.
+        let flush = req.buffer.commit(slot_id);
+        let slot = req.pipeline.remove(slot_id);
+        req.extended.remove(&slot_id);
+        // Credit the committed work (including merged callee stints).
+        if let Some(t) = req.slot_cpu.remove(&slot_id) {
+            self.metrics.useful_core_time += t;
+        }
+        for (k, v) in flush {
+            self.kv.set(k, v);
+        }
+        let req = self.requests.get_mut(&req_id).expect("live");
+        req.committed_sequence.push(slot.func.0);
+
+        // Record committed knowledge for end-of-invocation table updates.
+        let input = slot.input.clone().expect("committed slot has input");
+        let output = slot.output.clone().expect("committed slot has output");
+        let callee_inputs: Vec<Value> = slot
+            .learned_calls
+            .iter()
+            .map(|(_, i, _)| i.clone())
+            .collect();
+        let callees: Vec<FuncId> = slot.learned_calls.iter().map(|(f, _, _)| *f).collect();
+        req.learned.push(Learned::Memo {
+            func: slot.func,
+            input: input.clone(),
+            output: output.clone(),
+            callee_inputs,
+        });
+        // Promote the call observations bubbled up from consumed callees:
+        // each carries its own direct callee structure, so mid-tier
+        // functions get memoization rows and sequence-table edges too.
+        for rec in req.call_records.remove(&slot_id).unwrap_or_default() {
+            req.learned.push(Learned::Memo {
+                func: rec.func,
+                input: rec.input,
+                output: rec.output,
+                callee_inputs: rec.callee_inputs,
+            });
+            req.learned.push(Learned::Calls {
+                caller: rec.func,
+                callees: rec.callee_funcs,
+            });
+        }
+        if let SlotRole::Entry { entry } = slot.role {
+            if let EntryKind::Branch { field, .. } = self.seqtable.kind_at(entry).clone() {
+                let taken = Self::branch_outcome(&output, field.as_deref());
+                req.learned.push(Learned::Branch {
+                    entry,
+                    path: slot.path,
+                    taken,
+                });
+            }
+            req.learned.push(Learned::Calls {
+                caller: slot.func,
+                callees,
+            });
+        }
+
+        // Useful core time accounting.
+        // (complete_slot already put it into slot_cpu → metrics)
+        // Note: metrics.useful_core_time is credited here.
+        // Fork spawn or end detection.
+        let mut fork_spawn: Option<(Vec<usize>, Option<usize>, Value)> = None;
+        let mut join_target: Option<(usize, Value)> = None;
+        let mut reached_end = false;
+        if let SlotRole::Entry { entry } = slot.role {
+            match self.seqtable.kind_at(entry).clone() {
+                EntryKind::Fork { branches, join } => {
+                    fork_spawn = Some((branches, join, output.clone()));
+                }
+                EntryKind::Simple { next } => match next {
+                    Some(n) if self.seqtable.compiled().entries[n].join_arity > 1 => {
+                        join_target = Some((n, output.clone()));
+                    }
+                    Some(_) => {}
+                    None => reached_end = true,
+                },
+                EntryKind::Branch {
+                    field,
+                    taken,
+                    not_taken,
+                } => {
+                    let dir = Self::branch_outcome(&output, field.as_deref());
+                    let target = if dir { taken } else { not_taken };
+                    match target {
+                        Some(n) if self.seqtable.compiled().entries[n].join_arity > 1 => {
+                            join_target = Some((n, slot.input.clone().expect("input")));
+                        }
+                        Some(_) => {}
+                        None => reached_end = true,
+                    }
+                }
+            }
+        }
+
+        let req = self.requests.get_mut(&req_id).expect("live");
+        if reached_end {
+            req.end_committed = true;
+        }
+
+        // Fork: spawn branch heads now, with actual outputs.
+        if let Some((branches, _join, payload)) = fork_spawn {
+            for b in branches {
+                let func = self.seqtable.func_at(b);
+                let req = self.requests.get_mut(&req_id).expect("live");
+                let path = slot.path.extend(slot.func.0);
+                let id = req
+                    .pipeline
+                    .push_back(func, SlotRole::Entry { entry: b }, path);
+                let s = req.pipeline.slot_mut(id).expect("fresh");
+                s.input = Some(payload.clone());
+                s.non_speculative = self.app.registry.spec(func).annotations.non_speculative;
+            }
+        }
+        // Join contribution.
+        if let Some((join_entry, payload)) = join_target {
+            let req = self.requests.get_mut(&req_id).expect("live");
+            let arity = self.seqtable.compiled().entries[join_entry].join_arity;
+            let contribs = req.fork_joins.entry(join_entry).or_default();
+            contribs.push(payload);
+            if contribs.len() as u32 == arity {
+                let inputs = req.fork_joins.remove(&join_entry).expect("present");
+                let func = self.seqtable.func_at(join_entry);
+                let path = slot.path.extend(slot.func.0);
+                let id = req
+                    .pipeline
+                    .push_back(func, SlotRole::Entry { entry: join_entry }, path);
+                let s = req.pipeline.slot_mut(id).expect("fresh");
+                s.input = Some(Value::List(inputs));
+                s.non_speculative = self.app.registry.spec(func).annotations.non_speculative;
+            }
+        }
+
+        // Release deferred side effects that turned non-speculative.
+        self.release_deferred_http(req_id);
+
+        // Request completion is checked inside pump().
+        self.pump(req_id);
+    }
+
+    fn on_complete(&mut self, req_id: RequestId) {
+        let now = self.sim.now();
+        let Some(req) = self.requests.remove(&req_id) else { return };
+        // Apply committed knowledge to the persistent tables (§V-E: never
+        // updated with speculative data — the whole invocation validated).
+        // Group memo knowledge by (func, input): the callee inputs come
+        // from the commit record of the caller.
+        let mut memo_rows: HashMap<(u32, Value), (Value, Vec<Value>)> = HashMap::new();
+        for l in &req.learned {
+            match l {
+                Learned::Memo {
+                    func,
+                    input,
+                    output,
+                    callee_inputs,
+                } => {
+                    let e = memo_rows
+                        .entry((func.0, input.clone()))
+                        .or_insert((output.clone(), Vec::new()));
+                    e.0 = output.clone();
+                    if !callee_inputs.is_empty() {
+                        e.1 = callee_inputs.clone();
+                    }
+                }
+                Learned::Branch { entry, path, taken } => {
+                    self.predictor
+                        .update(BranchSite::Entry(*entry), *path, *taken);
+                }
+                Learned::Calls { caller, callees } => {
+                    self.seqtable.learn_calls(*caller, callees);
+                }
+            }
+        }
+        for ((func, input), (output, callee_inputs)) in memo_rows {
+            self.memos
+                .table_mut(func)
+                .insert(input, output, callee_inputs);
+        }
+        self.metrics.functions_squashed += u64::from(req.functions_squashed);
+        if req.measured {
+            self.metrics.record_completion(InvocationRecord {
+                arrived: req.arrived,
+                completed: now,
+                functions_run: req.functions_run,
+                functions_squashed: req.functions_squashed,
+                sequence: req.committed_sequence,
+            });
+        }
+        // Closed loop: this client immediately issues its next request.
+        if self.closed_loop && now <= self.gen_deadline {
+            if let Some(mut g) = self.input_gen.take() {
+                let input = g(&mut self.rng);
+                self.input_gen = Some(g);
+                self.submit_request(input);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squashing (§VI, "Minimizing Squash Cost")
+    // ------------------------------------------------------------------
+
+    /// Squashes `first` and every later slot. `kind` decides whether
+    /// `first` is reset in place (re-execute) or removed (wrong path).
+    fn squash_from(&mut self, req_id: RequestId, first: SlotId, kind: SquashKind) {
+        let Some(req) = self.requests.get(&req_id) else { return };
+        let Some(pos) = req.pipeline.position(first) else { return };
+        let order: Vec<SlotId> = req.pipeline.iter_order().collect();
+        let victims: Vec<SlotId> = order[pos..].to_vec();
+
+        for (i, v) in victims.iter().enumerate() {
+            let reset_in_place = i == 0 && kind != SquashKind::WrongPath;
+            self.squash_slot(req_id, *v, reset_in_place);
+        }
+        // Callers waiting on removed callees: their Call will be
+        // re-issued when the caller (also squashed) re-executes, or the
+        // callee slot is respawned on demand. Clean any dangling waits.
+        let req = self.requests.get_mut(&req_id).expect("live");
+        req.waiting_callers
+            .retain(|callee, _| req.pipeline.slot(*callee).is_some());
+        req.stalled_reads
+            .retain(|sr| req.pipeline.slot(sr.slot).is_some());
+        self.pump(req_id);
+    }
+
+    fn squash_slot(&mut self, req_id: RequestId, slot_id: SlotId, reset_in_place: bool) {
+        let req = self.requests.get_mut(&req_id).expect("live");
+        if req.pipeline.slot(slot_id).is_none() {
+            return;
+        }
+        req.functions_squashed += 1;
+        req.buffer.squash(slot_id);
+        req.extended.remove(&slot_id);
+        req.deferred_http.remove(&slot_id);
+        req.call_state.remove(&slot_id);
+        req.call_records.remove(&slot_id);
+        // CPU spent on a now-squashed execution is wasted work.
+        if let Some(t) = req.slot_cpu.remove(&slot_id) {
+            self.metrics.squashed_core_time += t;
+        }
+        // Kill the running instance per the configured mechanism.
+        if let Some(inst_id) = req.slot_inst.remove(&slot_id) {
+            self.kill_instance(inst_id);
+        }
+        let req = self.requests.get_mut(&req_id).expect("live");
+        if reset_in_place {
+            let slot = req.pipeline.slot_mut(slot_id).expect("live");
+            slot.state = SlotState::Created;
+            slot.output = None;
+            slot.predicted_output = None;
+            slot.predicted_taken = None;
+            slot.learned_calls.clear();
+            // input/input_speculative left to the caller to fix up.
+            self.refresh_prediction(req_id, slot_id);
+        } else {
+            req.pipeline.remove(slot_id);
+        }
+    }
+
+    /// Applies the configured squash mechanism to a live instance.
+    fn kill_instance(&mut self, id: InstanceId) {
+        let now = self.sim.now();
+        let Some(inst) = self.instances.get(&id) else { return };
+        let (inst_state, inst_node, inst_func, inst_started) =
+            (inst.state, inst.node, inst.func, inst.started_at);
+        let meta_acquired = self.meta.get(&id).map(|m| m.container_acquired).unwrap_or(false);
+        match self.config.squash {
+            SquashMechanism::Lazy => {
+                // Let it run to completion in the background; outputs are
+                // never propagated. Blocked instances wait on callees
+                // that are themselves being squashed — they cannot make
+                // progress and terminate instead (their container frees).
+                self.meta.remove(&id);
+                if matches!(
+                    inst_state,
+                    InstanceState::Running
+                        | InstanceState::ColdStarting
+                        | InstanceState::WaitingCore
+                ) {
+                    self.orphans.insert(id);
+                } else {
+                    if inst_state == InstanceState::Blocked {
+                        if let Some(i) = self.instances.get(&id) {
+                            self.metrics.squashed_core_time += i.accumulated_core;
+                        }
+                        if meta_acquired {
+                            self.cluster
+                                .node_mut(inst_node)
+                                .containers
+                                .release(inst_func, true);
+                        }
+                    }
+                    self.instances.remove(&id);
+                }
+            }
+            SquashMechanism::ProcessKill | SquashMechanism::ContainerKill => {
+                let reusable = self.config.squash == SquashMechanism::ProcessKill;
+                match inst_state {
+                    InstanceState::Running => {
+                        // The handler dies after the kill latency; the core
+                        // frees then.
+                        if let Some(s) = inst_started {
+                            self.metrics.squashed_core_time += now - s;
+                        }
+                        self.sim
+                            .schedule_in(self.model.process_kill, Ev::SquashRelease(id, reusable));
+                        // Remove from maps now so stale Resume events are
+                        // ignored; keep the instance for resource release.
+                        self.meta.remove(&id);
+                        if let Some(i) = self.instances.get_mut(&id) {
+                            i.state = InstanceState::Squashed;
+                        }
+                    }
+                    InstanceState::WaitingCore => {
+                        self.cluster
+                            .node_mut(inst_node)
+                            .cores
+                            .remove_waiter(|w| *w == id);
+                        if meta_acquired {
+                            self.cluster
+                                .node_mut(inst_node)
+                                .containers
+                                .release(inst_func, reusable);
+                        }
+                        self.meta.remove(&id);
+                        self.instances.remove(&id);
+                    }
+                    InstanceState::Blocked => {
+                        // Holds no core; count its past stints as wasted
+                        // and free the container after the kill latency.
+                        if let Some(i) = self.instances.get(&id) {
+                            self.metrics.squashed_core_time += i.accumulated_core;
+                        }
+                        self.meta.remove(&id);
+                        self.instances.remove(&id);
+                        if meta_acquired {
+                            self.cluster
+                                .node_mut(inst_node)
+                                .containers
+                                .release(inst_func, reusable);
+                        }
+                    }
+                    InstanceState::ColdStarting => {
+                        // Container creation already ran to completion in
+                        // the model's accounting; return it to the pool.
+                        self.meta.remove(&id);
+                        self.instances.remove(&id);
+                        if meta_acquired {
+                            self.cluster
+                                .node_mut(inst_node)
+                                .containers
+                                .release(inst_func, true);
+                        }
+                    }
+                    _ => {
+                        self.meta.remove(&id);
+                        self.instances.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_squash_release(&mut self, id: InstanceId, reusable: bool) {
+        let now = self.sim.now();
+        let Some(inst) = self.instances.remove(&id) else { return };
+        self.release_instance_resources(&inst, reusable, now);
+    }
+
+    fn release_instance_resources(&mut self, inst: &FnInstance, reusable: bool, now: SimTime) {
+        if inst.started_at.is_some() {
+            if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
+                self.grant_core(next, now);
+            }
+        }
+        self.cluster
+            .node_mut(inst.node)
+            .containers
+            .release(inst.func, reusable);
+    }
+
+    /// Steps a lazily-squashed orphan instance: effects proceed against
+    /// committed global state, writes are dropped, calls resolve to Null.
+    fn orphan_step(&mut self, id: InstanceId, resume: Option<Value>) {
+        let now = self.sim.now();
+        let mut inst = self.instances.remove(&id).expect("orphan live");
+        let effect = match inst.step(resume) {
+            Ok(e) => e,
+            Err(_) => Effect::Done(Value::Null),
+        };
+        match effect {
+            Effect::Compute(d) => {
+                self.instances.insert(id, inst);
+                self.sim.schedule_in(d, Ev::Resume(id, None));
+            }
+            Effect::Get { key } => {
+                let v = self.kv.get(&key).cloned().unwrap_or(Value::Null);
+                self.instances.insert(id, inst);
+                self.sim
+                    .schedule_in(self.kv.latency().read, Ev::Resume(id, Some(v)));
+            }
+            Effect::Set { .. } => {
+                // Dropped: squashed state never propagates.
+                self.instances.insert(id, inst);
+                self.sim
+                    .schedule_in(self.kv.latency().write, Ev::Resume(id, None));
+            }
+            Effect::Http { .. } => {
+                // Never performed for squashed functions.
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, None));
+            }
+            Effect::FileWrite { name, data } => {
+                inst.files.insert(name, data);
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, None));
+            }
+            Effect::FileRead { name } => {
+                let v = inst.files.get(&name).cloned().unwrap_or(Value::Null);
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, Some(v)));
+            }
+            Effect::Call { .. } => {
+                self.instances.insert(id, inst);
+                self.sim
+                    .schedule_in(self.model.transfer_fixed, Ev::Resume(id, Some(Value::Null)));
+            }
+            Effect::Done(_) => {
+                self.orphans.remove(&id);
+                if let Some(s) = inst.started_at {
+                    self.metrics.squashed_core_time += now - s;
+                }
+                self.release_instance_resources(&inst, true, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Drivers
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival => {
+                if let (Some(mut w), Some(mut g)) = (self.workload, self.input_gen.take()) {
+                    let input = g(&mut self.rng);
+                    self.input_gen = Some(g);
+                    self.submit_request(input);
+                    let gap = w.next_gap(&mut self.rng);
+                    self.workload = Some(w);
+                    if self.sim.now() + gap <= self.gen_deadline {
+                        self.sim.schedule_in(gap, Ev::Arrival);
+                    }
+                }
+            }
+            Ev::Launch(id) => self.on_launch(id),
+            Ev::ContainerReady(id) => self.try_start(id),
+            Ev::Resume(id, v) => self.on_resume(id, v),
+            Ev::CommitApply(req, slot) => self.on_commit_apply(req, slot),
+            Ev::SquashRelease(id, reusable) => self.on_squash_release(id, reusable),
+            Ev::Complete(req) => self.on_complete(req),
+        }
+    }
+
+    /// Runs one request to completion with no background load.
+    ///
+    /// # Panics
+    /// Panics if the simulation drains without completing the request
+    /// (an engine bug).
+    pub fn run_single(&mut self, input: Value) -> SimDuration {
+        let before = self.metrics.completed + u64::from(self.sim.now() < self.measure_from);
+        let _ = before;
+        let target = self.next_req;
+        let start = self.sim.now();
+        self.submit_request(input);
+        while self.requests.contains_key(&RequestId(target))
+            || self
+                .sim
+                .peek_time()
+                .map(|_| self.requests.contains_key(&RequestId(target)))
+                .unwrap_or(false)
+        {
+            let Some((_, ev)) = self.sim.step() else {
+                panic!("simulation drained without completing request {target}");
+            };
+            self.handle(ev);
+            if !self.requests.contains_key(&RequestId(target)) {
+                break;
+            }
+        }
+        // Drain any leftover same-request events (commit tails, orphans).
+        self.sim.now() - start
+    }
+
+    /// Runs `n` requests back-to-back (closed loop). Used for warming the
+    /// predictor and memoization tables, and for characterization runs.
+    pub fn run_closed(
+        &mut self,
+        n: u64,
+        mut input: impl FnMut(&mut SimRng) -> Value,
+    ) -> RunMetrics {
+        for _ in 0..n {
+            let v = input(&mut self.rng);
+            self.run_single(v);
+        }
+        // Let background (lazy-squash) work drain.
+        while let Some((_, ev)) = self.sim.step() {
+            self.handle(ev);
+        }
+        // Credit useful core time from committed requests: approximated as
+        // total minus squashed is tracked incrementally; compute window.
+        let mut m = std::mem::take(&mut self.metrics);
+        m.window = self.sim.now() - SimTime::ZERO;
+        m.cpu_utilization = self.cluster.utilization(self.sim.now());
+        m.branch_hits = self.predictor.hit_rate();
+        m.memo_hits = self.memos.hit_rate();
+        m
+    }
+
+    /// Runs an open-loop Poisson workload at `rps` for `duration`,
+    /// measuring after `warmup`, then drains in-flight work.
+    pub fn run_open(
+        &mut self,
+        rps: f64,
+        duration: SimDuration,
+        warmup: SimDuration,
+        input: impl FnMut(&mut SimRng) -> Value + 'static,
+    ) -> RunMetrics {
+        let start = self.sim.now();
+        self.workload = Some(Workload::poisson(rps));
+        self.input_gen = Some(Box::new(input));
+        self.gen_deadline = start + duration;
+        self.measure_from = start + warmup;
+        self.cluster.reset_utilization(start + warmup);
+        self.sim.schedule_now(Ev::Arrival);
+        while let Some((_, ev)) = self.sim.step() {
+            self.handle(ev);
+        }
+        let end = self.sim.now();
+        let mut m = std::mem::take(&mut self.metrics);
+        m.window = self.gen_deadline.saturating_since(self.measure_from);
+        m.cpu_utilization = self.cluster.utilization(end.min(self.gen_deadline));
+        m.branch_hits = self.predictor.hit_rate();
+        m.memo_hits = self.memos.hit_rate();
+        m
+    }
+
+    /// Runs a closed-loop workload: `clients` concurrent clients, each
+    /// issuing its next request as soon as the previous one completes,
+    /// for `duration` (measuring after `warmup`). Saturating loads
+    /// self-throttle to the service rate instead of growing an unbounded
+    /// queue, matching how a fixed-connection-pool load generator drives
+    /// a real deployment.
+    pub fn run_concurrent(
+        &mut self,
+        clients: u32,
+        duration: SimDuration,
+        warmup: SimDuration,
+        input: impl FnMut(&mut SimRng) -> Value + 'static,
+    ) -> RunMetrics {
+        let start = self.sim.now();
+        self.closed_loop = true;
+        self.input_gen = Some(Box::new(input));
+        self.gen_deadline = start + duration;
+        self.measure_from = start + warmup;
+        self.cluster.reset_utilization(start + warmup);
+        for _ in 0..clients.max(1) {
+            if let Some(mut g) = self.input_gen.take() {
+                let v = g(&mut self.rng);
+                self.input_gen = Some(g);
+                self.submit_request(v);
+            }
+        }
+        while let Some((_, ev)) = self.sim.step() {
+            self.handle(ev);
+        }
+        self.closed_loop = false;
+        let end = self.sim.now();
+        let mut m = std::mem::take(&mut self.metrics);
+        m.window = self.gen_deadline.saturating_since(self.measure_from);
+        m.cpu_utilization = self.cluster.utilization(end.min(self.gen_deadline));
+        m.branch_hits = self.predictor.hit_rate();
+        m.memo_hits = self.memos.hit_rate();
+        m
+    }
+
+    /// Diagnostic dump of live (possibly stuck) requests: pipeline slot
+    /// states, waits and stalls. Empty when no requests are in flight.
+    #[doc(hidden)]
+    pub fn stuck_report(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (rid, req) in &self.requests {
+            let slots: Vec<String> = req
+                .pipeline
+                .iter_order()
+                .map(|sid| {
+                    let sl = req.pipeline.slot(sid).expect("live");
+                    format!(
+                        "{sid}:{:?}:{:?}(in={} spec={})",
+                        sl.func, sl.state, sl.input.is_some(), sl.input_speculative
+                    )
+                })
+                .collect();
+            out.push(format!(
+                "req {:?}: committing={:?} end={} slots=[{}] waiting={:?} stalls={} defhttp={} waitargs={:?}",
+                rid.0,
+                req.committing,
+                req.end_committed,
+                slots.join(", "),
+                req.waiting_callers,
+                req.stalled_reads.len(),
+                req.deferred_http.len(),
+                req.waiting_args.keys().collect::<Vec<_>>(),
+            ));
+        }
+        out
+    }
+
+    /// Empties every warm container pool (cold-start experiments). The
+    /// persistent tables (sequence/memoization/predictor) are unaffected,
+    /// as in a deployment where containers are reclaimed during idle
+    /// periods but the controller state survives.
+    pub fn flush_warm_containers(&mut self) {
+        self.cluster.flush_warm_containers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaas_platform::BaselineEngine;
+    use specfaas_workflow::expr::*;
+    use specfaas_workflow::{FunctionRegistry, FunctionSpec, Program, Workflow};
+
+    fn chain_app(n: usize, exec_ms: u64) -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        let mut names = Vec::new();
+        for i in 0..n {
+            let name = format!("f{i}");
+            reg.register(FunctionSpec::new(
+                &name,
+                Program::builder()
+                    .compute_ms(exec_ms)
+                    .ret(make_map([("v", add(field(input(), "v"), lit(1i64)))])),
+            ));
+            names.push(name);
+        }
+        AppSpec::new(
+            "Chain",
+            "Test",
+            reg,
+            Workflow::sequence(names.iter().map(Workflow::task).collect()),
+        )
+    }
+
+    fn fresh_input(_: &mut SimRng) -> Value {
+        Value::map([("v", Value::Int(0))])
+    }
+
+    #[test]
+    fn single_request_completes_correctly() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(4, 5)), SpecConfig::full(), 1);
+        e.prewarm();
+        let d = e.run_single(fresh_input(&mut SimRng::seed(0)));
+        assert!(d > SimDuration::ZERO);
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.records[0].sequence, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn warmed_spec_is_faster_than_cold_spec() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(6, 5)), SpecConfig::full(), 1);
+        e.prewarm();
+        let first = e.run_single(fresh_input(&mut SimRng::seed(0)));
+        // Tables now know input → output for every function.
+        let second = e.run_single(fresh_input(&mut SimRng::seed(0)));
+        assert!(
+            second < first,
+            "memoized run {second} should beat cold run {first}"
+        );
+    }
+
+    #[test]
+    fn spec_beats_baseline_on_chains() {
+        let app = Arc::new(chain_app(8, 8));
+        let mut base = BaselineEngine::new(Arc::clone(&app), 1);
+        base.prewarm();
+        let base_d = base.run_single(fresh_input(&mut SimRng::seed(0)));
+
+        let mut spec = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 1);
+        spec.prewarm();
+        spec.run_single(fresh_input(&mut SimRng::seed(0))); // train
+        let spec_d = spec.run_single(fresh_input(&mut SimRng::seed(0)));
+        let speedup = base_d / spec_d;
+        assert!(
+            speedup > 2.0,
+            "expected >2x speedup, got {speedup:.2} ({base_d} vs {spec_d})"
+        );
+    }
+
+    #[test]
+    fn memoization_off_still_correct() {
+        let mut cfg = SpecConfig::full();
+        cfg.memoization = false;
+        let mut e = SpecEngine::new(Arc::new(chain_app(4, 5)), cfg, 1);
+        e.prewarm();
+        e.run_single(fresh_input(&mut SimRng::seed(0)));
+        e.run_single(fresh_input(&mut SimRng::seed(0)));
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.completed, 2);
+        for r in &m.records {
+            assert_eq!(r.sequence, vec![0, 1, 2, 3]);
+            assert_eq!(r.functions_squashed, 0);
+        }
+    }
+
+    /// A branch app whose outcome depends on input data.
+    fn branch_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "cond",
+            Program::builder()
+                .compute_ms(4)
+                .ret(make_map([("ok", gt(field(input(), "x"), lit(10i64)))])),
+        ));
+        reg.register(FunctionSpec::new(
+            "yes",
+            Program::builder().compute_ms(4).ret(lit("yes")),
+        ));
+        reg.register(FunctionSpec::new(
+            "no",
+            Program::builder().compute_ms(4).ret(lit("no")),
+        ));
+        AppSpec::new(
+            "Branchy",
+            "Test",
+            reg,
+            Workflow::when_field("cond", "ok", Workflow::task("yes"), Some(Workflow::task("no"))),
+        )
+    }
+
+    #[test]
+    fn branch_misprediction_squashes_and_recovers() {
+        let mut e = SpecEngine::new(Arc::new(branch_app()), SpecConfig::full(), 1);
+        e.prewarm();
+        // Train: always taken.
+        for _ in 0..5 {
+            e.run_single(Value::map([("x", Value::Int(50))]));
+        }
+        // Now a not-taken input: predictor says taken, must squash "yes"
+        // and run "no".
+        e.run_single(Value::map([("x", Value::Int(5))]));
+        let m = e.run_closed(0, fresh_input);
+        let last = m.records.last().unwrap();
+        let no = e.app().registry.lookup("no").unwrap().0;
+        assert_eq!(*last.sequence.last().unwrap(), no);
+        assert!(last.functions_squashed >= 1, "wrong path must be squashed");
+    }
+
+    #[test]
+    fn correct_prediction_overlaps_branch_target() {
+        let mut e = SpecEngine::new(Arc::new(branch_app()), SpecConfig::full(), 1);
+        e.prewarm();
+        for _ in 0..5 {
+            e.run_single(Value::map([("x", Value::Int(50))]));
+        }
+        let d = e.run_single(Value::map([("x", Value::Int(50))]));
+        // cond (4ms) and yes (4ms) overlap: end-to-end well under the
+        // serial 8ms + overheads.
+        assert!(
+            d < SimDuration::from_millis(16),
+            "overlapped run took {d}"
+        );
+        assert!(e.predictor().hit_rate().rate() > 0.8);
+    }
+
+    /// Producer writes a record that the consumer reads: out-of-order RAW
+    /// when speculated.
+    fn raw_dependence_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "producer",
+            Program::builder()
+                .compute_ms(6)
+                .set(lit("shared"), field(input(), "v"))
+                .ret(make_map([("v", field(input(), "v"))])),
+        ));
+        reg.register(FunctionSpec::new(
+            "consumer",
+            Program::builder()
+                .get(lit("shared"), "s")
+                .compute_ms(4)
+                .ret(make_map([("read", var("s"))])),
+        ));
+        AppSpec::new(
+            "RawDep",
+            "Test",
+            reg,
+            Workflow::sequence(vec![Workflow::task("producer"), Workflow::task("consumer")]),
+        )
+    }
+
+    #[test]
+    fn data_violation_detected_and_output_correct() {
+        let mut cfg = SpecConfig::full();
+        cfg.stall_optimization = false; // isolate the squash path
+        let mut e = SpecEngine::new(Arc::new(raw_dependence_app()), cfg, 1);
+        e.prewarm();
+        // Train with v=1 so memoization launches the consumer early on
+        // the next identical request.
+        e.run_single(Value::map([("v", Value::Int(1))]));
+        // Same input again: the consumer launches speculatively and reads
+        // "shared" before the producer's buffered write → out-of-order
+        // RAW → squash → re-execution reads the forwarded value.
+        e.run_single(Value::map([("v", Value::Int(1))]));
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(e.kv.peek("shared"), Some(&Value::Int(1)));
+        assert!(
+            m.records.last().unwrap().functions_squashed >= 1,
+            "premature read should have been squashed"
+        );
+    }
+
+    #[test]
+    fn stall_list_engages_after_repeated_squashes() {
+        let mut cfg = SpecConfig::full();
+        cfg.stall_after_squashes = 1;
+        let mut e = SpecEngine::new(Arc::new(raw_dependence_app()), cfg, 1);
+        e.prewarm();
+        for _ in 0..6 {
+            e.run_single(Value::map([("v", Value::Int(7))]));
+        }
+        assert!(
+            e.stall_list().stalls_avoided() > 0,
+            "stall list should have engaged"
+        );
+        // Once stalling, later runs squash nothing.
+        e.run_single(Value::map([("v", Value::Int(7))]));
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.records.last().unwrap().functions_squashed, 0);
+    }
+
+    /// Implicit workflow: root calls two leaves.
+    fn implicit_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "leaf1",
+            Program::builder()
+                .compute_ms(6)
+                .ret(add(field(input(), "n"), lit(100i64))),
+        ));
+        reg.register(FunctionSpec::new(
+            "leaf2",
+            Program::builder()
+                .compute_ms(6)
+                .ret(add(field(input(), "n"), lit(200i64))),
+        ));
+        reg.register(FunctionSpec::new(
+            "root",
+            Program::builder()
+                .compute_ms(2)
+                .call("leaf1", make_map([("n", field(input(), "k"))]), "r1")
+                .call("leaf2", make_map([("n", field(input(), "k"))]), "r2")
+                .compute_ms(2)
+                .ret(make_list([var("r1"), var("r2")])),
+        ));
+        AppSpec::new("Implicit", "Test", reg, Workflow::task("root"))
+    }
+
+    #[test]
+    fn implicit_callees_overlap_after_training() {
+        let app = Arc::new(implicit_app());
+        let mut e = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 1);
+        e.prewarm();
+        let inp = Value::map([("k", Value::Int(3))]);
+        let cold = e.run_single(inp.clone());
+        let warm = e.run_single(inp.clone());
+        assert!(
+            warm < cold,
+            "prefetched callees should overlap: cold {cold}, warm {warm}"
+        );
+        // And the result must still be correct: leaves at 103 and 203.
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.records.len(), 2);
+        assert_eq!(m.records[1].functions_squashed, 0);
+    }
+
+    /// An implicit root whose callee arguments depend on *global state*,
+    /// so memoized callee inputs can go stale.
+    fn stateful_implicit_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "leaf",
+            Program::builder()
+                .compute_ms(6)
+                .ret(add(field(input(), "n"), lit(100i64))),
+        ));
+        reg.register(FunctionSpec::new(
+            "root",
+            Program::builder()
+                .compute_ms(2)
+                .get(lit("mode"), "m")
+                .call("leaf", make_map([("n", var("m"))]), "r")
+                .ret(var("r")),
+        ));
+        AppSpec::new("StatefulImplicit", "Test", reg, Workflow::task("root"))
+    }
+
+    #[test]
+    fn implicit_wrong_callee_args_squash_and_recover() {
+        let app = Arc::new(stateful_implicit_app());
+        let mut e = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 1);
+        e.prewarm();
+        e.kv.set("mode", Value::Int(1));
+        // Train: the memo row records callee input {n: 1}.
+        e.run_single(Value::Null);
+        e.run_single(Value::Null);
+        // Flip the mode: the prefetched callee (args {n:1}) now
+        // mismatches the actual call (args {n:2}) → squash + respawn.
+        e.kv.set("mode", Value::Int(2));
+        let d = e.run_single(Value::Null);
+        assert!(d > SimDuration::ZERO);
+        let m = e.run_closed(0, fresh_input);
+        let rec = m.records.last().unwrap();
+        assert!(rec.functions_squashed >= 1, "stale callee args must squash");
+        // Committed sequence still has leaf then root.
+        assert_eq!(rec.sequence.len(), 2);
+    }
+
+    #[test]
+    fn lazy_squash_wastes_more_cpu_than_process_kill() {
+        let mk = |squash| {
+            let mut cfg = SpecConfig::full();
+            cfg.squash = squash;
+            cfg.stall_optimization = false;
+            let mut e = SpecEngine::new(Arc::new(branch_app()), cfg, 1);
+            e.prewarm();
+            // Train taken, then run many not-taken → constant squashes.
+            for _ in 0..5 {
+                e.run_single(Value::map([("x", Value::Int(50))]));
+            }
+            for _ in 0..10 {
+                e.run_single(Value::map([("x", Value::Int(5))]));
+            }
+            let m = e.run_closed(0, fresh_input);
+            m.squashed_core_time
+        };
+        let lazy = mk(SquashMechanism::Lazy);
+        let kill = mk(SquashMechanism::ProcessKill);
+        assert!(
+            lazy > kill,
+            "lazy squash should waste more CPU: lazy {lazy}, kill {kill}"
+        );
+    }
+
+    #[test]
+    fn non_speculative_annotation_delays_launch() {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "a",
+            Program::builder().compute_ms(5).ret(make_map([("v", lit(1i64))])),
+        ));
+        reg.register(FunctionSpec::with_annotations(
+            "careful",
+            Program::builder().compute_ms(5).ret(make_map([("v", lit(2i64))])),
+            specfaas_workflow::Annotations::non_speculative(),
+        ));
+        let app = AppSpec::new(
+            "Annotated",
+            "Test",
+            reg,
+            Workflow::sequence(vec![Workflow::task("a"), Workflow::task("careful")]),
+        );
+        let mut e = SpecEngine::new(Arc::new(app), SpecConfig::full(), 1);
+        e.prewarm();
+        e.run_single(Value::Null);
+        let d = e.run_single(Value::Null);
+        // No overlap possible: careful waits for a to commit. Response is
+        // at least the serial execution time.
+        assert!(d >= SimDuration::from_millis(10), "no overlap allowed: {d}");
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.records.last().unwrap().functions_squashed, 0);
+    }
+
+    #[test]
+    fn pure_function_skip_avoids_execution() {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::with_annotations(
+            "pure",
+            Program::builder().compute_ms(50).ret(make_map([("v", lit(7i64))])),
+            specfaas_workflow::Annotations::pure_function(),
+        ));
+        reg.register(FunctionSpec::new(
+            "sink",
+            Program::builder().compute_ms(2).ret(field(input(), "v")),
+        ));
+        let app = Arc::new(AppSpec::new(
+            "Pure",
+            "Test",
+            reg,
+            Workflow::sequence(vec![Workflow::task("pure"), Workflow::task("sink")]),
+        ));
+        let mut cfg = SpecConfig::full();
+        cfg.pure_function_skip = true;
+        let mut e = SpecEngine::new(Arc::clone(&app), cfg, 1);
+        e.prewarm();
+        let first = e.run_single(Value::Null);
+        let second = e.run_single(Value::Null);
+        assert!(
+            second < first / 2,
+            "pure skip should avoid the 50ms body: first {first}, second {second}"
+        );
+    }
+
+    #[test]
+    fn open_loop_load_completes() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(5, 5)), SpecConfig::full(), 9);
+        e.prewarm();
+        let m = e.run_open(
+            100.0,
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(200),
+            fresh_input,
+        );
+        assert!(m.completed > 100, "completed only {}", m.completed);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = SpecEngine::new(Arc::new(chain_app(5, 5)), SpecConfig::full(), 7);
+            e.prewarm();
+            e.run_single(fresh_input(&mut SimRng::seed(0)));
+            e.run_single(fresh_input(&mut SimRng::seed(0))).as_micros()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,899 @@
+//! The baseline execution engine: conventional OpenWhisk-style workflow
+//! execution, against which SpecFaaS is compared.
+//!
+//! Semantics reproduced from §II-B and §III:
+//!
+//! * Functions execute strictly sequentially: a function is only scheduled
+//!   once its control and data dependences are resolved.
+//! * Every function launch pays *Platform Overhead* (front-end/controller/
+//!   worker communication plus queued controller service).
+//! * Every workflow transition pays *Transfer Function Overhead* (worker→
+//!   controller communication plus queued conductor execution for explicit
+//!   workflows; an RPC hop for implicit calls).
+//! * A caller in an implicit workflow blocks — holding its core — while a
+//!   callee runs (Fig. 10(d)).
+//! * Cold containers pay container creation + runtime setup; warm
+//!   containers fork a handler instantly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
+use specfaas_storage::{KvStore, Value};
+use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId};
+
+use crate::cluster::{Cluster, NodeId};
+use crate::container::ContainerAcquire;
+use crate::exec::{FnInstance, InstanceId, InstanceState};
+use crate::metrics::{InvocationRecord, RunMetrics};
+use crate::overheads::OverheadModel;
+use crate::workload::{RequestId, Workload};
+
+/// Events of the baseline engine.
+#[derive(Debug)]
+enum Ev {
+    /// A new application request arrives (the generator re-arms itself).
+    Arrival,
+    /// Platform overhead paid; acquire container + core for the instance.
+    Launch(InstanceId),
+    /// Cold start finished; acquire a core.
+    ContainerReady(InstanceId),
+    /// The instance's pending effect completed; step the interpreter.
+    Resume(InstanceId, Option<Value>),
+    /// Transfer overhead paid; launch workflow entry `entry` of `req` with
+    /// the given payload.
+    Transfer(RequestId, usize, Value),
+    /// Final response delivered to the client.
+    Complete(RequestId),
+}
+
+/// Why an instance exists: a workflow-entry cursor or an implicit callee.
+#[derive(Debug, Clone)]
+enum InstCtx {
+    /// Executes workflow entry `entry` of request `req`.
+    Entry { req: RequestId, entry: usize },
+    /// Executes a subroutine call on behalf of `caller`.
+    Callee { req: RequestId, caller: InstanceId },
+}
+
+#[derive(Debug)]
+struct JoinState {
+    need: u32,
+    outputs: Vec<Value>,
+}
+
+#[derive(Debug)]
+struct ReqState {
+    arrived: SimTime,
+    ctrl: NodeId,
+    /// Number of workflow cursors in flight (forks add, joins subtract).
+    cursors: u32,
+    joins: HashMap<usize, JoinState>,
+    functions_run: u32,
+    sequence: Vec<u32>,
+    /// Output of the last cursor to finish (the response payload).
+    last_output: Value,
+    /// Counted toward metrics (arrived inside the measurement window)?
+    measured: bool,
+}
+
+/// The baseline (conventional OpenWhisk) engine for one application.
+///
+/// # Example
+///
+/// ```no_run
+/// use specfaas_platform::BaselineEngine;
+/// # fn app() -> specfaas_workflow::AppSpec { unimplemented!() }
+/// let mut engine = BaselineEngine::new(std::sync::Arc::new(app()), 42);
+/// engine.prewarm();
+/// let metrics = engine.run_closed(100, |_rng| specfaas_storage::Value::Null);
+/// println!("mean response: {:.1} ms", metrics.mean_response_ms());
+/// ```
+pub struct BaselineEngine {
+    app: Arc<AppSpec>,
+    /// The cluster (public for experiment instrumentation).
+    pub cluster: Cluster,
+    /// Global storage (public so experiments can seed it).
+    pub kv: KvStore,
+    /// Timing constants.
+    pub model: OverheadModel,
+    sim: Simulator<Ev>,
+    rng: SimRng,
+    instances: HashMap<InstanceId, FnInstance>,
+    ctxs: HashMap<InstanceId, InstCtx>,
+    requests: HashMap<RequestId, ReqState>,
+    next_inst: u64,
+    next_req: u64,
+    metrics: RunMetrics,
+    // Open-loop generation state.
+    workload: Option<Workload>,
+    gen_deadline: SimTime,
+    input_gen: Option<Box<dyn FnMut(&mut SimRng) -> Value>>,
+    measure_from: SimTime,
+    /// Closed-loop mode: each completion immediately submits the next
+    /// request (bounded concurrency, like a fixed client pool).
+    closed_loop: bool,
+}
+
+impl BaselineEngine {
+    /// Creates an engine for `app` on the paper's 5-node testbed.
+    pub fn new(app: Arc<AppSpec>, seed: u64) -> Self {
+        BaselineEngine {
+            app,
+            cluster: Cluster::paper_testbed(),
+            kv: KvStore::new(),
+            model: OverheadModel::default(),
+            sim: Simulator::new(),
+            rng: SimRng::seed(seed),
+            instances: HashMap::new(),
+            ctxs: HashMap::new(),
+            requests: HashMap::new(),
+            next_inst: 0,
+            next_req: 0,
+            metrics: RunMetrics::new(),
+            workload: None,
+            gen_deadline: SimTime::ZERO,
+            input_gen: None,
+            measure_from: SimTime::ZERO,
+            closed_loop: false,
+        }
+    }
+
+    /// Pre-warms containers for every function of the app on every node
+    /// (the default warmed-up environment, §IV).
+    pub fn prewarm(&mut self) {
+        let funcs: Vec<FuncId> = self.app.registry.iter().map(|(id, _)| id).collect();
+        // §IV: the paper assumes function start-up overheads have been
+        // removed by prior cold-start work, so the warm pool must cover
+        // the offered concurrency even under speculative fan-out.
+        self.cluster.prewarm_all(funcs, 64);
+    }
+
+    /// The application under test.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    fn alloc_inst(&mut self) -> InstanceId {
+        let id = InstanceId(self.next_inst);
+        self.next_inst += 1;
+        id
+    }
+
+    /// Submits one request at the current simulated time.
+    fn submit_request(&mut self, input: Value) -> RequestId {
+        let id = RequestId(self.next_req);
+        self.next_req += 1;
+        let ctrl = self.cluster.pick_controller();
+        let now = self.sim.now();
+        self.requests.insert(
+            id,
+            ReqState {
+                arrived: now,
+                ctrl,
+                cursors: 1,
+                joins: HashMap::new(),
+                functions_run: 0,
+                sequence: Vec::new(),
+                last_output: Value::Null,
+                measured: now >= self.measure_from,
+            },
+        );
+        self.metrics.submitted += 1;
+        let start = self.app.compiled.start;
+        self.launch_entry(id, start, input);
+        id
+    }
+
+    /// Starts the platform-overhead phase for a workflow entry.
+    fn launch_entry(&mut self, req: RequestId, entry: usize, payload: Value) {
+        // Parallel join entries only run once all branches arrive.
+        let arity = self.app.compiled.entries[entry].join_arity;
+        if arity > 1 {
+            let state = self.requests.get_mut(&req).expect("live request");
+            let join = state.joins.entry(entry).or_insert(JoinState {
+                need: arity,
+                outputs: Vec::new(),
+            });
+            join.outputs.push(payload);
+            if (join.outputs.len() as u32) < join.need {
+                // This cursor merges into the join.
+                state.cursors -= 1;
+                return;
+            }
+            let outputs = state.joins.remove(&entry).expect("join present").outputs;
+            let merged = Value::List(outputs);
+            // Earlier arrivals already merged their cursors; the final
+            // arrival continues as the single join cursor.
+            self.spawn_function(req, InstCtx::Entry { req, entry }, merged);
+            return;
+        }
+        self.spawn_function(req, InstCtx::Entry { req, entry }, payload);
+    }
+
+    /// Creates the instance and charges platform overhead.
+    fn spawn_function(&mut self, req: RequestId, ctx: InstCtx, input: Value) {
+        let func = match &ctx {
+            InstCtx::Entry { entry, .. } => self.app.compiled.entries[*entry].func,
+            InstCtx::Callee { .. } => unreachable!("callee spawns go through spawn_callee"),
+        };
+        self.spawn_named(req, ctx, func, input);
+    }
+
+    fn spawn_named(&mut self, req: RequestId, ctx: InstCtx, func: FuncId, input: Value) {
+        let now = self.sim.now();
+        let ctrl = self.requests[&req].ctrl;
+        let delay = self.model.platform_fixed
+            + self
+                .cluster
+                .controller_delay(ctrl, now, self.model.controller_service);
+        let id = self.alloc_inst();
+        let node = self.cluster.pick_node();
+        let program = self.app.registry.spec(func).program.clone();
+        let child_rng = self.rng.split();
+        let mut inst = FnInstance::new(id, func, node, &program, input, child_rng, now);
+        inst.breakdown.platform = delay;
+        self.instances.insert(id, inst);
+        self.ctxs.insert(id, ctx);
+        self.metrics.functions_started += 1;
+        if let Some(r) = self.requests.get_mut(&req) {
+            r.functions_run += 1;
+        }
+        self.sim.schedule_in(delay, Ev::Launch(id));
+    }
+
+    /// Handles container acquisition after platform overhead.
+    fn on_launch(&mut self, id: InstanceId) {
+        let inst = self.instances.get_mut(&id).expect("live instance");
+        let node = inst.node;
+        let func = inst.func;
+        match self.cluster.acquire_container(node, func, &self.model) {
+            ContainerAcquire::Warm => self.try_start(id),
+            ContainerAcquire::Cold(d) => {
+                let inst = self.instances.get_mut(&id).expect("live instance");
+                inst.breakdown.container_creation = self.model.container_creation;
+                inst.breakdown.runtime_setup = self.model.runtime_setup;
+                inst.state = InstanceState::ColdStarting;
+                self.sim.schedule_in(d, Ev::ContainerReady(id));
+            }
+        }
+    }
+
+    /// Acquires a core or queues for one.
+    fn try_start(&mut self, id: InstanceId) {
+        let now = self.sim.now();
+        let inst = self.instances.get_mut(&id).expect("live instance");
+        let node = inst.node;
+        if self.cluster.node_mut(node).cores.try_acquire(now) {
+            inst.state = InstanceState::Running;
+            inst.started_at = Some(now);
+            self.sim.schedule_now(Ev::Resume(id, None));
+        } else {
+            inst.state = InstanceState::WaitingCore;
+            self.cluster.node_mut(node).cores.enqueue(id);
+        }
+    }
+
+    /// Releases the caller's execution slot while it blocks.
+    fn block_instance(&mut self, id: InstanceId) {
+        let now = self.sim.now();
+        let Some(inst) = self.instances.get_mut(&id) else { return };
+        if inst.state != InstanceState::Running {
+            return;
+        }
+        if let Some(start) = inst.started_at.take() {
+            inst.accumulated_core += now - start;
+        }
+        inst.state = InstanceState::Blocked;
+        let node = inst.node;
+        if let Some(next) = self.cluster.node_mut(node).cores.release(now) {
+            self.grant_core(next, now);
+        }
+    }
+
+    /// Hands a freed slot to a queued instance and starts/resumes it.
+    fn grant_core(&mut self, next: InstanceId, now: SimTime) {
+        if let Some(w) = self.instances.get_mut(&next) {
+            w.state = InstanceState::Running;
+            w.started_at = Some(now);
+            let resume = w.pending_resume.take().unwrap_or(None);
+            self.sim.schedule_now(Ev::Resume(next, resume));
+        }
+    }
+
+    /// Steps the interpreter and schedules the effect's completion.
+    fn on_resume(&mut self, id: InstanceId, resume: Option<Value>) {
+        // A blocked instance must re-acquire an execution slot first.
+        let now = self.sim.now();
+        if self
+            .instances
+            .get(&id)
+            .map(|i| i.state == InstanceState::Blocked)
+            .unwrap_or(false)
+        {
+            let inst = self.instances.get_mut(&id).expect("live");
+            let node = inst.node;
+            if self.cluster.node_mut(node).cores.try_acquire(now) {
+                let inst = self.instances.get_mut(&id).expect("live");
+                inst.state = InstanceState::Running;
+                inst.started_at = Some(now);
+                // fall through and step with the resume value
+            } else {
+                let inst = self.instances.get_mut(&id).expect("live");
+                inst.pending_resume = Some(resume);
+                inst.state = InstanceState::WaitingCore;
+                self.cluster.node_mut(node).cores.enqueue(id);
+                return;
+            }
+        }
+        let mut inst = match self.instances.remove(&id) {
+            Some(i) => i,
+            None => return, // squashed / stale event
+        };
+        let effect = match inst.step(resume) {
+            Ok(e) => e,
+            Err(err) => {
+                // A failed invocation: treat as completing with an error
+                // document so the workflow can proceed deterministically.
+                let out = Value::map([("error", Value::str(err.to_string()))]);
+                self.instances.insert(id, inst);
+                self.finish_instance(id, out);
+                return;
+            }
+        };
+        match effect {
+            Effect::Compute(d) => {
+                inst.breakdown.execution += d;
+                self.instances.insert(id, inst);
+                self.sim.schedule_in(d, Ev::Resume(id, None));
+            }
+            Effect::Get { key } => {
+                let lat = self.kv.latency().read;
+                inst.breakdown.execution += lat;
+                let val = self.kv.get(&key).cloned().unwrap_or(Value::Null);
+                self.instances.insert(id, inst);
+                self.sim.schedule_in(lat, Ev::Resume(id, Some(val)));
+            }
+            Effect::Set { key, value } => {
+                let lat = self.kv.latency().write;
+                inst.breakdown.execution += lat;
+                self.kv.set(key, value);
+                self.instances.insert(id, inst);
+                self.sim.schedule_in(lat, Ev::Resume(id, None));
+            }
+            Effect::Http { .. } => {
+                let lat = self.model.http_latency;
+                inst.breakdown.execution += lat;
+                self.instances.insert(id, inst);
+                self.sim.schedule_in(lat, Ev::Resume(id, None));
+            }
+            Effect::FileWrite { name, data } => {
+                inst.files.insert(name, data);
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, None));
+            }
+            Effect::FileRead { name } => {
+                let v = inst.files.get(&name).cloned().unwrap_or(Value::Null);
+                self.instances.insert(id, inst);
+                self.sim.schedule_now(Ev::Resume(id, Some(v)));
+            }
+            Effect::Call { func, args } => {
+                // Implicit workflow: spawn the callee; the caller blocks
+                // holding its core (Fig. 10(d)).
+                let req = match self.ctxs[&id].clone() {
+                    InstCtx::Entry { req, .. } | InstCtx::Callee { req, .. } => req,
+                };
+                self.instances.insert(id, inst);
+                // The caller's handler blocks on the RPC; the OS yields
+                // its hardware thread (the container slot stays held).
+                self.block_instance(id);
+                match self.app.registry.lookup(&func) {
+                    Some(callee) => {
+                        self.spawn_named(req, InstCtx::Callee { req, caller: id }, callee, args);
+                    }
+                    None => {
+                        // Unknown callee: resolve to Null after an RPC hop.
+                        self.sim.schedule_in(
+                            self.model.transfer_fixed,
+                            Ev::Resume(id, Some(Value::Null)),
+                        );
+                    }
+                }
+            }
+            Effect::Done(out) => {
+                inst.state = InstanceState::Done;
+                inst.output = Some(out.clone());
+                self.instances.insert(id, inst);
+                self.finish_instance(id, out);
+            }
+        }
+    }
+
+    /// Releases resources and routes the output onward.
+    fn finish_instance(&mut self, id: InstanceId, output: Value) {
+        let now = self.sim.now();
+        let inst = self.instances.remove(&id).expect("live instance");
+        let ctx = self.ctxs.remove(&id).expect("instance context");
+        // Account useful core time and release the slot.
+        if let Some(start) = inst.started_at {
+            self.metrics.useful_core_time += inst.accumulated_core + (now - start);
+            if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
+                self.grant_core(next, now);
+            }
+        }
+        self.cluster
+            .node_mut(inst.node)
+            .containers
+            .release(inst.func, true);
+        self.metrics.breakdowns.push(inst.breakdown);
+
+        match ctx {
+            InstCtx::Entry { req, entry } => {
+                let Some(state) = self.requests.get_mut(&req) else {
+                    return;
+                };
+                state.sequence.push(inst.func.0);
+                state.last_output = output.clone();
+                let ctrl = state.ctrl;
+                // Conductor / transfer overhead for the next transition.
+                let transfer = self.model.transfer_fixed
+                    + self
+                        .cluster
+                        .controller_delay(ctrl, now, self.model.conductor_service);
+                match self.app.compiled.entries[entry].kind.clone() {
+                    EntryKind::Simple { next } => match next {
+                        Some(n) => {
+                            self.charge_transfer(id, transfer);
+                            self.sim.schedule_in(transfer, Ev::Transfer(req, n, output));
+                        }
+                        None => self.cursor_done(req),
+                    },
+                    EntryKind::Branch {
+                        field,
+                        taken,
+                        not_taken,
+                    } => {
+                        let cond = match &field {
+                            Some(f) => output.get_field(f).cloned().unwrap_or(Value::Null),
+                            None => output.clone(),
+                        };
+                        let target = if cond.truthy() { taken } else { not_taken };
+                        match target {
+                            Some(n) => {
+                                // Branch functions route: the selected
+                                // target receives the branch's *input*
+                                // payload (§VIII-B: successors of a branch
+                                // take the same input as the branch).
+                                let payload = inst.interp.input().clone();
+                                self.charge_transfer(id, transfer);
+                                self.sim.schedule_in(transfer, Ev::Transfer(req, n, payload));
+                            }
+                            None => self.cursor_done(req),
+                        }
+                    }
+                    EntryKind::Fork { branches, join: _ } => {
+                        let state = self.requests.get_mut(&req).expect("live request");
+                        state.cursors += branches.len() as u32 - 1;
+                        self.charge_transfer(id, transfer);
+                        for b in branches {
+                            self.sim
+                                .schedule_in(transfer, Ev::Transfer(req, b, output.clone()));
+                        }
+                    }
+                }
+            }
+            InstCtx::Callee { req, caller } => {
+                if let Some(state) = self.requests.get_mut(&req) {
+                    state.sequence.push(inst.func.0);
+                }
+                // RPC return hop, then resume the blocked caller.
+                self.sim
+                    .schedule_in(self.model.transfer_fixed, Ev::Resume(caller, Some(output)));
+            }
+        }
+    }
+
+    fn charge_transfer(&mut self, _id: InstanceId, transfer: SimDuration) {
+        // Transfer time is attributed at the request level via breakdowns
+        // of subsequent launches; record it on the last pushed breakdown.
+        if let Some(b) = self.metrics.breakdowns.last_mut() {
+            b.transfer += transfer;
+        }
+    }
+
+    /// One workflow cursor reached the end of the workflow.
+    fn cursor_done(&mut self, req: RequestId) {
+        let state = self.requests.get_mut(&req).expect("live request");
+        state.cursors -= 1;
+        if state.cursors == 0 {
+            self.sim
+                .schedule_in(self.model.response_return, Ev::Complete(req));
+        }
+    }
+
+    fn on_complete(&mut self, req: RequestId) {
+        let now = self.sim.now();
+        let state = self.requests.remove(&req).expect("live request");
+        if state.measured {
+            self.metrics.record_completion(InvocationRecord {
+                arrived: state.arrived,
+                completed: now,
+                functions_run: state.functions_run,
+                functions_squashed: 0,
+                sequence: state.sequence,
+            });
+        }
+        // Closed loop: this client immediately issues its next request.
+        if self.closed_loop && now <= self.gen_deadline {
+            if let Some(mut g) = self.input_gen.take() {
+                let input = g(&mut self.rng);
+                self.input_gen = Some(g);
+                self.submit_request(input);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival => {
+                if let (Some(mut w), Some(mut g)) = (self.workload, self.input_gen.take()) {
+                    let input = g(&mut self.rng);
+                    self.input_gen = Some(g);
+                    self.submit_request(input);
+                    let gap = w.next_gap(&mut self.rng);
+                    self.workload = Some(w);
+                    if self.sim.now() + gap <= self.gen_deadline {
+                        self.sim.schedule_in(gap, Ev::Arrival);
+                    }
+                }
+            }
+            Ev::Launch(id) => self.on_launch(id),
+            Ev::ContainerReady(id) => self.try_start(id),
+            Ev::Resume(id, v) => self.on_resume(id, v),
+            Ev::Transfer(req, entry, payload) => {
+                if self.requests.contains_key(&req) {
+                    self.launch_entry(req, entry, payload);
+                }
+            }
+            Ev::Complete(req) => self.on_complete(req),
+        }
+    }
+
+    /// Runs a single request to completion with no background load and
+    /// returns its response time. Used for the QoS reference point
+    /// (Table III defines violation as >2× the single-request response)
+    /// and for the Fig. 3 breakdown.
+    pub fn run_single(&mut self, input: Value) -> SimDuration {
+        let before = self.metrics.completed;
+        let req = self.submit_request(input);
+        let arrived = self.requests[&req].arrived;
+        while self.metrics.completed == before {
+            let Some((_, ev)) = self.sim.step() else {
+                panic!("simulation drained without completing the request");
+            };
+            self.handle(ev);
+        }
+        self.sim.now() - arrived
+    }
+
+    /// Runs `n` requests submitted back-to-back (closed loop, one at a
+    /// time) — used to warm memoization/predictor state and for
+    /// characterization runs.
+    pub fn run_closed(&mut self, n: u64, mut input: impl FnMut(&mut SimRng) -> Value) -> RunMetrics {
+        for _ in 0..n {
+            let v = input(&mut self.rng);
+            self.run_single(v);
+        }
+        let mut m = std::mem::take(&mut self.metrics);
+        m.window = self.sim.now() - SimTime::ZERO;
+        m.cpu_utilization = self.cluster.utilization(self.sim.now());
+        m
+    }
+
+    /// Runs an open-loop Poisson workload at `rps` for `duration`
+    /// (measuring after `warmup`), then drains in-flight requests.
+    pub fn run_open(
+        &mut self,
+        rps: f64,
+        duration: SimDuration,
+        warmup: SimDuration,
+        input: impl FnMut(&mut SimRng) -> Value + 'static,
+    ) -> RunMetrics {
+        let start = self.sim.now();
+        self.workload = Some(Workload::poisson(rps));
+        self.input_gen = Some(Box::new(input));
+        self.gen_deadline = start + duration;
+        self.measure_from = start + warmup;
+        self.cluster.reset_utilization(start + warmup);
+        self.sim.schedule_now(Ev::Arrival);
+        // Drive generation + all in-flight work to completion.
+        while let Some((_, ev)) = self.sim.step() {
+            self.handle(ev);
+        }
+        let end = self.sim.now();
+        let mut m = std::mem::take(&mut self.metrics);
+        m.window = self.gen_deadline.saturating_since(self.measure_from);
+        m.cpu_utilization = self.cluster.utilization(end.min(self.gen_deadline));
+        m
+    }
+
+    /// Runs a closed-loop workload: `clients` concurrent clients, each
+    /// issuing its next request as soon as the previous one completes,
+    /// for `duration` (measuring after `warmup`). This is how saturating
+    /// load levels are driven without unbounded queue growth — offered
+    /// load self-throttles to the service rate, as a real load generator
+    /// with a fixed connection pool does.
+    pub fn run_concurrent(
+        &mut self,
+        clients: u32,
+        duration: SimDuration,
+        warmup: SimDuration,
+        input: impl FnMut(&mut SimRng) -> Value + 'static,
+    ) -> RunMetrics {
+        let start = self.sim.now();
+        self.closed_loop = true;
+        self.input_gen = Some(Box::new(input));
+        self.gen_deadline = start + duration;
+        self.measure_from = start + warmup;
+        self.cluster.reset_utilization(start + warmup);
+        for _ in 0..clients.max(1) {
+            if let Some(mut g) = self.input_gen.take() {
+                let v = g(&mut self.rng);
+                self.input_gen = Some(g);
+                self.submit_request(v);
+            }
+        }
+        while let Some((_, ev)) = self.sim.step() {
+            self.handle(ev);
+        }
+        self.closed_loop = false;
+        let end = self.sim.now();
+        let mut m = std::mem::take(&mut self.metrics);
+        m.window = self.gen_deadline.saturating_since(self.measure_from);
+        m.cpu_utilization = self.cluster.utilization(end.min(self.gen_deadline));
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaas_workflow::expr::*;
+    use specfaas_workflow::{FunctionRegistry, FunctionSpec, Program, Workflow};
+
+    /// A three-function chain: a -> b -> c, each 5ms of compute; b doubles
+    /// the running total read from its input.
+    fn chain_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "a",
+            Program::builder()
+                .compute_ms(5)
+                .ret(make_map([("v", lit(1i64))])),
+        ));
+        reg.register(FunctionSpec::new(
+            "b",
+            Program::builder()
+                .compute_ms(5)
+                .ret(make_map([("v", mul(field(input(), "v"), lit(2i64)))])),
+        ));
+        reg.register(FunctionSpec::new(
+            "c",
+            Program::builder()
+                .compute_ms(5)
+                .ret(make_map([("v", add(field(input(), "v"), lit(10i64)))])),
+        ));
+        AppSpec::new(
+            "Chain",
+            "Test",
+            reg,
+            Workflow::sequence(vec![
+                Workflow::task("a"),
+                Workflow::task("b"),
+                Workflow::task("c"),
+            ]),
+        )
+    }
+
+    fn branch_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "cond",
+            Program::builder()
+                .compute_ms(2)
+                .ret(make_map([("ok", gt(field(input(), "x"), lit(10i64)))])),
+        ));
+        reg.register(FunctionSpec::new(
+            "yes",
+            Program::builder().compute_ms(2).ret(lit("yes")),
+        ));
+        reg.register(FunctionSpec::new(
+            "no",
+            Program::builder().compute_ms(2).ret(lit("no")),
+        ));
+        AppSpec::new(
+            "Branchy",
+            "Test",
+            reg,
+            Workflow::when_field("cond", "ok", Workflow::task("yes"), Some(Workflow::task("no"))),
+        )
+    }
+
+    fn implicit_app() -> AppSpec {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "leaf",
+            Program::builder()
+                .compute_ms(4)
+                .ret(add(field(input(), "n"), lit(100i64))),
+        ));
+        reg.register(FunctionSpec::new(
+            "root",
+            Program::builder()
+                .compute_ms(3)
+                .call("leaf", make_map([("n", lit(1i64))]), "r1")
+                .call("leaf", make_map([("n", lit(2i64))]), "r2")
+                .compute_ms(3)
+                .ret(make_list([var("r1"), var("r2")])),
+        ));
+        AppSpec::new("Implicit", "Test", reg, Workflow::task("root"))
+    }
+
+    #[test]
+    fn warm_chain_completes_with_expected_shape() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.prewarm();
+        let d = e.run_single(Value::Null);
+        // 3 functions × (platform ~5.5ms + exec 5ms) + 2 transfers ~6.5ms
+        // + response return 1ms ≈ 45ms; allow slack.
+        assert!(d > SimDuration::from_millis(30), "too fast: {d}");
+        assert!(d < SimDuration::from_millis(70), "too slow: {d}");
+        assert_eq!(e.metrics.records.len(), 1);
+        let rec = &e.metrics.records[0];
+        assert_eq!(rec.sequence, vec![0, 1, 2]);
+        assert_eq!(rec.functions_run, 3);
+    }
+
+    #[test]
+    fn cold_chain_is_dominated_by_container_creation() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        // no prewarm
+        let d = e.run_single(Value::Null);
+        assert!(
+            d > SimDuration::from_millis(3 * 1850),
+            "3 cold starts expected: {d}"
+        );
+        assert_eq!(e.cluster.cold_starts(), 3);
+    }
+
+    #[test]
+    fn second_invocation_reuses_warm_containers() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        let cold = e.run_single(Value::Null);
+        let warm = e.run_single(Value::Null);
+        assert!(warm < cold / 10);
+        assert_eq!(e.cluster.cold_starts(), 3, "no new cold starts");
+    }
+
+    #[test]
+    fn branch_takes_data_dependent_path() {
+        let app = Arc::new(branch_app());
+        let mut e = BaselineEngine::new(Arc::clone(&app), 1);
+        e.prewarm();
+        e.run_single(Value::map([("x", Value::Int(50))]));
+        e.run_single(Value::map([("x", Value::Int(5))]));
+        let yes = app.registry.lookup("yes").unwrap().0;
+        let no = app.registry.lookup("no").unwrap().0;
+        assert_eq!(e.metrics.records[0].sequence[1], yes);
+        assert_eq!(e.metrics.records[1].sequence[1], no);
+    }
+
+    #[test]
+    fn implicit_calls_block_caller_and_return_values() {
+        let mut e = BaselineEngine::new(Arc::new(implicit_app()), 1);
+        e.prewarm();
+        let d = e.run_single(Value::Null);
+        // Root compute 6ms + two callees 4ms each + overheads, strictly
+        // sequential.
+        assert!(d > SimDuration::from_millis(14), "too fast: {d}");
+        let rec = &e.metrics.records[0];
+        // Callees complete before the root.
+        assert_eq!(rec.functions_run, 3);
+        assert_eq!(rec.sequence.len(), 3);
+        assert_eq!(*rec.sequence.last().unwrap(), 1, "root commits last");
+    }
+
+    #[test]
+    fn parallel_fork_join_merges_outputs() {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "pre",
+            Program::builder().compute_ms(1).ret(lit(7i64)),
+        ));
+        reg.register(FunctionSpec::new(
+            "b1",
+            Program::builder().compute_ms(1).ret(add(input(), lit(1i64))),
+        ));
+        reg.register(FunctionSpec::new(
+            "b2",
+            Program::builder().compute_ms(1).ret(add(input(), lit(2i64))),
+        ));
+        reg.register(FunctionSpec::new(
+            "join",
+            Program::builder().compute_ms(1).ret(len(input())),
+        ));
+        let app = AppSpec::new(
+            "Par",
+            "Test",
+            reg,
+            Workflow::sequence(vec![
+                Workflow::task("pre"),
+                Workflow::parallel(vec![Workflow::task("b1"), Workflow::task("b2")]),
+                Workflow::task("join"),
+            ]),
+        );
+        let mut e = BaselineEngine::new(Arc::new(app), 3);
+        e.prewarm();
+        e.run_single(Value::Null);
+        let rec = &e.metrics.records[0];
+        assert_eq!(rec.functions_run, 4);
+        // join sees a 2-element list; last committed function is join (id 3).
+        assert_eq!(*rec.sequence.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn open_loop_run_completes_requests() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 5);
+        e.prewarm();
+        let m = e.run_open(
+            50.0,
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(200),
+            |_| Value::Null,
+        );
+        assert!(m.completed > 50, "completed {}", m.completed);
+        assert!(m.throughput_rps() > 30.0);
+        assert!(m.mean_response_ms() > 10.0);
+    }
+
+    #[test]
+    fn storage_effects_update_global_state() {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "writer",
+            Program::builder()
+                .set(lit("shared"), lit(41i64))
+                .ret(lit(true)),
+        ));
+        reg.register(FunctionSpec::new(
+            "reader",
+            Program::builder()
+                .get(lit("shared"), "v")
+                .ret(add(var("v"), lit(1i64))),
+        ));
+        let app = AppSpec::new(
+            "RW",
+            "Test",
+            reg,
+            Workflow::sequence(vec![Workflow::task("writer"), Workflow::task("reader")]),
+        );
+        let mut e = BaselineEngine::new(Arc::new(app), 1);
+        e.prewarm();
+        e.run_single(Value::Null);
+        assert_eq!(e.kv.peek("shared"), Some(&Value::Int(41)));
+        assert_eq!(e.requests.len(), 0, "request state cleaned up");
+    }
+
+    #[test]
+    fn exec_fraction_matches_observation1() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.prewarm();
+        e.run_single(Value::Null);
+        let mean = crate::metrics::Breakdown::mean_of(&e.metrics.breakdowns);
+        let frac = mean.execution_fraction();
+        assert!(
+            (0.25..=0.55).contains(&frac),
+            "execution fraction {frac} out of plausible warm band"
+        );
+    }
+}

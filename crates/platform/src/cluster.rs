@@ -1,0 +1,235 @@
+//! The cluster: nodes with execution slots, container pools, and per-node
+//! controllers.
+//!
+//! The paper's testbed is five single-socket AMD EPYC 7402P servers — 24
+//! cores, 2-way SMT, so 48 hardware threads per node (§VII). Each node
+//! also hosts an independent controller (§V-E: "a machine has many
+//! independent controllers spread across different nodes"), modeled as a
+//! FIFO service station; controller queueing is what inflates platform and
+//! transfer overheads under load.
+
+use specfaas_sim::resource::{CorePool, ServiceStation};
+use specfaas_sim::{SimDuration, SimTime};
+use specfaas_workflow::FuncId;
+
+use crate::container::{ContainerAcquire, ContainerPool};
+use crate::exec::InstanceId;
+use crate::overheads::OverheadModel;
+
+/// Index of a node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// One server node: execution slots, containers, a controller.
+#[derive(Debug)]
+pub struct Node {
+    /// Execution slots (hardware threads) that handler processes occupy.
+    pub cores: CorePool<InstanceId>,
+    /// This node's container pool.
+    pub containers: ContainerPool,
+    /// This node's controller (platform scheduling + conductor work).
+    pub controller: ServiceStation,
+}
+
+/// The whole cluster.
+///
+/// # Example
+///
+/// ```
+/// use specfaas_platform::Cluster;
+///
+/// let c = Cluster::paper_testbed();
+/// assert_eq!(c.nodes(), 5);
+/// assert_eq!(c.total_slots(), 5 * 48);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    rr_next: usize,
+}
+
+impl Cluster {
+    /// A cluster of `nodes` nodes with `slots_per_node` execution slots.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(nodes: usize, slots_per_node: u64) -> Self {
+        assert!(nodes > 0 && slots_per_node > 0);
+        Cluster {
+            nodes: (0..nodes)
+                .map(|_| Node {
+                    cores: CorePool::new(slots_per_node),
+                    containers: ContainerPool::new(),
+                    controller: ServiceStation::new(),
+                })
+                .collect(),
+            rr_next: 0,
+        }
+    }
+
+    /// The paper's testbed: 5 nodes × 24 cores × 2-way SMT = 48 slots.
+    pub fn paper_testbed() -> Self {
+        Cluster::new(5, 48)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total execution slots across the cluster.
+    pub fn total_slots(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cores.capacity()).sum()
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Shared access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Pre-warms `count` containers for every function on every node.
+    pub fn prewarm_all(&mut self, funcs: impl IntoIterator<Item = FuncId> + Clone, count: u32) {
+        for n in &mut self.nodes {
+            n.containers = ContainerPool::prewarmed(funcs.clone(), count);
+        }
+    }
+
+    /// Picks the node with the most free execution slots (ties broken by
+    /// lowest index) — a deterministic least-loaded placement policy.
+    pub fn pick_node(&self) -> NodeId {
+        let best = self
+            .nodes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, n)| (n.cores.free(), usize::MAX - i))
+            .map(|(i, _)| i)
+            .expect("cluster has nodes");
+        NodeId(best)
+    }
+
+    /// Assigns a home controller round-robin (requests spread evenly).
+    pub fn pick_controller(&mut self) -> NodeId {
+        let id = NodeId(self.rr_next);
+        self.rr_next = (self.rr_next + 1) % self.nodes.len();
+        id
+    }
+
+    /// Submits controller work of length `service` at node `ctrl`,
+    /// returning the total delay (queueing + service).
+    pub fn controller_delay(
+        &mut self,
+        ctrl: NodeId,
+        now: SimTime,
+        service: SimDuration,
+    ) -> SimDuration {
+        self.nodes[ctrl.0].controller.submit(now, service)
+    }
+
+    /// Acquires a container for `func` on `node`.
+    pub fn acquire_container(
+        &mut self,
+        node: NodeId,
+        func: FuncId,
+        model: &OverheadModel,
+    ) -> ContainerAcquire {
+        self.nodes[node.0].containers.acquire(func, model)
+    }
+
+    /// Average execution-slot utilization across all nodes at `now`.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        let n = self.nodes.len() as f64;
+        self.nodes
+            .iter_mut()
+            .map(|nd| nd.cores.utilization(now))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Resets every node's utilization window (discard warm-up phase).
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        for n in &mut self.nodes {
+            n.cores.reset_utilization_window(now);
+        }
+    }
+
+    /// Instantaneous fraction of execution slots that are busy, across
+    /// the cluster (used by SpecFaaS depth throttling, §VI).
+    pub fn occupancy(&self) -> f64 {
+        let busy: u64 = self.nodes.iter().map(|n| n.cores.busy()).sum();
+        busy as f64 / self.total_slots() as f64
+    }
+
+    /// Empties every node's warm container pool (simulates idle-time
+    /// container reclamation; used by the cold-start experiments).
+    pub fn flush_warm_containers(&mut self) {
+        for n in &mut self.nodes {
+            n.containers = ContainerPool::new();
+        }
+    }
+
+    /// Cold starts served across the cluster.
+    pub fn cold_starts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.containers.cold_starts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.nodes(), 5);
+        assert_eq!(c.total_slots(), 240);
+    }
+
+    #[test]
+    fn pick_node_prefers_free_slots() {
+        let mut c = Cluster::new(3, 2);
+        assert_eq!(c.pick_node(), NodeId(0), "all equal: lowest index");
+        // Occupy both slots of node 0 and one of node 1.
+        assert!(c.node_mut(NodeId(0)).cores.try_acquire(SimTime::ZERO));
+        assert!(c.node_mut(NodeId(0)).cores.try_acquire(SimTime::ZERO));
+        assert!(c.node_mut(NodeId(1)).cores.try_acquire(SimTime::ZERO));
+        assert_eq!(c.pick_node(), NodeId(2));
+    }
+
+    #[test]
+    fn controllers_round_robin() {
+        let mut c = Cluster::new(2, 1);
+        assert_eq!(c.pick_controller(), NodeId(0));
+        assert_eq!(c.pick_controller(), NodeId(1));
+        assert_eq!(c.pick_controller(), NodeId(0));
+    }
+
+    #[test]
+    fn controller_delay_queues() {
+        let mut c = Cluster::new(1, 1);
+        let s = SimDuration::from_millis(2);
+        let d1 = c.controller_delay(NodeId(0), SimTime::ZERO, s);
+        let d2 = c.controller_delay(NodeId(0), SimTime::ZERO, s);
+        assert_eq!(d1, SimDuration::from_millis(2));
+        assert_eq!(d2, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn prewarm_covers_all_nodes() {
+        let mut c = Cluster::new(2, 1);
+        c.prewarm_all([FuncId(0)], 3);
+        for i in 0..2 {
+            assert_eq!(c.node(NodeId(i)).containers.idle_count(FuncId(0)), 3);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Container lifecycle: cold starts, warm pools, and the
+//! initializer/handler process model.
+//!
+//! Each (node, function) pair owns a pool of containers. A container is
+//! *cold* until it has been created (container creation + runtime setup,
+//! the two large bars of Fig. 3); afterwards its initializer process stays
+//! resident and the container is *warm*: subsequent invocations fork a
+//! fresh handler process at negligible cost (§VI).
+//!
+//! Squash mechanisms interact with the pool differently:
+//! * **process kill** — the handler dies (~1 ms) but the container stays
+//!   warm and immediately reusable;
+//! * **container kill** — the container is destroyed; the next invocation
+//!   pays a full cold start;
+//! * **lazy squash** — the handler keeps running to natural completion,
+//!   holding its container (and core) hostage until then.
+
+use std::collections::HashMap;
+
+use specfaas_sim::SimDuration;
+use specfaas_workflow::FuncId;
+
+use crate::overheads::OverheadModel;
+
+/// Result of asking the pool for a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerAcquire {
+    /// A warm container was available; the handler can fork immediately.
+    Warm,
+    /// No warm container: a new one must be created first, taking the
+    /// returned duration (container creation + runtime setup).
+    Cold(SimDuration),
+}
+
+/// The container pool of one node.
+///
+/// Tracks, per function: how many warm containers sit idle and how many
+/// are currently executing a handler. Capacity is unbounded — containers
+/// consume memory, not execution slots, and the paper's cluster never
+/// exhausts memory — but creation is never free.
+#[derive(Debug, Clone, Default)]
+pub struct ContainerPool {
+    idle: HashMap<FuncId, u32>,
+    busy: HashMap<FuncId, u32>,
+    cold_starts: u64,
+    warm_starts: u64,
+}
+
+impl ContainerPool {
+    /// Creates an empty (fully cold) pool.
+    pub fn new() -> Self {
+        ContainerPool::default()
+    }
+
+    /// Creates a pool pre-warmed with `count` containers for each listed
+    /// function — the paper's default warmed-up environment (§IV assumes
+    /// start-up overheads have been removed by prior techniques).
+    pub fn prewarmed(funcs: impl IntoIterator<Item = FuncId>, count: u32) -> Self {
+        let mut pool = ContainerPool::new();
+        for f in funcs {
+            pool.idle.insert(f, count);
+        }
+        pool
+    }
+
+    /// Acquires a container for `func`, preferring warm ones.
+    pub fn acquire(&mut self, func: FuncId, model: &OverheadModel) -> ContainerAcquire {
+        let idle = self.idle.entry(func).or_insert(0);
+        if *idle > 0 {
+            *idle -= 1;
+            *self.busy.entry(func).or_insert(0) += 1;
+            self.warm_starts += 1;
+            ContainerAcquire::Warm
+        } else {
+            *self.busy.entry(func).or_insert(0) += 1;
+            self.cold_starts += 1;
+            ContainerAcquire::Cold(model.cold_start())
+        }
+    }
+
+    /// Releases a container after its handler finished or was squashed.
+    ///
+    /// `reusable == true` (normal completion or process-kill squash)
+    /// returns it to the warm pool; `false` (container-kill squash)
+    /// destroys it.
+    ///
+    /// # Panics
+    /// Panics if no container for `func` is busy.
+    pub fn release(&mut self, func: FuncId, reusable: bool) {
+        let busy = self
+            .busy
+            .get_mut(&func)
+            .filter(|n| **n > 0)
+            .expect("release of a container that was never acquired");
+        *busy -= 1;
+        if reusable {
+            *self.idle.entry(func).or_insert(0) += 1;
+        }
+    }
+
+    /// Warm idle containers currently available for `func`.
+    pub fn idle_count(&self, func: FuncId) -> u32 {
+        self.idle.get(&func).copied().unwrap_or(0)
+    }
+
+    /// Containers currently running handlers for `func`.
+    pub fn busy_count(&self, func: FuncId) -> u32 {
+        self.busy.get(&func).copied().unwrap_or(0)
+    }
+
+    /// Total cold starts served.
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Total warm starts served.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OverheadModel {
+        OverheadModel::default()
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut p = ContainerPool::new();
+        let f = FuncId(0);
+        match p.acquire(f, &model()) {
+            ContainerAcquire::Cold(d) => assert_eq!(d, model().cold_start()),
+            other => panic!("expected cold, got {other:?}"),
+        }
+        p.release(f, true);
+        assert_eq!(p.acquire(f, &model()), ContainerAcquire::Warm);
+        assert_eq!(p.cold_starts(), 1);
+        assert_eq!(p.warm_starts(), 1);
+    }
+
+    #[test]
+    fn prewarmed_pool_skips_cold_start() {
+        let f = FuncId(3);
+        let mut p = ContainerPool::prewarmed([f], 2);
+        assert_eq!(p.acquire(f, &model()), ContainerAcquire::Warm);
+        assert_eq!(p.acquire(f, &model()), ContainerAcquire::Warm);
+        assert!(matches!(p.acquire(f, &model()), ContainerAcquire::Cold(_)));
+    }
+
+    #[test]
+    fn container_kill_destroys() {
+        let f = FuncId(0);
+        let mut p = ContainerPool::prewarmed([f], 1);
+        p.acquire(f, &model());
+        p.release(f, false); // container-kill squash
+        assert!(matches!(p.acquire(f, &model()), ContainerAcquire::Cold(_)));
+    }
+
+    #[test]
+    fn per_function_isolation() {
+        let mut p = ContainerPool::prewarmed([FuncId(0)], 1);
+        assert!(matches!(
+            p.acquire(FuncId(1), &model()),
+            ContainerAcquire::Cold(_)
+        ));
+        assert_eq!(p.idle_count(FuncId(0)), 1);
+        assert_eq!(p.busy_count(FuncId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never acquired")]
+    fn release_without_acquire_panics() {
+        let mut p = ContainerPool::new();
+        p.release(FuncId(0), true);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # specfaas-platform
+//!
+//! An OpenWhisk-shaped serverless platform substrate running on the
+//! discrete-event simulator, plus the conventional (baseline) workflow
+//! execution engine that SpecFaaS is compared against.
+//!
+//! The paper's testbed is Apache OpenWhisk on five 24-core (2-way SMT)
+//! AMD EPYC 7402P servers (§VII). This crate reproduces that environment
+//! as explicit, calibrated models:
+//!
+//! * [`overheads`] — every response-time component of the paper's Fig. 3:
+//!   container creation, runtime setup, platform overhead, transfer
+//!   function overhead, plus storage and squash costs (§VI).
+//! * [`cluster`] — nodes × execution slots with FIFO queueing, and the
+//!   per-node controller service stations whose queueing delay is what
+//!   makes overheads grow with load.
+//! * [`container`] — container lifecycle: cold start, warm pools, and the
+//!   initializer/handler process model that makes SpecFaaS squashes cheap
+//!   (§VI, "Minimizing Squash Cost").
+//! * [`exec`] — function instances: a running interpreter bound to a node,
+//!   core slot, container and private temp-file namespace.
+//! * [`baseline`] — the conventional OpenWhisk execution engine: strictly
+//!   sequential function scheduling through controller + conductor.
+//! * [`workload`] — Poisson arrival generation (§VII) and request-level
+//!   bookkeeping.
+//! * [`metrics`] — response times, per-component breakdowns, throughput
+//!   and utilization measurements.
+
+pub mod baseline;
+pub mod cluster;
+pub mod container;
+pub mod exec;
+pub mod metrics;
+pub mod overheads;
+pub mod workload;
+
+pub use baseline::BaselineEngine;
+pub use cluster::{Cluster, NodeId};
+pub use container::{ContainerAcquire, ContainerPool};
+pub use exec::{FnInstance, InstanceId, InstanceState};
+pub use metrics::{Breakdown, InvocationRecord, RunMetrics};
+pub use overheads::OverheadModel;
+pub use workload::{Load, RequestId, Workload};

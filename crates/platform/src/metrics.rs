@@ -1,0 +1,260 @@
+//! Measurement collection for experiment runs.
+//!
+//! Everything the evaluation section reports comes from here: per-request
+//! response times (mean / percentiles), the per-component breakdown of
+//! Fig. 3, CPU utilization including the share attributable to squashed
+//! speculative work (Table IV), throughput, and speculation statistics.
+
+use serde::{Deserialize, Serialize};
+use specfaas_sim::stats::{HitRate, LatencyRecorder};
+use specfaas_sim::{SimDuration, SimTime};
+
+/// Per-invocation time attribution, mirroring the five categories of the
+/// paper's Fig. 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Creating the container and its network stack.
+    pub container_creation: SimDuration,
+    /// Injecting code and starting the docker proxy.
+    pub runtime_setup: SimDuration,
+    /// Front-end / controller / worker communication and controller
+    /// queueing when the request comes.
+    pub platform: SimDuration,
+    /// Time between a function completing and its successor starting
+    /// (conductor or RPC hop).
+    pub transfer: SimDuration,
+    /// Actual function execution (compute + storage stalls).
+    pub execution: SimDuration,
+}
+
+impl Breakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> SimDuration {
+        self.container_creation + self.runtime_setup + self.platform + self.transfer + self.execution
+    }
+
+    /// Fraction of the total spent in actual execution (Observation 1).
+    pub fn execution_fraction(&self) -> f64 {
+        let t = self.total();
+        if t.is_zero() {
+            return 0.0;
+        }
+        self.execution / t
+    }
+
+    /// Component-wise addition.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.container_creation += other.container_creation;
+        self.runtime_setup += other.runtime_setup;
+        self.platform += other.platform;
+        self.transfer += other.transfer;
+        self.execution += other.execution;
+    }
+
+    /// Component-wise mean of many breakdowns (empty input → zeros).
+    pub fn mean_of(items: &[Breakdown]) -> Breakdown {
+        if items.is_empty() {
+            return Breakdown::default();
+        }
+        let mut sum = Breakdown::default();
+        for b in items {
+            sum.merge(b);
+        }
+        let n = items.len() as u64;
+        Breakdown {
+            container_creation: sum.container_creation / n,
+            runtime_setup: sum.runtime_setup / n,
+            platform: sum.platform / n,
+            transfer: sum.transfer / n,
+            execution: sum.execution / n,
+        }
+    }
+}
+
+/// The record of one completed application request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Arrival time.
+    pub arrived: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// Number of function executions (including squashed ones).
+    pub functions_run: u32,
+    /// Number of function executions squashed.
+    pub functions_squashed: u32,
+    /// Sequence of committed function ids, in commit order (used by the
+    /// Observation-2 most-popular-sequence measurement).
+    pub sequence: Vec<u32>,
+}
+
+impl InvocationRecord {
+    /// End-to-end response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.completed - self.arrived
+    }
+}
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Response-time recorder over completed requests.
+    pub latency: LatencyRecorder,
+    /// Per-request records.
+    pub records: Vec<InvocationRecord>,
+    /// Per-function-invocation breakdowns (Fig. 3).
+    pub breakdowns: Vec<Breakdown>,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Function executions started.
+    pub functions_started: u64,
+    /// Function executions squashed.
+    pub functions_squashed: u64,
+    /// Busy core-time spent on work that was later squashed.
+    pub squashed_core_time: SimDuration,
+    /// Busy core-time spent on committed work.
+    pub useful_core_time: SimDuration,
+    /// Branch-predictor accuracy (speculative engines only).
+    pub branch_hits: HitRate,
+    /// Memoization-table accuracy (speculative engines only).
+    pub memo_hits: HitRate,
+    /// Mean cluster execution-slot utilization over the measured window.
+    pub cpu_utilization: f64,
+    /// Length of the measured window.
+    pub window: SimDuration,
+}
+
+impl RunMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        RunMetrics::default()
+    }
+
+    /// Records a completed request.
+    pub fn record_completion(&mut self, rec: InvocationRecord) {
+        self.latency.record(rec.response_time());
+        self.completed += 1;
+        self.records.push(rec);
+    }
+
+    /// Mean response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.latency.mean_ms()
+    }
+
+    /// P99 response time in milliseconds.
+    pub fn p99_response_ms(&mut self) -> f64 {
+        self.latency.p99_ms()
+    }
+
+    /// Completed requests per second over the window.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Fraction of busy core-time wasted on squashed work.
+    pub fn squashed_work_fraction(&self) -> f64 {
+        let total = self.squashed_core_time + self.useful_core_time;
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.squashed_core_time / total
+    }
+
+    /// The most frequent committed function sequence and its share of all
+    /// completed requests (Observation 2). Returns `None` if no requests
+    /// completed.
+    pub fn most_popular_sequence(&self) -> Option<(Vec<u32>, f64)> {
+        if self.records.is_empty() {
+            return None;
+        }
+        use std::collections::HashMap;
+        let mut counts: HashMap<&[u32], usize> = HashMap::new();
+        for r in &self.records {
+            *counts.entry(r.sequence.as_slice()).or_insert(0) += 1;
+        }
+        let (seq, n) = counts
+            .into_iter()
+            .max_by_key(|(seq, n)| (*n, seq.len()))
+            .expect("non-empty");
+        Some((seq.to_vec(), n as f64 / self.records.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(arr_ms: u64, dur_ms: u64, seq: Vec<u32>) -> InvocationRecord {
+        InvocationRecord {
+            arrived: SimTime::from_millis(arr_ms),
+            completed: SimTime::from_millis(arr_ms + dur_ms),
+            functions_run: seq.len() as u32,
+            functions_squashed: 0,
+            sequence: seq,
+        }
+    }
+
+    #[test]
+    fn breakdown_total_and_fraction() {
+        let b = Breakdown {
+            platform: SimDuration::from_millis(6),
+            transfer: SimDuration::from_millis(6),
+            execution: SimDuration::from_millis(8),
+            ..Breakdown::default()
+        };
+        assert_eq!(b.total(), SimDuration::from_millis(20));
+        assert!((b.execution_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_mean() {
+        let a = Breakdown {
+            execution: SimDuration::from_millis(10),
+            ..Breakdown::default()
+        };
+        let b = Breakdown {
+            execution: SimDuration::from_millis(20),
+            ..Breakdown::default()
+        };
+        let m = Breakdown::mean_of(&[a, b]);
+        assert_eq!(m.execution, SimDuration::from_millis(15));
+        assert_eq!(Breakdown::mean_of(&[]), Breakdown::default());
+    }
+
+    #[test]
+    fn run_metrics_throughput() {
+        let mut m = RunMetrics::new();
+        m.window = SimDuration::from_secs(10);
+        for i in 0..50 {
+            m.record_completion(rec(i * 10, 5, vec![0, 1]));
+        }
+        assert_eq!(m.throughput_rps(), 5.0);
+        assert_eq!(m.mean_response_ms(), 5.0);
+    }
+
+    #[test]
+    fn squashed_fraction() {
+        let mut m = RunMetrics::new();
+        m.useful_core_time = SimDuration::from_millis(90);
+        m.squashed_core_time = SimDuration::from_millis(10);
+        assert!((m.squashed_work_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_popular_sequence() {
+        let mut m = RunMetrics::new();
+        m.record_completion(rec(0, 1, vec![0, 1, 2]));
+        m.record_completion(rec(1, 1, vec![0, 1, 2]));
+        m.record_completion(rec(2, 1, vec![0, 3]));
+        let (seq, share) = m.most_popular_sequence().unwrap();
+        assert_eq!(seq, vec![0, 1, 2]);
+        assert!((share - 2.0 / 3.0).abs() < 1e-12);
+        assert!(RunMetrics::new().most_popular_sequence().is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Seeded random number generation and the distributions the experiments
+//! need.
+//!
+//! The paper models request inter-arrival times with a Poisson process
+//! (§VII) and draws function service times, branch outcomes, and dataset
+//! values from skewed distributions. Everything here is built on a
+//! deterministic, splittable seeded generator so experiment runs are
+//! reproducible.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source for one simulation run.
+///
+/// Wraps [`StdRng`] with the handful of draw helpers used across the
+/// reproduction. Use [`SimRng::split`] to derive independent streams (e.g.
+/// one per application instance) without correlating them.
+///
+/// # Example
+///
+/// ```
+/// use specfaas_sim::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.uniform_u64(100), b.uniform_u64(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's stream is fully determined by the parent state at the
+    /// time of the split, so overall determinism is preserved.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed(self.inner.gen())
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn uniform_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform_u64 bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_range requires lo <= hi");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times: a Poisson process with rate
+    /// `lambda` has exponential gaps with mean `1 / lambda`.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not finite and positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// A value from a truncated normal distribution (Box–Muller), clamped
+    /// to `[min, max]`.
+    ///
+    /// Used for service-time jitter around the calibrated means.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, min: f64, max: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + z * std_dev).clamp(min, max)
+    }
+
+    /// An index in `[0, n)` drawn from a Zipf distribution with exponent
+    /// `s`, computed by inverse-CDF over the finite support.
+    ///
+    /// Used by the dataset generators: real-world keys (user ids, routes,
+    /// blobs) are heavily skewed, which is what gives the memoization
+    /// tables their high hit rates (paper §VIII-B).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf support must be non-empty");
+        // Finite support: normalize sum_{k=1..n} k^-s and invert.
+        // n is small (hundreds) in all our uses, so linear scan is fine.
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let mut target = self.inner.gen::<f64>() * norm;
+        for k in 1..=n {
+            target -= (k as f64).powf(-s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Picks one index according to a slice of non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted_index requires positive total weight"
+        );
+        let mut target = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples from any `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(1_000_000), b.uniform_u64(1_000_000));
+        }
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut parent = SimRng::seed(7);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let s1: Vec<u64> = (0..10).map(|_| c1.uniform_u64(1_000_000)).collect();
+        let s2: Vec<u64> = (0..10).map(|_| c2.uniform_u64(1_000_000)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed(11);
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - mean).abs() < 0.15,
+            "empirical mean {empirical} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(3);
+        assert!((0..100).all(|_| rng.chance(1.0)));
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        // Out-of-range probabilities clamp rather than panic.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut rng = SimRng::seed(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "zipf head should dominate tail");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed(13);
+        let mut hits = [0usize; 3];
+        for _ in 0..9_000 {
+            hits[rng.weighted_index(&[0.0, 1.0, 2.0])] += 1;
+        }
+        assert_eq!(hits[0], 0);
+        assert!(hits[2] > hits[1]);
+    }
+
+    #[test]
+    fn normal_clamped_bounds() {
+        let mut rng = SimRng::seed(17);
+        for _ in 0..1_000 {
+            let v = rng.normal_clamped(10.0, 100.0, 0.0, 20.0);
+            assert!((0.0..=20.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

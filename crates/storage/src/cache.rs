@@ -1,0 +1,150 @@
+//! Per-node local software caches.
+//!
+//! Serverless nodes keep software caches of remote data so functions can
+//! re-access previously-read records cheaply (paper §V-C cites a line of
+//! prior caching work). In SpecFaaS the local cache additionally matters
+//! for correctness: a squash must invalidate the squashed functions' cached
+//! records, because they may hold speculative values.
+//!
+//! The cache is keyed by `(owner, key)` where the owner is a caller-chosen
+//! id (the platform uses function-instance ids), so one structure can hold
+//! private lines for many concurrently-running handler processes and
+//! invalidate exactly one owner's lines on squash.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::value::Value;
+
+/// A per-node software cache with per-owner invalidation.
+///
+/// `O` is the owner id type (the platform uses its function-instance id).
+///
+/// # Example
+///
+/// ```
+/// use specfaas_storage::LocalCache;
+/// use specfaas_storage::Value;
+///
+/// let mut cache: LocalCache<u32> = LocalCache::new();
+/// cache.insert(1, "rec", Value::Int(7));
+/// assert_eq!(cache.get(1, "rec"), Some(&Value::Int(7)));
+/// cache.invalidate_owner(1);
+/// assert_eq!(cache.get(1, "rec"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalCache<O: Eq + Hash + Copy> {
+    lines: HashMap<(O, String), Value>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<O: Eq + Hash + Copy> Default for LocalCache<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: Eq + Hash + Copy> LocalCache<O> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LocalCache {
+            lines: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key` for `owner`, recording a hit or miss.
+    pub fn get(&mut self, owner: O, key: &str) -> Option<&Value> {
+        // Two-phase to appease the borrow checker while still counting.
+        if self.lines.contains_key(&(owner, key.to_owned())) {
+            self.hits += 1;
+            self.lines.get(&(owner, key.to_owned()))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// True if the owner has a line for `key` (no statistics recorded).
+    pub fn contains(&self, owner: O, key: &str) -> bool {
+        self.lines.contains_key(&(owner, key.to_owned()))
+    }
+
+    /// Inserts or replaces a line.
+    pub fn insert(&mut self, owner: O, key: impl Into<String>, value: Value) {
+        self.lines.insert((owner, key.into()), value);
+    }
+
+    /// Drops every line belonging to `owner` (used on squash and on
+    /// commit, when the handler process dies). Returns how many lines were
+    /// dropped.
+    pub fn invalidate_owner(&mut self, owner: O) -> usize {
+        let before = self.lines.len();
+        self.lines.retain(|(o, _), _| *o != owner);
+        before - self.lines.len()
+    }
+
+    /// Number of live lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c: LocalCache<u8> = LocalCache::new();
+        assert_eq!(c.get(1, "k"), None);
+        c.insert(1, "k", Value::Int(1));
+        assert!(c.get(1, "k").is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn owners_are_isolated() {
+        let mut c: LocalCache<u8> = LocalCache::new();
+        c.insert(1, "k", Value::Int(1));
+        assert_eq!(c.get(2, "k"), None, "other owner's line is invisible");
+    }
+
+    #[test]
+    fn invalidate_owner_is_selective() {
+        let mut c: LocalCache<u8> = LocalCache::new();
+        c.insert(1, "a", Value::Int(1));
+        c.insert(1, "b", Value::Int(2));
+        c.insert(2, "a", Value::Int(3));
+        assert_eq!(c.invalidate_owner(1), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(2, "a"));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut c: LocalCache<u8> = LocalCache::new();
+        c.insert(1, "k", Value::Int(1));
+        c.insert(1, "k", Value::Int(2));
+        assert_eq!(c.get(1, "k"), Some(&Value::Int(2)));
+        assert_eq!(c.len(), 1);
+    }
+}

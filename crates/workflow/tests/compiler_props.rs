@@ -1,0 +1,125 @@
+//! Property tests for the workflow compiler: arbitrary well-formed
+//! workflow trees compile to structurally sound sequence tables.
+
+use proptest::prelude::*;
+use specfaas_workflow::expr::lit;
+use specfaas_workflow::{
+    CompiledWorkflow, EntryKind, FunctionRegistry, FunctionSpec, Program, Workflow,
+};
+
+const FUNCS: usize = 12;
+
+fn registry() -> FunctionRegistry {
+    let mut reg = FunctionRegistry::new();
+    for i in 0..FUNCS {
+        reg.register(FunctionSpec::new(
+            format!("g{i}"),
+            Program::builder().ret(lit(1i64)),
+        ));
+    }
+    reg
+}
+
+/// Random workflows over the fixed registry. `parallel` only appears in
+/// the supported placement (inside a sequence, after a task).
+fn arb_workflow(depth: u32) -> BoxedStrategy<Workflow> {
+    let task = (0..FUNCS).prop_map(|i| Workflow::task(format!("g{i}")));
+    task.prop_recursive(depth, 24, 4, |inner| {
+        let task = (0..FUNCS).prop_map(|i| Workflow::task(format!("g{i}")));
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Workflow::sequence),
+            ((0..FUNCS), inner.clone(), proptest::option::of(inner.clone()))
+                .prop_map(|(c, t, e)| Workflow::when(format!("g{c}"), t, e)),
+            ((0..FUNCS), inner.clone()).prop_map(|(c, b)| Workflow::WhileLoop {
+                cond: format!("g{c}"),
+                field: Some("more".into()),
+                body: Box::new(b),
+            }),
+            // sequence [task, parallel [...], task] — the supported shape.
+            (task, proptest::collection::vec(inner, 1..3), (0..FUNCS)).prop_map(
+                |(pre, branches, join)| {
+                    Workflow::sequence(vec![
+                        pre,
+                        Workflow::parallel(branches),
+                        Workflow::task(format!("g{join}")),
+                    ])
+                }
+            ),
+        ]
+    })
+    .boxed()
+}
+
+fn check_sound(c: &CompiledWorkflow) {
+    let n = c.entries.len();
+    assert!(c.start < n, "start {} out of bounds {n}", c.start);
+    for (i, e) in c.entries.iter().enumerate() {
+        match &e.kind {
+            EntryKind::Simple { next } => {
+                if let Some(x) = next {
+                    assert!(*x < n, "entry {i}: next {x} out of bounds");
+                }
+            }
+            EntryKind::Branch {
+                taken, not_taken, ..
+            } => {
+                for t in [taken, not_taken].into_iter().flatten() {
+                    assert!(*t < n, "entry {i}: branch target {t} out of bounds");
+                }
+            }
+            EntryKind::Fork { branches, join } => {
+                assert!(!branches.is_empty(), "entry {i}: empty fork");
+                for b in branches {
+                    assert!(*b < n, "entry {i}: fork branch {b} out of bounds");
+                }
+                if let Some(j) = join {
+                    assert!(*j < n, "entry {i}: join {j} out of bounds");
+                    assert!(
+                        c.entries[*j].join_arity as usize == branches.len(),
+                        "entry {i}: join arity mismatch"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Every random workflow either compiles to a sound table or reports
+    /// a well-defined error (never panics, never emits dangling indexes).
+    #[test]
+    fn compile_is_sound_or_rejects(w in arb_workflow(3)) {
+        let reg = registry();
+        if let Ok(c) = CompiledWorkflow::compile(&w, &reg) {
+            check_sound(&c);
+            // Branch-count consistency with the source tree.
+            prop_assert!(c.branch_entries().len() >= w.branch_count().min(c.len()) / 2);
+        }
+    }
+
+    /// Compilation is deterministic.
+    #[test]
+    fn compile_deterministic(w in arb_workflow(3)) {
+        let reg = registry();
+        let a = CompiledWorkflow::compile(&w, &reg);
+        let b = CompiledWorkflow::compile(&w, &reg);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// Every function referenced in the source appears in the table.
+    #[test]
+    fn all_functions_reachable(w in arb_workflow(3)) {
+        let reg = registry();
+        if let Ok(c) = CompiledWorkflow::compile(&w, &reg) {
+            let names = w.function_names();
+            let table_funcs: std::collections::HashSet<u32> =
+                c.entries.iter().map(|e| e.func.0).collect();
+            for n in names {
+                let id = reg.lookup(n).unwrap();
+                prop_assert!(table_funcs.contains(&id.0), "{n} missing from table");
+            }
+        }
+    }
+}

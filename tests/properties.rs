@@ -1,0 +1,182 @@
+//! Property-based tests over the core speculation data structures and
+//! the simulation kernel.
+
+use proptest::prelude::*;
+use specfaas::core::databuffer::{DataBuffer, ReadResult};
+use specfaas::core::pipeline::SlotId;
+use specfaas::core::{MemoTable, PathHistory};
+use specfaas::sim::stats::{Cdf, LatencyRecorder, OnlineStats};
+use specfaas::sim::{SimDuration, Simulator};
+use specfaas::storage::Value;
+
+proptest! {
+    /// The simulator delivers events in non-decreasing time order,
+    /// regardless of scheduling order.
+    #[test]
+    fn simulator_is_time_ordered(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulator::new();
+        for (i, d) in delays.iter().enumerate() {
+            sim.schedule_in(SimDuration::from_micros(*d), i);
+        }
+        let mut last = 0;
+        let mut count = 0;
+        while let Some((t, _)) = sim.step() {
+            prop_assert!(t.as_micros() >= last);
+            last = t.as_micros();
+            count += 1;
+        }
+        prop_assert_eq!(count, delays.len());
+    }
+
+    /// Events scheduled at the same instant keep FIFO order.
+    #[test]
+    fn simulator_fifo_at_equal_times(n in 1usize..50) {
+        let mut sim = Simulator::new();
+        for i in 0..n {
+            sim.schedule_in(SimDuration::from_millis(5), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| sim.step()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// A memoization table never exceeds its capacity and always returns
+    /// exactly what was last inserted for a key.
+    #[test]
+    fn memo_table_capacity_and_fidelity(
+        ops in proptest::collection::vec((0i64..40, 0i64..1000), 1..300),
+        cap in 1usize..20,
+    ) {
+        let mut table = MemoTable::new(cap);
+        let mut last = std::collections::HashMap::new();
+        for (k, v) in ops {
+            table.insert(Value::Int(k), Value::Int(v), vec![]);
+            last.insert(k, v);
+            prop_assert!(table.len() <= cap);
+        }
+        // Whatever is still resident must be the latest value.
+        for (k, v) in &last {
+            if let Some(e) = table.peek(&Value::Int(*k)) {
+                prop_assert_eq!(&e.output, &Value::Int(*v));
+            }
+        }
+    }
+
+    /// Data Buffer: an in-order write→read pair always forwards the
+    /// written value, never global state.
+    #[test]
+    fn data_buffer_forwards_in_order_raw(
+        writer in 0u64..5,
+        gap in 1u64..5,
+        val in any::<i64>(),
+    ) {
+        let reader = writer + gap;
+        let order: Vec<SlotId> = (0..10).map(SlotId).collect();
+        let mut db = DataBuffer::new();
+        let victims = db.write(SlotId(writer), "k", Value::Int(val), &order);
+        prop_assert!(victims.is_empty());
+        match db.read(SlotId(reader), "k", &order) {
+            ReadResult::Forwarded(v) => prop_assert_eq!(v, Value::Int(val)),
+            other => prop_assert!(false, "expected forward, got {:?}", other),
+        }
+    }
+
+    /// Data Buffer: an out-of-order read→write pair always squashes the
+    /// premature reader (and commit never flushes squashed data).
+    #[test]
+    fn data_buffer_squashes_out_of_order_raw(
+        writer in 0u64..5,
+        gap in 1u64..5,
+    ) {
+        let reader = writer + gap;
+        let order: Vec<SlotId> = (0..10).map(SlotId).collect();
+        let mut db = DataBuffer::new();
+        db.read(SlotId(reader), "k", &order);
+        let victims = db.write(SlotId(writer), "k", Value::Int(1), &order);
+        prop_assert_eq!(victims, vec![SlotId(reader)]);
+        db.squash(SlotId(reader));
+        prop_assert!(db.commit(SlotId(reader)).is_empty());
+    }
+
+    /// Commit flushes exactly the keys the slot wrote, each with its
+    /// latest value.
+    #[test]
+    fn data_buffer_commit_flushes_last_writes(
+        writes in proptest::collection::vec((0u8..6, any::<i64>()), 1..40),
+    ) {
+        let order = vec![SlotId(0)];
+        let mut db = DataBuffer::new();
+        let mut last = std::collections::BTreeMap::new();
+        for (k, v) in writes {
+            let key = format!("k{k}");
+            db.write(SlotId(0), &key, Value::Int(v), &order);
+            last.insert(key, v);
+        }
+        let flushed: std::collections::BTreeMap<String, i64> = db
+            .commit(SlotId(0))
+            .into_iter()
+            .map(|(k, v)| (k, v.as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(flushed, last);
+    }
+
+    /// Path history is deterministic and order-sensitive.
+    #[test]
+    fn path_history_properties(path in proptest::collection::vec(0u32..100, 1..20)) {
+        let fold = |xs: &[u32]| xs.iter().fold(PathHistory::start(), |h, f| h.extend(*f));
+        prop_assert_eq!(fold(&path), fold(&path));
+        if path.len() >= 2 && path[0] != path[1] {
+            let mut swapped = path.clone();
+            swapped.swap(0, 1);
+            prop_assert_ne!(fold(&path), fold(&swapped));
+        }
+    }
+
+    /// Latency percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(0.0f64..10_000.0, 2..200)) {
+        let mut r = LatencyRecorder::new();
+        for s in &samples {
+            r.record_ms(*s);
+        }
+        let p50 = r.percentile_ms(50.0);
+        let p90 = r.percentile_ms(90.0);
+        let p99 = r.percentile_ms(99.0);
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(p99 <= max + 1e-9 && p50 >= min - 1e-9);
+    }
+
+    /// Welford merge equals sequential accumulation.
+    #[test]
+    fn online_stats_merge_associative(
+        a in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        b in proptest::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let mut all = OnlineStats::new();
+        for x in a.iter().chain(&b) {
+            all.record(*x);
+        }
+        let mut sa = OnlineStats::new();
+        let mut sb = OnlineStats::new();
+        for x in &a { sa.record(*x); }
+        for x in &b { sb.record(*x); }
+        sa.merge(&sb);
+        prop_assert!((sa.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((sa.variance() - all.variance()).abs() / all.variance().max(1.0) < 1e-6);
+    }
+
+    /// CDF fraction_at is monotone and hits 0/1 at the extremes.
+    #[test]
+    fn cdf_is_monotone(samples in proptest::collection::vec(0.0f64..1.0, 1..200)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let f = cdf.fraction_at(x);
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        prop_assert_eq!(cdf.fraction_at(1.0), 1.0);
+    }
+}
