@@ -78,7 +78,10 @@ fn build_node(
             Program::builder()
                 .compute_jitter_ms(leaf_ms, 0.15)
                 .get(concat([lit("state:"), field(input(), "key")]), "s")
-                .ret(make_map([("r", add(var("s"), hash_of(field(input(), "key"))))]))
+                .ret(make_map([(
+                    "r",
+                    add(var("s"), hash_of(field(input(), "key"))),
+                )]))
         } else {
             Program::builder()
                 .compute_jitter_ms(leaf_ms + (salt % 3), 0.15)
@@ -159,7 +162,8 @@ impl UtilizationTrace {
             let phase = rng.uniform_f64() * std::f64::consts::TAU;
             let mut series = Vec::with_capacity(samples);
             for t in 0..samples {
-                let diurnal = amp * (t as f64 / samples as f64 * 8.0 * std::f64::consts::TAU + phase).sin();
+                let diurnal =
+                    amp * (t as f64 / samples as f64 * 8.0 * std::f64::consts::TAU + phase).sin();
                 let noise = rng.normal_clamped(0.0, 0.05, -0.2, 0.2);
                 series.push((base + diurnal + noise).clamp(0.05, 0.99));
             }

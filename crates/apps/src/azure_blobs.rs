@@ -59,7 +59,7 @@ pub fn generate(config: &BlobTraceConfig, rng: &mut SimRng) -> Vec<BlobAccess> {
 
     for _ in 0..config.accesses {
         // Mean inter-access gap ~50ms: 200k accesses ≈ 2.8 hours.
-        now = now + SimDuration::from_micros((rng.exponential(50_000.0)) as u64 + 1);
+        now += SimDuration::from_micros((rng.exponential(50_000.0)) as u64 + 1);
         // Serve any matured write→read pair first: a read scheduled for a
         // previously written blob, delayed by the gap distribution.
         if let Some(slot) = pending_read
@@ -79,7 +79,11 @@ pub fn generate(config: &BlobTraceConfig, rng: &mut SimRng) -> Vec<BlobAccess> {
             // Pick a writable blob with budget left; the heavy-tail blob
             // (slot 0) absorbs writes once the modest budgets run out.
             let candidate = rng.uniform_u64(writable as u64) as usize;
-            let slot = if writes_left[candidate] > 0 { candidate } else { 0 };
+            let slot = if writes_left[candidate] > 0 {
+                candidate
+            } else {
+                0
+            };
             {
                 writes_left[slot] = writes_left[slot].saturating_sub(1);
                 trace.push(BlobAccess {
@@ -90,9 +94,9 @@ pub fn generate(config: &BlobTraceConfig, rng: &mut SimRng) -> Vec<BlobAccess> {
                 // Schedule the subsequent read: 96% beyond 1s, 27% beyond
                 // 10s (piecewise exponential-ish gap).
                 let gap_ms = match rng.uniform_u64(100) {
-                    0..=3 => 100 + rng.uniform_u64(850),            // 4%: <1s
-                    4..=72 => 1_050 + rng.uniform_u64(8_900),       // 69%: 1-10s
-                    _ => 10_500 + rng.uniform_u64(60_000),          // 27%: >10s
+                    0..=3 => 100 + rng.uniform_u64(850),      // 4%: <1s
+                    4..=72 => 1_050 + rng.uniform_u64(8_900), // 69%: 1-10s
+                    _ => 10_500 + rng.uniform_u64(60_000),    // 27%: >10s
                 };
                 pending_read[slot] = Some(now + SimDuration::from_millis(gap_ms));
                 continue;

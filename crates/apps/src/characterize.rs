@@ -115,7 +115,12 @@ fn payload_deps(app: &specfaas_workflow::AppSpec) -> usize {
     app.compiled
         .entries
         .iter()
-        .filter(|e| matches!(e.kind, specfaas_workflow::EntryKind::Simple { next: Some(_) }))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                specfaas_workflow::EntryKind::Simple { next: Some(_) }
+            )
+        })
         .count()
 }
 

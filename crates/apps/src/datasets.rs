@@ -146,7 +146,10 @@ impl Catalog {
                 format!("stock:prod:{p}"),
                 Value::Int(50 + rng.uniform_u64(200) as i64),
             );
-            kv.set(format!("price:prod:{p}"), Value::Int(5 + (p as i64 * 7) % 500));
+            kv.set(
+                format!("price:prod:{p}"),
+                Value::Int(5 + (p as i64 * 7) % 500),
+            );
         }
     }
 }
@@ -184,7 +187,9 @@ mod tests {
         let mut rng = SimRng::seed(3);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..2_000 {
-            *counts.entry(ds.draw_request(&mut rng).to_string()).or_insert(0u32) += 1;
+            *counts
+                .entry(ds.draw_request(&mut rng).to_string())
+                .or_insert(0u32) += 1;
         }
         // The 50 most common requests should cover most of the mass
         // (drives the 50-entry memo table hit rate).

@@ -9,9 +9,7 @@
 
 use specfaas_storage::Value;
 use specfaas_workflow::expr::*;
-use specfaas_workflow::{
-    Annotations, AppSpec, FunctionRegistry, FunctionSpec, Program, Workflow,
-};
+use specfaas_workflow::{Annotations, AppSpec, FunctionRegistry, FunctionSpec, Program, Workflow};
 
 use crate::datasets::{Catalog, TicketDataset, UserPool};
 use crate::suite::AppBundle;
@@ -45,18 +43,20 @@ pub fn login() -> AppBundle {
         Program::builder()
             .compute_jitter_ms(6, 0.1)
             .get(concat([lit("cred:"), field(input(), "user")]), "cred")
-            .ret(make_map([
-                ("ok", and(field(input(), "valid"), not(eq(var("cred"), lit(Value::Null))))),
-            ])),
+            .ret(make_map([(
+                "ok",
+                and(
+                    field(input(), "valid"),
+                    not(eq(var("cred"), lit(Value::Null))),
+                ),
+            )])),
     ));
     reg.register(FunctionSpec::new(
         "Respond",
-        Program::builder()
-            .compute_jitter_ms(7, 0.1)
-            .ret(make_map([
-                ("session", hash_of(field(input(), "user"))),
-                ("status", lit("ok")),
-            ])),
+        Program::builder().compute_jitter_ms(7, 0.1).ret(make_map([
+            ("session", hash_of(field(input(), "user"))),
+            ("status", lit("ok")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "Reject",
@@ -107,25 +107,27 @@ pub fn smart_home() -> AppBundle {
     ));
     reg.register(FunctionSpec::new(
         "Normalize",
-        Program::builder()
-            .compute_jitter_ms(8, 0.1)
-            .ret(make_map([
-                ("home", field(input(), "home")),
-                ("celsius", sub(field(input(), "temp"), lit(32i64))),
-            ])),
+        Program::builder().compute_jitter_ms(8, 0.1).ret(make_map([
+            ("home", field(input(), "home")),
+            ("celsius", sub(field(input(), "temp"), lit(32i64))),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "CompareTemp",
-        Program::builder()
-            .compute_jitter_ms(5, 0.1)
-            .ret(make_map([("hot", gt(field(input(), "celsius"), lit(24i64)))])),
+        Program::builder().compute_jitter_ms(5, 0.1).ret(make_map([(
+            "hot",
+            gt(field(input(), "celsius"), lit(24i64)),
+        )])),
     ));
     reg.register(FunctionSpec::new(
         "TurnAir",
         Program::builder()
             .compute_jitter_ms(7, 0.1)
             .set(concat([lit("ac:"), field(input(), "home")]), lit("on"))
-            .ret(make_map([("home", field(input(), "home")), ("ac", lit(true))])),
+            .ret(make_map([
+                ("home", field(input(), "home")),
+                ("ac", lit(true)),
+            ])),
     ));
     reg.register(FunctionSpec::new(
         "Done",
@@ -182,16 +184,20 @@ pub fn banking() -> AppBundle {
     ));
     reg.register(FunctionSpec::new(
         "FraudScreen",
-        Program::builder()
-            .compute_jitter_ms(9, 0.1)
-            .ret(make_map([("clean", le(field(input(), "amount"), lit(5_000i64)))])),
+        Program::builder().compute_jitter_ms(9, 0.1).ret(make_map([(
+            "clean",
+            le(field(input(), "amount"), lit(5_000i64)),
+        )])),
     ));
     reg.register(FunctionSpec::new(
         "CheckBalance",
         Program::builder()
             .compute_jitter_ms(6, 0.1)
             .get(concat([lit("balance:"), field(input(), "user")]), "bal")
-            .ret(make_map([("funded", ge(var("bal"), field(input(), "amount")))])),
+            .ret(make_map([(
+                "funded",
+                ge(var("bal"), field(input(), "amount")),
+            )])),
     ));
     reg.register(FunctionSpec::new(
         "Transfer",
@@ -245,7 +251,12 @@ pub fn banking() -> AppBundle {
         Workflow::when_field(
             "FraudScreen",
             "clean",
-            Workflow::when_field("CheckBalance", "funded", happy, Some(Workflow::task("Decline"))),
+            Workflow::when_field(
+                "CheckBalance",
+                "funded",
+                happy,
+                Some(Workflow::task("Decline")),
+            ),
             Some(Workflow::task("Decline")),
         ),
         Some(Workflow::task("AuthFail")),
@@ -298,13 +309,11 @@ pub fn flight_booking() -> AppBundle {
     ));
     reg.register(FunctionSpec::with_annotations(
         "RankOptions",
-        Program::builder()
-            .compute_jitter_ms(8, 0.1)
-            .ret(make_map([
-                ("route", field(input(), "route")),
-                ("fare", field(input(), "fare")),
-                ("choice", hash_of(input())),
-            ])),
+        Program::builder().compute_jitter_ms(8, 0.1).ret(make_map([
+            ("route", field(input(), "route")),
+            ("fare", field(input(), "fare")),
+            ("choice", hash_of(input())),
+        ])),
         Annotations::pure_function(),
     ));
     reg.register(FunctionSpec::new(
@@ -337,11 +346,11 @@ pub fn flight_booking() -> AppBundle {
     ));
     reg.register(FunctionSpec::new(
         "ChargeCard",
-        Program::builder()
-            .compute_jitter_ms(9, 0.1)
-            .ret(make_map([("paid", le(field(input(), "total"), lit(10_000i64))),
-                           ("route", field(input(), "route")),
-                           ("total", field(input(), "total"))])),
+        Program::builder().compute_jitter_ms(9, 0.1).ret(make_map([
+            ("paid", le(field(input(), "total"), lit(10_000i64))),
+            ("route", field(input(), "route")),
+            ("total", field(input(), "total")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "IssueTicket",
@@ -369,7 +378,10 @@ pub fn flight_booking() -> AppBundle {
         Workflow::when_field(
             "ChargeCard",
             "paid",
-            Workflow::sequence(vec![Workflow::task("IssueTicket"), Workflow::task("ConfirmEmail")]),
+            Workflow::sequence(vec![
+                Workflow::task("IssueTicket"),
+                Workflow::task("ConfirmEmail"),
+            ]),
             Some(Workflow::task("Apologize")),
         ),
     ]);
@@ -379,7 +391,12 @@ pub fn flight_booking() -> AppBundle {
         Workflow::sequence(vec![
             Workflow::task("SearchFlights"),
             Workflow::task("RankOptions"),
-            Workflow::when_field("CheckSeats", "avail", happy, Some(Workflow::task("Apologize"))),
+            Workflow::when_field(
+                "CheckSeats",
+                "avail",
+                happy,
+                Some(Workflow::task("Apologize")),
+            ),
         ]),
         Some(Workflow::task("Apologize")),
     );
@@ -404,13 +421,11 @@ pub fn hotel_booking() -> AppBundle {
     let mut reg = FunctionRegistry::new();
     reg.register(FunctionSpec::new(
         "ParseRequest",
-        Program::builder()
-            .compute_jitter_ms(4, 0.1)
-            .ret(make_map([
-                ("hotel", field(input(), "hotel")),
-                ("nights", field(input(), "nights")),
-                ("user", field(input(), "user")),
-            ])),
+        Program::builder().compute_jitter_ms(4, 0.1).ret(make_map([
+            ("hotel", field(input(), "hotel")),
+            ("nights", field(input(), "nights")),
+            ("user", field(input(), "user")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "GeoLookup",
@@ -442,7 +457,10 @@ pub fn hotel_booking() -> AppBundle {
             )
             .set(
                 concat([lit("hold:"), field(input(), "user")]),
-                make_map([("hotel", field(input(), "hotel")), ("nights", field(input(), "nights"))]),
+                make_map([
+                    ("hotel", field(input(), "hotel")),
+                    ("nights", field(input(), "nights")),
+                ]),
             )
             .ret(input()),
     ));
@@ -467,18 +485,19 @@ pub fn hotel_booking() -> AppBundle {
             .get(concat([lit("hold:"), field(input(), "user")]), "hold")
             .ret(make_map([
                 ("user", field(input(), "user")),
-                ("total", mul(field(input(), "rate"), field(input(), "nights"))),
+                (
+                    "total",
+                    mul(field(input(), "rate"), field(input(), "nights")),
+                ),
                 ("hotel", field(var("hold"), "hotel")),
             ])),
     ));
     reg.register(FunctionSpec::new(
         "ChargeCard",
-        Program::builder()
-            .compute_jitter_ms(9, 0.1)
-            .ret(make_map([
-                ("paid", le(field(input(), "total"), lit(20_000i64))),
-                ("user", field(input(), "user")),
-            ])),
+        Program::builder().compute_jitter_ms(9, 0.1).ret(make_map([
+            ("paid", le(field(input(), "total"), lit(20_000i64))),
+            ("user", field(input(), "user")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "WriteBooking",
@@ -507,7 +526,10 @@ pub fn hotel_booking() -> AppBundle {
         Workflow::when_field(
             "ChargeCard",
             "paid",
-            Workflow::sequence(vec![Workflow::task("WriteBooking"), Workflow::task("SendConfirm")]),
+            Workflow::sequence(vec![
+                Workflow::task("WriteBooking"),
+                Workflow::task("SendConfirm"),
+            ]),
             Some(Workflow::task("NoRooms")),
         ),
     ]);
@@ -531,9 +553,15 @@ pub fn hotel_booking() -> AppBundle {
         move |kv, rng| {
             seed_pool.seed(kv, rng);
             for h in 0..60 {
-                kv.set(format!("geo:hotel:{h}"), Value::str(format!("city:{}", h % 12)));
+                kv.set(
+                    format!("geo:hotel:{h}"),
+                    Value::str(format!("city:{}", h % 12)),
+                );
                 kv.set(format!("rooms:hotel:{h}"), Value::Int(500));
-                kv.set(format!("rate:hotel:{h}"), Value::Int(80 + (h as i64 * 11) % 200));
+                kv.set(
+                    format!("rate:hotel:{h}"),
+                    Value::Int(80 + (h as i64 * 11) % 200),
+                );
             }
         },
     )
@@ -551,13 +579,11 @@ pub fn online_purchase() -> AppBundle {
     ));
     reg.register(FunctionSpec::new(
         "LoadCart",
-        Program::builder()
-            .compute_jitter_ms(6, 0.1)
-            .ret(make_map([
-                ("user", field(input(), "user")),
-                ("item", field(input(), "item")),
-                ("qty", field(input(), "qty")),
-            ])),
+        Program::builder().compute_jitter_ms(6, 0.1).ret(make_map([
+            ("user", field(input(), "user")),
+            ("item", field(input(), "item")),
+            ("qty", field(input(), "qty")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "CheckStock",
@@ -573,20 +599,23 @@ pub fn online_purchase() -> AppBundle {
     ));
     reg.register(FunctionSpec::new(
         "QuoteShipping",
-        Program::builder()
-            .compute_jitter_ms(8, 0.1)
-            .ret(make_map([
-                ("ship", add(lit(5i64), modulo(hash_of(field(input(), "user")), lit(20i64)))),
-            ])),
+        Program::builder().compute_jitter_ms(8, 0.1).ret(make_map([(
+            "ship",
+            add(
+                lit(5i64),
+                modulo(hash_of(field(input(), "user")), lit(20i64)),
+            ),
+        )])),
     ));
     reg.register(FunctionSpec::new(
         "QuoteTax",
         Program::builder()
             .compute_jitter_ms(7, 0.1)
             .get(concat([lit("price:"), field(input(), "item")]), "price")
-            .ret(make_map([
-                ("tax", div(mul(var("price"), field(input(), "qty")), lit(10i64))),
-            ])),
+            .ret(make_map([(
+                "tax",
+                div(mul(var("price"), field(input(), "qty")), lit(10i64)),
+            )])),
     ));
     reg.register(FunctionSpec::new(
         "MergeQuotes",
@@ -610,10 +639,10 @@ pub fn online_purchase() -> AppBundle {
     ));
     reg.register(FunctionSpec::new(
         "ChargeCard",
-        Program::builder()
-            .compute_jitter_ms(8, 0.1)
-            .ret(make_map([("paid", lt(field(input(), "total"), lit(100_000i64))),
-                           ("order", field(input(), "order"))])),
+        Program::builder().compute_jitter_ms(8, 0.1).ret(make_map([
+            ("paid", lt(field(input(), "total"), lit(100_000i64))),
+            ("order", field(input(), "order")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "Fulfil",
@@ -635,15 +664,28 @@ pub fn online_purchase() -> AppBundle {
             "stocked",
             Workflow::sequence(vec![
                 Workflow::task("QuoteShipping"), // payload source for the fan-out
-                Workflow::parallel(vec![Workflow::task("QuoteShipping"), Workflow::task("QuoteTax")]),
+                Workflow::parallel(vec![
+                    Workflow::task("QuoteShipping"),
+                    Workflow::task("QuoteTax"),
+                ]),
                 Workflow::task("MergeQuotes"),
                 Workflow::task("PlaceOrder"),
-                Workflow::when_field("ChargeCard", "paid", Workflow::task("Fulfil"), Some(Workflow::task("OutOfStock"))),
+                Workflow::when_field(
+                    "ChargeCard",
+                    "paid",
+                    Workflow::task("Fulfil"),
+                    Some(Workflow::task("OutOfStock")),
+                ),
             ]),
             Some(Workflow::task("OutOfStock")),
         ),
     ]);
-    let wf = Workflow::when_field("Authenticate", "ok", happy, Some(Workflow::task("OutOfStock")));
+    let wf = Workflow::when_field(
+        "Authenticate",
+        "ok",
+        happy,
+        Some(Workflow::task("OutOfStock")),
+    );
     let app = AppSpec::new("OnlinePurchase", "FaaSChain", reg, wf);
     let pool = users();
     let catalog = Catalog::standard();
@@ -688,16 +730,29 @@ mod tests {
             (2.0..=3.0).contains(&avg_b),
             "avg branches {avg_b}, paper reports 2.5"
         );
-        let max_depth = apps.iter().map(|a| a.app.workflow.max_depth()).max().unwrap();
-        assert!(max_depth >= 8, "paper reports max DAG depth 10, got {max_depth}");
+        let max_depth = apps
+            .iter()
+            .map(|a| a.app.workflow.max_depth())
+            .max()
+            .unwrap();
+        assert!(
+            max_depth >= 8,
+            "paper reports max DAG depth 10, got {max_depth}"
+        );
     }
 
     #[test]
     fn chain_lengths_span_2_to_10() {
         let apps = apps();
         let depths: Vec<usize> = apps.iter().map(|a| a.app.workflow.max_depth()).collect();
-        assert!(depths.iter().any(|d| *d <= 2), "has a short chain: {depths:?}");
-        assert!(depths.iter().any(|d| *d >= 8), "has a long chain: {depths:?}");
+        assert!(
+            depths.iter().any(|d| *d <= 2),
+            "has a short chain: {depths:?}"
+        );
+        assert!(
+            depths.iter().any(|d| *d >= 8),
+            "has a long chain: {depths:?}"
+        );
     }
 
     #[test]

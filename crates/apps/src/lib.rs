@@ -35,5 +35,5 @@ pub mod faaschain;
 pub mod suite;
 pub mod trainticket;
 
-pub use characterize::{SuiteCharacterization, characterize_suite};
+pub use characterize::{characterize_suite, SuiteCharacterization};
 pub use suite::{all_suites, AppBundle, Suite};

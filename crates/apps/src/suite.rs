@@ -7,15 +7,20 @@ use specfaas_sim::SimRng;
 use specfaas_storage::{KvStore, Value};
 use specfaas_workflow::AppSpec;
 
+/// Shared closure drawing one request input document.
+pub type InputFn = Arc<dyn Fn(&mut SimRng) -> Value + Send + Sync>;
+/// Shared closure seeding global storage before a run.
+pub type SeedFn = Arc<dyn Fn(&mut KvStore, &mut SimRng) + Send + Sync>;
+
 /// A runnable application: spec + input generation + storage seeding.
 #[derive(Clone)]
 pub struct AppBundle {
     /// The application.
     pub app: Arc<AppSpec>,
     /// Draws one request input document.
-    pub make_input: Arc<dyn Fn(&mut SimRng) -> Value + Send + Sync>,
+    pub make_input: InputFn,
     /// Seeds global storage before a run.
-    pub seed: Arc<dyn Fn(&mut KvStore, &mut SimRng) + Send + Sync>,
+    pub seed: SeedFn,
 }
 
 impl std::fmt::Debug for AppBundle {

@@ -11,9 +11,7 @@
 
 use specfaas_storage::Value;
 use specfaas_workflow::expr::*;
-use specfaas_workflow::{
-    Annotations, AppSpec, FunctionRegistry, FunctionSpec, Program, Workflow,
-};
+use specfaas_workflow::{Annotations, AppSpec, FunctionRegistry, FunctionSpec, Program, Workflow};
 
 use crate::datasets::TicketDataset;
 use crate::suite::AppBundle;
@@ -89,8 +87,16 @@ pub fn ticket_app() -> AppBundle {
         "queryTicket",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .call("seatService", make_map([("route", field(input(), "route"))]), "seats")
-            .call("seatLayout", make_map([("route", field(input(), "route"))]), "layout")
+            .call(
+                "seatService",
+                make_map([("route", field(input(), "route"))]),
+                "seats",
+            )
+            .call(
+                "seatLayout",
+                make_map([("route", field(input(), "route"))]),
+                "layout",
+            )
             .ret(make_map([
                 ("route", field(input(), "route")),
                 ("left", field(var("seats"), "rec")),
@@ -102,11 +108,20 @@ pub fn ticket_app() -> AppBundle {
         "computePrice",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .call("priceService", make_map([("route", field(input(), "route"))]), "base")
-            .call("discountService", make_map([("fare", field(input(), "fare"))]), "disc")
-            .ret(make_map([
-                ("total", add(field(var("base"), "rec"), field(input(), "fare"))),
-            ])),
+            .call(
+                "priceService",
+                make_map([("route", field(input(), "route"))]),
+                "base",
+            )
+            .call(
+                "discountService",
+                make_map([("fare", field(input(), "fare"))]),
+                "disc",
+            )
+            .ret(make_map([(
+                "total",
+                add(field(var("base"), "rec"), field(input(), "fare")),
+            )])),
     ));
     reg.register(FunctionSpec::new(
         "reserveSeat",
@@ -137,8 +152,18 @@ pub fn ticket_app() -> AppBundle {
         "bookTicket",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .let_("acct", concat([lit("acct:"), modulo(hash_of(field(input(), "route")), lit(100i64))]))
-            .call("verifyAccount", make_map([("acctKey", var("acct"))]), "acct_ok")
+            .let_(
+                "acct",
+                concat([
+                    lit("acct:"),
+                    modulo(hash_of(field(input(), "route")), lit(100i64)),
+                ]),
+            )
+            .call(
+                "verifyAccount",
+                make_map([("acctKey", var("acct"))]),
+                "acct_ok",
+            )
             .call(
                 "queryTicket",
                 make_map([("route", field(input(), "route"))]),
@@ -152,7 +177,11 @@ pub fn ticket_app() -> AppBundle {
                 ]),
                 "price",
             )
-            .call("reserveSeat", make_map([("route", field(input(), "route"))]), "resv")
+            .call(
+                "reserveSeat",
+                make_map([("route", field(input(), "route"))]),
+                "resv",
+            )
             .call(
                 "recordOrder",
                 make_map([
@@ -207,11 +236,31 @@ pub fn trip_info_app() -> AppBundle {
         "tripInfo",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .call("routeService", make_map([("route", field(input(), "route"))]), "route")
-            .call("timetableService", make_map([("route", field(input(), "route"))]), "times")
-            .call("seatAvailability", make_map([("route", field(input(), "route"))]), "seats")
-            .call("stationDetails", make_map([("route", field(input(), "route"))]), "stations")
-            .call("onboardInfo", make_map([("route", field(input(), "route"))]), "onboard")
+            .call(
+                "routeService",
+                make_map([("route", field(input(), "route"))]),
+                "route",
+            )
+            .call(
+                "timetableService",
+                make_map([("route", field(input(), "route"))]),
+                "times",
+            )
+            .call(
+                "seatAvailability",
+                make_map([("route", field(input(), "route"))]),
+                "seats",
+            )
+            .call(
+                "stationDetails",
+                make_map([("route", field(input(), "route"))]),
+                "stations",
+            )
+            .call(
+                "onboardInfo",
+                make_map([("route", field(input(), "route"))]),
+                "onboard",
+            )
             .call(
                 "rankResults",
                 make_list([var("route"), var("times"), var("seats")]),
@@ -254,9 +303,10 @@ pub fn query_travel() -> AppBundle {
             .compute_jitter_ms(3, 0.1)
             .call("basePrice", input(), "base")
             .call("seasonalAdjust", input(), "adj")
-            .ret(make_map([
-                ("price", add(field(var("base"), "rec"), field(var("adj"), "r"))),
-            ])),
+            .ret(make_map([(
+                "price",
+                add(field(var("base"), "rec"), field(var("adj"), "r")),
+            )])),
     ));
     reg.register(reader_leaf("seatCheck", 4, "seats:", "route"));
     reg.register(pure_leaf("comfortScore", 5));
@@ -265,15 +315,30 @@ pub fn query_travel() -> AppBundle {
         "queryTravel",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .call("routeCandidates", make_map([("route", field(input(), "route"))]), "cands")
+            .call(
+                "routeCandidates",
+                make_map([("route", field(input(), "route"))]),
+                "cands",
+            )
             .call(
                 "priceAll",
-                make_map([("route", field(input(), "route")), ("date", field(input(), "date"))]),
+                make_map([
+                    ("route", field(input(), "route")),
+                    ("date", field(input(), "date")),
+                ]),
                 "prices",
             )
-            .call("seatCheck", make_map([("route", field(input(), "route"))]), "seats")
+            .call(
+                "seatCheck",
+                make_map([("route", field(input(), "route"))]),
+                "seats",
+            )
             .call("comfortScore", var("cands"), "comfort")
-            .call("sortPlans", make_list([var("cands"), var("prices")]), "sorted")
+            .call(
+                "sortPlans",
+                make_list([var("cands"), var("prices")]),
+                "sorted",
+            )
             .ret(make_map([
                 ("plans", field(var("sorted"), "r")),
                 ("price", field(var("prices"), "price")),
@@ -311,23 +376,34 @@ pub fn get_left_tickets() -> AppBundle {
             .compute_jitter_ms(3, 0.1)
             .call("holdEstimator", input(), "holds")
             .call("classBreakdown", input(), "classes")
-            .ret(make_map([
-                ("left", sub(field(input(), "left"), modulo(field(var("holds"), "r"), lit(5i64)))),
-            ])),
+            .ret(make_map([(
+                "left",
+                sub(
+                    field(input(), "left"),
+                    modulo(field(var("holds"), "r"), lit(5i64)),
+                ),
+            )])),
     ));
     reg.register(pure_leaf("formatAnswer", 4));
     reg.register(FunctionSpec::new(
         "cacheAnswer",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .set(concat([lit("leftcache:"), field(input(), "route")]), field(input(), "left"))
+            .set(
+                concat([lit("leftcache:"), field(input(), "route")]),
+                field(input(), "left"),
+            )
             .ret(input()),
     ));
     reg.register(FunctionSpec::new(
         "getLeftTickets",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .call("inventoryScan", make_map([("route", field(input(), "route"))]), "scan")
+            .call(
+                "inventoryScan",
+                make_map([("route", field(input(), "route"))]),
+                "scan",
+            )
             .call(
                 "adjustForHolds",
                 make_map([
@@ -374,9 +450,13 @@ pub fn cancel_app() -> AppBundle {
             .compute_jitter_ms(3, 0.1)
             .call("refundPolicy", input(), "policy")
             .call("feeCalculator", input(), "fee")
-            .ret(make_map([
-                ("refund", sub(field(input(), "fare"), modulo(field(var("fee"), "r"), lit(20i64)))),
-            ])),
+            .ret(make_map([(
+                "refund",
+                sub(
+                    field(input(), "fare"),
+                    modulo(field(var("fee"), "r"), lit(20i64)),
+                ),
+            )])),
     ));
     reg.register(FunctionSpec::new(
         "returnSeat",
@@ -393,7 +473,10 @@ pub fn cancel_app() -> AppBundle {
         "writeRefund",
         Program::builder()
             .compute_jitter_ms(4, 0.1)
-            .set(concat([lit("refund:"), field(input(), "orderKey")]), field(input(), "refund"))
+            .set(
+                concat([lit("refund:"), field(input(), "orderKey")]),
+                field(input(), "refund"),
+            )
             .ret(input()),
     ));
     reg.register(pure_leaf("auditEntry", 4));
@@ -424,14 +507,31 @@ pub fn cancel_app() -> AppBundle {
         "cancelTicket",
         Program::builder()
             .compute_jitter_ms(3, 0.1)
-            .let_("okey", concat([lit("ord:"), modulo(hash_of(field(input(), "route")), lit(100i64))]))
-            .call("orderLookup", make_map([("orderKey", var("okey"))]), "order")
+            .let_(
+                "okey",
+                concat([
+                    lit("ord:"),
+                    modulo(hash_of(field(input(), "route")), lit(100i64)),
+                ]),
+            )
+            .call(
+                "orderLookup",
+                make_map([("orderKey", var("okey"))]),
+                "order",
+            )
             .call(
                 "computeRefund",
-                make_map([("fare", field(input(), "fare")), ("date", field(input(), "date"))]),
+                make_map([
+                    ("fare", field(input(), "fare")),
+                    ("date", field(input(), "date")),
+                ]),
                 "refund",
             )
-            .call("returnSeat", make_map([("route", field(input(), "route"))]), "seat")
+            .call(
+                "returnSeat",
+                make_map([("route", field(input(), "route"))]),
+                "seat",
+            )
             .call(
                 "processRefund",
                 make_map([

@@ -1,30 +1,32 @@
 //! End-to-end engine benchmarks: simulated single-invocation latency of
 //! the baseline vs SpecFaaS (the microscopic version of Fig. 11), and
 //! simulator throughput on a full application.
+//!
+//! Uses the crate's own wall-clock harness (`specfaas_bench::microbench`)
+//! because the offline build environment cannot fetch `criterion`.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specfaas_bench::microbench::bench;
 use specfaas_core::{SpecConfig, SpecEngine};
 use specfaas_platform::BaselineEngine;
 use specfaas_sim::SimRng;
-use specfaas_storage::Value;
 
-fn bench_single_invocation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_invocation_host_cost");
-    g.sample_size(30);
+fn bench_single_invocation() {
     let bundle = specfaas_apps::faaschain::banking();
 
-    g.bench_function("baseline", |b| {
+    {
         let mut e = BaselineEngine::new(Arc::clone(&bundle.app), 1);
         e.prewarm();
         let mut rng = SimRng::seed(1);
         (bundle.seed)(&mut e.kv, &mut rng);
         let input = (bundle.make_input)(&mut rng);
-        b.iter(|| e.run_single(input.clone()));
-    });
+        bench("single_invocation/baseline", 200, &mut || {
+            e.run_single(input.clone());
+        });
+    }
 
-    g.bench_function("specfaas_trained", |b| {
+    {
         let mut e = SpecEngine::new(Arc::clone(&bundle.app), SpecConfig::full(), 1);
         e.prewarm();
         let mut rng = SimRng::seed(1);
@@ -33,28 +35,26 @@ fn bench_single_invocation(c: &mut Criterion) {
         for _ in 0..5 {
             e.run_single(input.clone());
         }
-        b.iter(|| e.run_single(input.clone()));
-    });
-    g.finish();
+        bench("single_invocation/specfaas_trained", 200, &mut || {
+            e.run_single(input.clone());
+        });
+    }
 }
 
-fn bench_closed_loop_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation_throughput");
-    g.sample_size(10);
+fn bench_closed_loop_throughput() {
     let bundle = specfaas_apps::trainticket::ticket_app();
-    g.bench_function("100_requests_specfaas", |b| {
-        b.iter(|| {
-            let mut e = SpecEngine::new(Arc::clone(&bundle.app), SpecConfig::full(), 2);
-            e.prewarm();
-            let mut rng = SimRng::seed(2);
-            (bundle.seed)(&mut e.kv, &mut rng);
-            let gen = bundle.make_input.clone();
-            let m = e.run_closed(100, move |r| gen(r));
-            assert_eq!(m.completed, 100);
-        })
+    bench("simulation/100_requests_specfaas", 5, &mut || {
+        let mut e = SpecEngine::new(Arc::clone(&bundle.app), SpecConfig::full(), 2);
+        e.prewarm();
+        let mut rng = SimRng::seed(2);
+        (bundle.seed)(&mut e.kv, &mut rng);
+        let gen = bundle.make_input.clone();
+        let m = e.run_closed(100, move |r| gen(r));
+        assert_eq!(m.completed, 100);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_single_invocation, bench_closed_loop_throughput);
-criterion_main!(benches);
+fn main() {
+    bench_single_invocation();
+    bench_closed_loop_throughput();
+}

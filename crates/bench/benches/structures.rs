@@ -2,8 +2,13 @@
 //! the controller performs on every function launch, storage access and
 //! commit — they must be cheap relative to the platform overheads they
 //! replace (§V-E argues the structures are small and fast).
+//!
+//! Uses the crate's own wall-clock harness (`specfaas_bench::microbench`)
+//! because the offline build environment cannot fetch `criterion`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use specfaas_bench::microbench::bench_auto;
 use specfaas_core::databuffer::DataBuffer;
 use specfaas_core::pipeline::SlotId;
 use specfaas_core::predictor::{BranchPredictor, BranchSite, PathHistory};
@@ -11,34 +16,27 @@ use specfaas_core::{MemoTable, Prediction};
 use specfaas_sim::{SimDuration, Simulator};
 use specfaas_storage::Value;
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("branch_predictor");
+fn bench_predictor() {
     let mut bp = BranchPredictor::new(0.1);
     let path = PathHistory::start().extend(1).extend(2).extend(3);
     for _ in 0..100 {
         bp.update(BranchSite::Entry(3), path, true);
     }
-    g.bench_function("predict_hit", |b| {
-        b.iter(|| {
-            let p = bp.predict(BranchSite::Entry(3), path, None);
-            assert_eq!(p, Prediction::Taken);
-        })
+    bench_auto("branch_predictor/predict_hit", &mut || {
+        let p = bp.predict(BranchSite::Entry(3), path, None);
+        assert_eq!(p, Prediction::Taken);
     });
-    g.bench_function("update", |b| {
-        b.iter_batched(
-            || bp.clone(),
-            |mut bp| bp.update(BranchSite::Entry(3), path, true),
-            BatchSize::SmallInput,
-        )
+    bench_auto("branch_predictor/update", &mut || {
+        let mut bp = black_box(bp.clone());
+        bp.update(BranchSite::Entry(3), path, true);
+        black_box(&bp);
     });
-    g.bench_function("path_extend", |b| {
-        b.iter(|| PathHistory::start().extend(7).extend(9).extend(11))
+    bench_auto("branch_predictor/path_extend", &mut || {
+        black_box(PathHistory::start().extend(7).extend(9).extend(11));
     });
-    g.finish();
 }
 
-fn bench_memo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memoization");
+fn bench_memo() {
     for size in [10usize, 50, 200] {
         let mut table = MemoTable::new(size);
         for i in 0..size as i64 {
@@ -49,71 +47,50 @@ fn bench_memo(c: &mut Criterion) {
             );
         }
         let probe = Value::map([("user", Value::Int(size as i64 / 2))]);
-        g.bench_function(format!("lookup_hit_{size}"), |b| {
-            b.iter(|| table.lookup(&probe).is_some())
+        bench_auto(&format!("memoization/lookup_hit_{size}"), &mut || {
+            black_box(table.lookup(&probe).is_some());
         });
     }
-    g.finish();
 }
 
-fn bench_data_buffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("data_buffer");
+fn bench_data_buffer() {
     let order: Vec<SlotId> = (0..12).map(SlotId).collect();
-    g.bench_function("write_no_conflict", |b| {
-        b.iter_batched(
-            DataBuffer::new,
-            |mut db| db.write(SlotId(0), "record", Value::Int(1), &order),
-            BatchSize::SmallInput,
-        )
+    bench_auto("data_buffer/write_no_conflict", &mut || {
+        let mut db = DataBuffer::new();
+        db.write(SlotId(0), "record", Value::Int(1), &order);
+        black_box(&db);
     });
-    g.bench_function("read_forwarded", |b| {
-        b.iter_batched(
-            || {
-                let mut db = DataBuffer::new();
-                db.write(SlotId(0), "record", Value::Int(1), &order);
-                db
-            },
-            |mut db| db.read(SlotId(5), "record", &order),
-            BatchSize::SmallInput,
-        )
+    bench_auto("data_buffer/read_forwarded", &mut || {
+        let mut db = DataBuffer::new();
+        db.write(SlotId(0), "record", Value::Int(1), &order);
+        black_box(db.read(SlotId(5), "record", &order));
     });
-    g.bench_function("commit_4_writes", |b| {
-        b.iter_batched(
-            || {
-                let mut db = DataBuffer::new();
-                for k in 0..4 {
-                    db.write(SlotId(0), &format!("k{k}"), Value::Int(k), &order);
-                }
-                db
-            },
-            |mut db| db.commit(SlotId(0)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("simulator_10k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new();
-            for i in 0..10_000u64 {
-                sim.schedule_in(SimDuration::from_micros(i % 997), i);
-            }
-            let mut n = 0;
-            while sim.step().is_some() {
-                n += 1;
-            }
-            assert_eq!(n, 10_000);
-        })
+    bench_auto("data_buffer/commit_4_writes", &mut || {
+        let mut db = DataBuffer::new();
+        for k in 0..4 {
+            db.write(SlotId(0), &format!("k{k}"), Value::Int(k), &order);
+        }
+        black_box(db.commit(SlotId(0)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_predictor,
-    bench_memo,
-    bench_data_buffer,
-    bench_event_queue
-);
-criterion_main!(benches);
+fn bench_event_queue() {
+    bench_auto("simulator/10k_events", &mut || {
+        let mut sim = Simulator::new();
+        for i in 0..10_000u64 {
+            sim.schedule_in(SimDuration::from_micros(i % 997), i);
+        }
+        let mut n = 0;
+        while sim.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    });
+}
+
+fn main() {
+    bench_predictor();
+    bench_memo();
+    bench_data_buffer();
+    bench_event_queue();
+}

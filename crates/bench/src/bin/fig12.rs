@@ -4,7 +4,9 @@
 //! instead of lazy squash).
 
 use specfaas_bench::report::{speedup, Table};
-use specfaas_bench::runner::{measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams};
+use specfaas_bench::runner::{
+    measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
+};
 use specfaas_core::SpecConfig;
 use specfaas_platform::Load;
 

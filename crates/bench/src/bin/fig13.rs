@@ -2,7 +2,9 @@
 //! per suite and load level.
 
 use specfaas_bench::report::{f2, pct, Table};
-use specfaas_bench::runner::{measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams};
+use specfaas_bench::runner::{
+    measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
+};
 use specfaas_core::SpecConfig;
 use specfaas_platform::Load;
 

@@ -2,7 +2,9 @@
 //! hit rate, using the forced-accuracy oracle at 100 / 90 / 70 / 50 %.
 
 use specfaas_bench::report::{speedup, Table};
-use specfaas_bench::runner::{measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams};
+use specfaas_bench::runner::{
+    measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
+};
 use specfaas_core::SpecConfig;
 use specfaas_platform::Load;
 

@@ -10,9 +10,7 @@ fn main() {
     println!("== Fig. 4: P50-P90 CPU utilization CDFs (Alibaba nodes) ==\n");
     let mut rng = SimRng::seed(0xA11BABA);
     let trace = UtilizationTrace::generate(2_000, 400, &mut rng);
-    let mut t = Table::new([
-        "Utilization", "P50", "P60", "P70", "P80", "P90",
-    ]);
+    let mut t = Table::new(["Utilization", "P50", "P60", "P70", "P80", "P90"]);
     let cdfs: Vec<Cdf> = [50.0, 60.0, 70.0, 80.0, 90.0]
         .iter()
         .map(|p| Cdf::from_samples(trace.node_percentiles(*p)))

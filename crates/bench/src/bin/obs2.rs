@@ -20,7 +20,11 @@ fn main() {
             let gen = bundle.make_input.clone();
             let m = e.run_closed(400, move |r: &mut SimRng| gen(r));
             let (_, share) = m.most_popular_sequence().expect("runs completed");
-            t.row([suite.name.to_string(), bundle.name().to_string(), pct(share)]);
+            t.row([
+                suite.name.to_string(),
+                bundle.name().to_string(),
+                pct(share),
+            ]);
             shares.push(share);
         }
         let avg = shares.iter().sum::<f64>() / shares.len() as f64;

@@ -22,7 +22,7 @@ fn main() {
             agg.push(RegistryProfile::of(&bundle.app.registry));
         }
         let n = agg.len() as f64;
-        let mean = |f: &dyn Fn(&RegistryProfile) -> f64| agg.iter().map(|p| f(p)).sum::<f64>() / n;
+        let mean = |f: &dyn Fn(&RegistryProfile) -> f64| agg.iter().map(f).sum::<f64>() / n;
         t.row([
             suite.name.to_string(),
             pct(mean(&|p| p.no_global_read_fraction)),
@@ -40,15 +40,35 @@ fn main() {
     let trace = generate(&BlobTraceConfig::default(), &mut rng);
     let s = BlobTraceStats::compute(&trace).expect("non-empty trace");
     let mut t = Table::new(["Metric", "Measured", "Paper"]);
-    t.row(["accesses analyzed".to_string(), s.accesses.to_string(), "40M".into()]);
-    t.row(["write fraction".to_string(), pct(s.write_fraction), "23%".into()]);
-    t.row(["read-only blobs".to_string(), pct(s.read_only_blob_fraction), "66.7%".into()]);
+    t.row([
+        "accesses analyzed".to_string(),
+        s.accesses.to_string(),
+        "40M".into(),
+    ]);
+    t.row([
+        "write fraction".to_string(),
+        pct(s.write_fraction),
+        "23%".into(),
+    ]);
+    t.row([
+        "read-only blobs".to_string(),
+        pct(s.read_only_blob_fraction),
+        "66.7%".into(),
+    ]);
     t.row([
         "writable blobs written <10x".to_string(),
         pct(s.writable_written_lt10_fraction),
         "99.9%".into(),
     ]);
-    t.row(["write->read gap >1s".to_string(), pct(s.gap_over_1s_fraction), "96%".into()]);
-    t.row(["write->read gap >10s".to_string(), pct(s.gap_over_10s_fraction), "27%".into()]);
+    t.row([
+        "write->read gap >1s".to_string(),
+        pct(s.gap_over_1s_fraction),
+        "96%".into(),
+    ]);
+    t.row([
+        "write->read gap >10s".to_string(),
+        pct(s.gap_over_10s_fraction),
+        "27%".into(),
+    ]);
     println!("{}", t.render());
 }

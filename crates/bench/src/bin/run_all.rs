@@ -12,8 +12,18 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "fig3", "fig4", "obs2", "obs34", "fig11", "fig12", "table3", "fig13", "fig14",
-        "table4", "ablations",
+        "table1",
+        "fig3",
+        "fig4",
+        "obs2",
+        "obs34",
+        "fig11",
+        "fig12",
+        "table3",
+        "fig13",
+        "fig14",
+        "table4",
+        "ablations",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin dir");

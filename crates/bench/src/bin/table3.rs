@@ -59,12 +59,7 @@ fn main() {
         let (b, s) = (base_sum / n, spec_sum / n);
         base_avgs.push(b);
         spec_avgs.push(s);
-        t.row([
-            suite.name.to_string(),
-            f1(b),
-            f1(s),
-            speedup(s / b),
-        ]);
+        t.row([suite.name.to_string(), f1(b), f1(s), speedup(s / b)]);
     }
     let b = base_avgs.iter().sum::<f64>() / base_avgs.len() as f64;
     let s = spec_avgs.iter().sum::<f64>() / spec_avgs.len() as f64;

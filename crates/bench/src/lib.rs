@@ -23,6 +23,7 @@
 //! The library half provides the shared measurement protocol
 //! ([`runner`]) and plain-text table rendering ([`report`]).
 
+pub mod microbench;
 pub mod report;
 pub mod runner;
 

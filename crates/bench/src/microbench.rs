@@ -1,0 +1,48 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The build environment is offline, so the crate cannot depend on
+//! `criterion`. This module provides the small subset the benches need:
+//! warmup, repeated timed batches, and a median-of-batches report. It is
+//! deliberately simple — these benches guard against gross regressions in
+//! the per-operation cost of the controller data structures, not against
+//! single-digit-percent drift.
+
+use std::time::Instant;
+
+/// Runs `f` repeatedly and prints the median per-iteration cost.
+///
+/// The closure is invoked `iters` times per batch, for `batches` batches,
+/// after one untimed warmup batch. Use [`std::hint::black_box`] inside the
+/// closure to keep the optimizer honest.
+pub fn bench(name: &str, iters: u64, f: &mut dyn FnMut()) {
+    const BATCHES: usize = 7;
+    for _ in 0..iters.min(1_000) {
+        f(); // warmup
+    }
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[BATCHES / 2];
+    let (lo, hi) = (per_iter_ns[0], per_iter_ns[BATCHES - 1]);
+    println!("{name:<40} {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1})");
+}
+
+/// Convenience wrapper taking the iteration count from a target batch
+/// duration: picks `iters` so one batch takes roughly `target_ms`.
+pub fn bench_auto(name: &str, f: &mut dyn FnMut()) {
+    // Calibrate: time a small probe run, then size batches to ~20ms.
+    let probe = 16u64;
+    let start = Instant::now();
+    for _ in 0..probe {
+        f();
+    }
+    let per = (start.elapsed().as_nanos() as f64 / probe as f64).max(1.0);
+    let iters = ((20_000_000.0 / per) as u64).clamp(probe, 5_000_000);
+    bench(name, iters, f);
+}

@@ -209,7 +209,13 @@ mod tests {
     #[test]
     fn effective_throughput_bisection_converges() {
         // Synthetic response curve: flat 10ms until 200 rps, then rising.
-        let f = |rps: f64| if rps <= 200.0 { 10.0 } else { 10.0 + (rps - 200.0) };
+        let f = |rps: f64| {
+            if rps <= 200.0 {
+                10.0
+            } else {
+                10.0 + (rps - 200.0)
+            }
+        };
         let thr = effective_throughput(f, 10.0, 50.0, 100.0);
         assert!(
             (195.0..=215.0).contains(&thr),

@@ -3,6 +3,11 @@
 
 use serde::{Deserialize, Serialize};
 
+// Retry/backoff knobs live next to the speculation policy: both engines
+// accept a `RetryPolicy` through `enable_faults`, and experiment configs
+// naturally pull it from the same module as `SpecConfig`.
+pub use specfaas_sim::RetryPolicy;
+
 /// How mis-speculated function executions are terminated (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SquashMechanism {

@@ -164,9 +164,8 @@ impl DataBuffer {
         for (_, s) in preds {
             let cell = &row[&s];
             if cell.written {
-                result = ReadResult::Forwarded(
-                    cell.value.clone().expect("written cell has a value"),
-                );
+                result =
+                    ReadResult::Forwarded(cell.value.clone().expect("written cell has a value"));
                 self.forwards += 1;
                 break;
             }
@@ -255,7 +254,10 @@ mod tests {
         let order = vec![s(0), s(1), s(2)];
         let mut db = DataBuffer::new();
         assert!(db.write(s(0), "k", Value::Int(1), &order).is_empty());
-        assert_eq!(db.read(s(2), "k", &order), ReadResult::Forwarded(Value::Int(1)));
+        assert_eq!(
+            db.read(s(2), "k", &order),
+            ReadResult::Forwarded(Value::Int(1))
+        );
         assert_eq!(db.forwards(), 1);
     }
 
@@ -265,7 +267,10 @@ mod tests {
         let mut db = DataBuffer::new();
         db.write(s(0), "k", Value::Int(1), &order);
         db.write(s(1), "k", Value::Int(2), &order);
-        assert_eq!(db.read(s(2), "k", &order), ReadResult::Forwarded(Value::Int(2)));
+        assert_eq!(
+            db.read(s(2), "k", &order),
+            ReadResult::Forwarded(Value::Int(2))
+        );
     }
 
     #[test]
@@ -332,7 +337,10 @@ mod tests {
         assert!(victims.is_empty());
         // Reads by an even later function see the younger definition.
         let order3 = vec![s(0), s(1), s(2)];
-        assert_eq!(db.read(s(2), "k", &order3), ReadResult::Forwarded(Value::Int(2)));
+        assert_eq!(
+            db.read(s(2), "k", &order3),
+            ReadResult::Forwarded(Value::Int(2))
+        );
     }
 
     #[test]
@@ -371,7 +379,10 @@ mod tests {
         db.merge(s(1), s(0));
         assert!(db.has_write(s(0), "k"));
         assert!(!db.has_write(s(1), "k"));
-        assert_eq!(db.read(s(2), "k", &order), ReadResult::Forwarded(Value::Int(42)));
+        assert_eq!(
+            db.read(s(2), "k", &order),
+            ReadResult::Forwarded(Value::Int(42))
+        );
         // Caller's commit flushes the merged write.
         let flush = db.commit(s(0));
         assert_eq!(flush, vec![("k".into(), Value::Int(42))]);

@@ -17,9 +17,10 @@ use std::sync::Arc;
 use specfaas_platform::cluster::{Cluster, NodeId};
 use specfaas_platform::container::ContainerAcquire;
 use specfaas_platform::exec::{FnInstance, InstanceId, InstanceState};
-use specfaas_platform::metrics::{InvocationRecord, RunMetrics};
+use specfaas_platform::metrics::{InvocationRecord, RequestOutcome, RunMetrics};
 use specfaas_platform::overheads::OverheadModel;
 use specfaas_platform::workload::{RequestId, Workload};
+use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
 use specfaas_storage::{KvStore, Value};
 use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId, Interp, Program};
@@ -46,8 +47,24 @@ enum Ev {
     CommitApply(RequestId, SlotId),
     /// Process-kill / container-kill squash finished; release resources.
     SquashRelease(InstanceId, bool),
+    /// Backoff after a transient KV fault elapsed; retry the operation.
+    KvRetry(InstanceId, KvOp, u32),
+    /// Backoff after a slot fault elapsed; the slot may relaunch.
+    RetrySlot(RequestId, SlotId),
+    /// Invocation watchdog fired for the instance.
+    Timeout(InstanceId),
     /// Final response delivered.
     Complete(RequestId),
+}
+
+/// Boxed request-input generator driven by the engine RNG.
+type InputGen = Box<dyn FnMut(&mut SimRng) -> Value>;
+
+/// A storage operation being retried across transient KV faults.
+#[derive(Debug, Clone)]
+enum KvOp {
+    Get { key: String },
+    Set { key: String, value: Value },
 }
 
 /// Why a squash happens (drives reset-vs-remove semantics).
@@ -61,6 +78,10 @@ enum SquashKind {
     /// Data-dependence violation: the first victim re-executes with the
     /// same input (it will now read forwarded data); the rest is removed.
     Violation,
+    /// Injected fault on the first victim's instance: it re-executes with
+    /// the same input after backoff; dependents are removed and counted
+    /// as squashed-due-to-fault.
+    Fault,
 }
 
 #[derive(Debug, Default)]
@@ -140,6 +161,10 @@ struct Req {
     call_records: HashMap<SlotId, Vec<CallRecord>>,
     /// Commit currently being processed.
     committing: Option<SlotId>,
+    /// Failed attempts per slot (fault-injection retry accounting).
+    attempts: HashMap<SlotId, u32>,
+    /// Slots whose relaunch is held until their retry backoff elapses.
+    retry_hold: HashSet<SlotId>,
     learned: Vec<Learned>,
     committed_sequence: Vec<u32>,
     functions_run: u32,
@@ -180,6 +205,12 @@ pub struct SpecEngine {
     pub config: SpecConfig,
     sim: Simulator<Ev>,
     rng: SimRng,
+    /// Deterministic fault injector (disabled unless `enable_faults`).
+    faults: FaultInjector,
+    /// Retry/backoff/timeout policy applied when faults strike.
+    retry: RetryPolicy,
+    /// Seed the engine was built with (fault stream derivation).
+    seed: u64,
     seqtable: SequenceTable,
     predictor: BranchPredictor,
     memos: MemoTables,
@@ -194,7 +225,7 @@ pub struct SpecEngine {
     metrics: RunMetrics,
     workload: Option<Workload>,
     gen_deadline: SimTime,
-    input_gen: Option<Box<dyn FnMut(&mut SimRng) -> Value>>,
+    input_gen: Option<InputGen>,
     measure_from: SimTime,
     /// Closed-loop mode: each completion immediately submits the next
     /// request (bounded concurrency, like a fixed client pool).
@@ -217,6 +248,9 @@ impl SpecEngine {
             config,
             sim: Simulator::new(),
             rng: SimRng::seed(seed),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
+            seed,
             seqtable,
             instances: HashMap::new(),
             meta: HashMap::new(),
@@ -262,6 +296,21 @@ impl SpecEngine {
         &self.stall_list
     }
 
+    /// Arms deterministic fault injection with the given plan and
+    /// retry/backoff policy. The injector draws from a dedicated RNG
+    /// stream derived from the engine seed, so enabling faults never
+    /// perturbs workload randomness — and [`FaultPlan::none`] leaves the
+    /// simulation bit-identical to a fault-free engine.
+    pub fn enable_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.faults = FaultInjector::new(plan, self.seed);
+        self.retry = retry;
+    }
+
+    /// The fault injector (per-site injection counts for reporting).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
     // ------------------------------------------------------------------
     // Request lifecycle
     // ------------------------------------------------------------------
@@ -288,6 +337,8 @@ impl SpecEngine {
             fork_joins: HashMap::new(),
             call_records: HashMap::new(),
             committing: None,
+            attempts: HashMap::new(),
+            retry_hold: HashSet::new(),
             learned: Vec::new(),
             committed_sequence: Vec::new(),
             functions_run: 0,
@@ -297,9 +348,9 @@ impl SpecEngine {
         };
         let start = self.seqtable.start();
         let func = self.seqtable.func_at(start);
-        let slot = req
-            .pipeline
-            .push_back(func, SlotRole::Entry { entry: start }, PathHistory::start());
+        let slot =
+            req.pipeline
+                .push_back(func, SlotRole::Entry { entry: start }, PathHistory::start());
         {
             let s = req.pipeline.slot_mut(slot).expect("fresh slot");
             s.input = Some(input);
@@ -334,7 +385,9 @@ impl SpecEngine {
     /// leave the pipeline outside the commit path, e.g. orphaned-callee
     /// cleanup).
     fn check_complete(&mut self, req_id: RequestId) {
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         if req.end_committed && req.pipeline.is_empty() && !req.completed {
             req.completed = true;
             self.sim
@@ -369,7 +422,9 @@ impl SpecEngine {
     fn extend(&mut self, req_id: RequestId) {
         let depth = self.config.effective_depth(self.cluster.occupancy());
         loop {
-            let Some(req) = self.requests.get(&req_id) else { return };
+            let Some(req) = self.requests.get(&req_id) else {
+                return;
+            };
             if req.pipeline.len() >= depth
                 || req.pipeline.total_created() as usize >= self.config.max_slots_per_request
             {
@@ -386,12 +441,16 @@ impl SpecEngine {
                             SlotRole::Entry { .. }
                         )
                 })
-                .and_then(|s| {
+                .map(|s| {
                     let slot = req.pipeline.slot(s).expect("live");
-                    let SlotRole::Entry { entry } = slot.role else { unreachable!() };
-                    Some((s, entry))
+                    let SlotRole::Entry { entry } = slot.role else {
+                        unreachable!()
+                    };
+                    (s, entry)
                 });
-            let Some((slot_id, entry)) = candidate else { return };
+            let Some((slot_id, entry)) = candidate else {
+                return;
+            };
             if !self.extend_one(req_id, slot_id, entry) {
                 return;
             }
@@ -456,7 +515,10 @@ impl SpecEngine {
                 // validation) when it was actually a prediction.
                 if !completed {
                     let req = self.requests.get_mut(&req_id).expect("live");
-                    req.pipeline.slot_mut(slot_id).expect("live").predicted_taken = Some(dir);
+                    req.pipeline
+                        .slot_mut(slot_id)
+                        .expect("live")
+                        .predicted_taken = Some(dir);
                 }
                 let Some(n) = target else {
                     // Predicted end of workflow: nothing to launch until
@@ -490,9 +552,12 @@ impl SpecEngine {
         let anchor = Self::block_end(req, slot_id);
         let func = self.seqtable.func_at(next_entry);
         let new_path = slot_path.extend(slot_func.0);
-        let new_id =
-            req.pipeline
-                .insert_after(anchor, func, SlotRole::Entry { entry: next_entry }, new_path);
+        let new_id = req.pipeline.insert_after(
+            anchor,
+            func,
+            SlotRole::Entry { entry: next_entry },
+            new_path,
+        );
         let annotations = self.app.registry.spec(func).annotations;
         let pred_iter = req
             .pipeline
@@ -531,8 +596,12 @@ impl SpecEngine {
             return;
         }
         let req = self.requests.get_mut(&req_id).expect("live");
-        let Some(slot) = req.pipeline.slot_mut(slot_id) else { return };
-        let Some(input) = slot.input.clone() else { return };
+        let Some(slot) = req.pipeline.slot_mut(slot_id) else {
+            return;
+        };
+        let Some(input) = slot.input.clone() else {
+            return;
+        };
         let func = slot.func.0;
         if let Some(entry) = self.memos.table_mut(func).lookup(&input) {
             slot.predicted_output = Some(entry.output.clone());
@@ -601,7 +670,9 @@ impl SpecEngine {
 
     /// Launches every launchable slot.
     fn launch_ready(&mut self, req_id: RequestId) {
-        let Some(req) = self.requests.get(&req_id) else { return };
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
         let ready: Vec<SlotId> = req
             .pipeline
             .iter_order()
@@ -610,6 +681,7 @@ impl SpecEngine {
                 slot.state == SlotState::Created
                     && slot.input.is_some()
                     && (!slot.non_speculative || req.pipeline.is_head(*s))
+                    && !req.retry_hold.contains(s)
             })
             .collect();
         for s in ready {
@@ -619,6 +691,26 @@ impl SpecEngine {
 
     fn launch_slot(&mut self, req_id: RequestId, slot_id: SlotId) {
         let now = self.sim.now();
+        // Slot-drop fault: the controller loses a *speculative* launch.
+        // The launch is re-attempted after a redispatch delay — it must
+        // not wait for the slot to reach the pipeline head, because an
+        // implicit-workflow callee sits *behind* callers that block on
+        // it (waiting for head would deadlock the request). Head
+        // launches are never dropped, so re-attempts always terminate.
+        if self.faults.enabled() {
+            let head = self
+                .requests
+                .get(&req_id)
+                .map(|r| r.pipeline.is_head(slot_id))
+                .unwrap_or(true);
+            if !head && self.faults.roll(FaultSite::SlotDrop, now) {
+                self.metrics.faults.injected += 1;
+                self.metrics.faults.slot_drops += 1;
+                self.sim
+                    .schedule_in(self.retry.backoff(1), Ev::RetrySlot(req_id, slot_id));
+                return;
+            }
+        }
         let (ctrl, func, input) = {
             let req = self.requests.get_mut(&req_id).expect("live");
             let slot = req.pipeline.slot_mut(slot_id).expect("live");
@@ -671,6 +763,10 @@ impl SpecEngine {
         req.functions_run += 1;
         self.metrics.functions_started += 1;
         self.sim.schedule_in(delay, Ev::Launch(id));
+        // Invocation watchdog: the only recovery path for a hung handler.
+        if let Some(t) = self.retry.invocation_timeout {
+            self.sim.schedule_in(t, Ev::Timeout(id));
+        }
 
         // Implicit-workflow callee prefetch (§V-D): launching f with a
         // memoized input row lets us launch its callees speculatively.
@@ -694,7 +790,9 @@ impl SpecEngine {
         if !self.seqtable.knows_caller(caller_func) {
             return;
         }
-        let Some(row) = self.memos.table(caller_func.0).peek(&input) else { return };
+        let Some(row) = self.memos.table(caller_func.0).peek(&input) else {
+            return;
+        };
         let callee_inputs = row.callee_inputs.clone();
         let edges: Vec<(usize, FuncId, f64)> = self
             .seqtable
@@ -710,7 +808,9 @@ impl SpecEngine {
             if prob < 0.5 + self.config.branch_confidence_window {
                 break; // stop prefetching at the first unlikely call
             }
-            let Some(args) = callee_inputs.get(site).cloned() else { break };
+            let Some(args) = callee_inputs.get(site).cloned() else {
+                break;
+            };
             let req = self.requests.get_mut(&req_id).expect("live");
             if req.pipeline.len() >= depth {
                 break;
@@ -729,8 +829,7 @@ impl SpecEngine {
                 let s = req.pipeline.slot_mut(id).expect("fresh");
                 s.input = Some(args);
                 s.input_speculative = true;
-                s.non_speculative =
-                    self.app.registry.spec(callee).annotations.non_speculative;
+                s.non_speculative = self.app.registry.spec(callee).annotations.non_speculative;
             }
             req.call_state
                 .entry(caller_slot)
@@ -833,6 +932,24 @@ impl SpecEngine {
                 return;
             }
         }
+        // Fault injection at the step boundary: the handler's container
+        // crashes, or the handler wedges (hang) and stops making progress.
+        if self.faults.enabled() {
+            if self.faults.roll(FaultSite::ContainerCrash, now) {
+                self.metrics.faults.injected += 1;
+                self.metrics.faults.crashes += 1;
+                self.slot_fault(req_id, slot_id);
+                return;
+            }
+            if self.faults.roll(FaultSite::Hang, now) {
+                self.metrics.faults.injected += 1;
+                self.metrics.faults.hangs += 1;
+                // The wedged handler keeps its core and container but
+                // schedules nothing further; only the invocation
+                // watchdog (if configured) can recover it.
+                return;
+            }
+        }
         let mut inst = self.instances.remove(&id).expect("live");
         let effect = match inst.step(resume) {
             Ok(e) => e,
@@ -851,11 +968,11 @@ impl SpecEngine {
             }
             Effect::Get { key } => {
                 self.instances.insert(id, inst);
-                self.handle_get(req_id, slot_id, id, key);
+                self.handle_get(req_id, slot_id, id, key, 1);
             }
             Effect::Set { key, value } => {
                 self.instances.insert(id, inst);
-                self.handle_set(req_id, slot_id, id, key, value);
+                self.handle_set(req_id, slot_id, id, key, value, 1);
             }
             Effect::Http { .. } => {
                 self.instances.insert(id, inst);
@@ -898,7 +1015,9 @@ impl SpecEngine {
     /// allocated.
     fn block_instance(&mut self, id: InstanceId) {
         let now = self.sim.now();
-        let Some(inst) = self.instances.get_mut(&id) else { return };
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
         if inst.state != InstanceState::Running {
             return;
         }
@@ -922,13 +1041,63 @@ impl SpecEngine {
         }
     }
 
+    /// Rolls for a transient KV fault on behalf of `id`. Returns true if
+    /// a fault was injected and handled (retry scheduled or escalated);
+    /// the storage operation must then not proceed.
+    fn kv_fault(
+        &mut self,
+        req_id: RequestId,
+        slot_id: SlotId,
+        id: InstanceId,
+        op: KvOp,
+        attempt: u32,
+    ) -> bool {
+        let site = match &op {
+            KvOp::Get { .. } => FaultSite::KvGet,
+            KvOp::Set { .. } => FaultSite::KvSet,
+        };
+        let now = self.sim.now();
+        if !self.faults.enabled() || !self.faults.roll(site, now) {
+            return false;
+        }
+        self.metrics.faults.injected += 1;
+        self.metrics.faults.kv_errors += 1;
+        if attempt >= self.retry.max_attempts {
+            // Storage retries exhausted: the whole execution faults.
+            self.slot_fault(req_id, slot_id);
+            return true;
+        }
+        let backoff = self.retry.backoff(attempt);
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.breakdown.retry_backoff += backoff;
+        }
+        self.metrics.faults.retried += 1;
+        self.sim
+            .schedule_in(backoff, Ev::KvRetry(id, op, attempt + 1));
+        true
+    }
+
     /// Storage read through the Data Buffer (§V-C).
-    fn handle_get(&mut self, req_id: RequestId, slot_id: SlotId, id: InstanceId, key: String) {
+    fn handle_get(
+        &mut self,
+        req_id: RequestId,
+        slot_id: SlotId,
+        id: InstanceId,
+        key: String,
+        attempt: u32,
+    ) {
+        if self.kv_fault(req_id, slot_id, id, KvOp::Get { key: key.clone() }, attempt) {
+            return;
+        }
         let lat = self.kv.latency().read + self.model.data_buffer_hop;
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         // The slot may have been squashed away while this operation was
         // in flight (kill latency); reads from dying executions are void.
-        let Some(slot) = req.pipeline.slot(slot_id) else { return };
+        let Some(slot) = req.pipeline.slot(slot_id) else {
+            return;
+        };
         let my_func = slot.func;
 
         // Stall-list check (§V-C): if this (producer, consumer, record)
@@ -937,16 +1106,12 @@ impl SpecEngine {
             let producers = self.stall_list.producers_for(my_func, &key);
             if !producers.is_empty() {
                 let my_pos = req.pipeline.position(slot_id).expect("live");
-                let pending_producer = req
-                    .pipeline
-                    .iter_order()
-                    .take(my_pos)
-                    .find(|p| {
-                        let s = req.pipeline.slot(*p).expect("live");
-                        producers.contains(&s.func)
-                            && s.state != SlotState::Completed
-                            && !req.buffer.has_write(*p, &key)
-                    });
+                let pending_producer = req.pipeline.iter_order().take(my_pos).find(|p| {
+                    let s = req.pipeline.slot(*p).expect("live");
+                    producers.contains(&s.func)
+                        && s.state != SlotState::Completed
+                        && !req.buffer.has_write(*p, &key)
+                });
                 if let Some(producer) = pending_producer {
                     req.stalled_reads.push(StalledRead {
                         slot: slot_id,
@@ -979,11 +1144,23 @@ impl SpecEngine {
         id: InstanceId,
         key: String,
         value: Value,
+        attempt: u32,
     ) {
+        let op = KvOp::Set {
+            key: key.clone(),
+            value: value.clone(),
+        };
+        if self.kv_fault(req_id, slot_id, id, op, attempt) {
+            return;
+        }
         let lat = self.kv.latency().write + self.model.data_buffer_hop;
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         // Writes from squashed-in-flight executions are void (§V-E).
-        let Some(slot) = req.pipeline.slot(slot_id) else { return };
+        let Some(slot) = req.pipeline.slot(slot_id) else {
+            return;
+        };
         let my_func = slot.func;
         let victims = req.buffer.write(slot_id, &key, value, &req.pipeline);
 
@@ -1009,7 +1186,9 @@ impl SpecEngine {
     /// Re-resolves stalled reads whose producer wrote the record,
     /// completed, or disappeared.
     fn release_stalls(&mut self, req_id: RequestId, wrote: Option<(SlotId, String)>) {
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         let mut released = Vec::new();
         req.stalled_reads.retain(|sr| {
             let producer_live = req.pipeline.slot(sr.producer).is_some();
@@ -1033,7 +1212,7 @@ impl SpecEngine {
         for (slot, inst, key) in released {
             // Re-issue the read, now past the stall window.
             if self.instances.contains_key(&inst) {
-                self.handle_get(req_id, slot, inst, key);
+                self.handle_get(req_id, slot, inst, key, 1);
             }
         }
     }
@@ -1050,11 +1229,15 @@ impl SpecEngine {
     ) {
         let Some(callee_func) = self.app.registry.lookup(func_name) else {
             // Unknown callee: resolve as Null after an RPC hop.
-            self.sim
-                .schedule_in(self.model.transfer_fixed, Ev::Resume(caller_inst, Some(Value::Null)));
+            self.sim.schedule_in(
+                self.model.transfer_fixed,
+                Ev::Resume(caller_inst, Some(Value::Null)),
+            );
             return;
         };
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         if req.pipeline.slot(caller_slot).is_none() {
             return; // caller squashed while the call was in flight
         }
@@ -1153,7 +1336,9 @@ impl SpecEngine {
             if req.pipeline.is_head(cur) {
                 return true;
             }
-            let Some(s) = req.pipeline.slot(cur) else { return false };
+            let Some(s) = req.pipeline.slot(cur) else {
+                return false;
+            };
             match s.role {
                 SlotRole::Callee { caller, .. }
                     if req.waiting_callers.get(&cur) == Some(&caller) =>
@@ -1181,7 +1366,9 @@ impl SpecEngine {
     /// Resumes any deferred side effects whose slot has become
     /// effectively non-speculative.
     fn release_deferred_http(&mut self, req_id: RequestId) {
-        let Some(req) = self.requests.get(&req_id) else { return };
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
         let ready: Vec<(SlotId, InstanceId)> = req
             .deferred_http
             .iter()
@@ -1265,7 +1452,9 @@ impl SpecEngine {
                 .map(|s| now - s)
                 .unwrap_or(SimDuration::ZERO);
 
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         if req.pipeline.slot(slot_id).is_none() {
             // Slot squashed while its completion event was in flight.
             self.metrics.squashed_core_time += core_time;
@@ -1289,7 +1478,9 @@ impl SpecEngine {
     /// caller, together with their descendant blocks.
     fn squash_unconsumed_callees(&mut self, req_id: RequestId, caller: SlotId) {
         let leftovers: Vec<SlotId> = {
-            let Some(req) = self.requests.get_mut(&req_id) else { return };
+            let Some(req) = self.requests.get_mut(&req_id) else {
+                return;
+            };
             match req.call_state.remove(&caller) {
                 Some(cs) => cs.prefetched,
                 None => return,
@@ -1299,7 +1490,9 @@ impl SpecEngine {
             // Collect the callee's contiguous descendant block and squash
             // it (removal, not reset: the work is simply not needed).
             let block: Vec<SlotId> = {
-                let Some(req) = self.requests.get(&req_id) else { return };
+                let Some(req) = self.requests.get(&req_id) else {
+                    return;
+                };
                 if req.pipeline.slot(head).is_none() {
                     continue;
                 }
@@ -1316,7 +1509,9 @@ impl SpecEngine {
                 self.squash_slot(req_id, s, false);
             }
         }
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         req.waiting_callers
             .retain(|callee, _| req.pipeline.slot(*callee).is_some());
         req.stalled_reads
@@ -1339,9 +1534,15 @@ impl SpecEngine {
     }
 
     fn resolve_branch(&mut self, req_id: RequestId, slot_id: SlotId) {
-        let Some(req) = self.requests.get(&req_id) else { return };
-        let Some(slot) = req.pipeline.slot(slot_id) else { return };
-        let SlotRole::Entry { entry } = slot.role else { return };
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
+        let Some(slot) = req.pipeline.slot(slot_id) else {
+            return;
+        };
+        let SlotRole::Entry { entry } = slot.role else {
+            return;
+        };
         let EntryKind::Branch { field, .. } = self.seqtable.kind_at(entry).clone() else {
             return;
         };
@@ -1372,9 +1573,15 @@ impl SpecEngine {
     /// Validates the memo-predicted input of this slot's program-order
     /// successor against the actual output (§V-B).
     fn validate_successor(&mut self, req_id: RequestId, slot_id: SlotId) {
-        let Some(req) = self.requests.get(&req_id) else { return };
-        let Some(slot) = req.pipeline.slot(slot_id) else { return };
-        let SlotRole::Entry { entry } = slot.role else { return };
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
+        let Some(slot) = req.pipeline.slot(slot_id) else {
+            return;
+        };
+        let SlotRole::Entry { entry } = slot.role else {
+            return;
+        };
         let output = slot.output.clone().expect("completed");
         let expected = match self.seqtable.kind_at(entry) {
             EntryKind::Simple { .. } => output,
@@ -1388,7 +1595,9 @@ impl SpecEngine {
         let anchor = Self::block_end(req, slot_id);
         let pos = req.pipeline.position(anchor).expect("live");
         let order: Vec<SlotId> = req.pipeline.iter_order().collect();
-        let Some(&succ) = order.get(pos + 1) else { return };
+        let Some(&succ) = order.get(pos + 1) else {
+            return;
+        };
         let s = req.pipeline.slot(succ).expect("live");
         if !matches!(s.role, SlotRole::Entry { .. }) {
             return;
@@ -1411,7 +1620,9 @@ impl SpecEngine {
     }
 
     fn wake_waiting_caller(&mut self, req_id: RequestId, callee_slot: SlotId) {
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         let Some(caller_slot) = req.waiting_callers.remove(&callee_slot) else {
             return;
         };
@@ -1436,11 +1647,15 @@ impl SpecEngine {
 
     fn try_commit(&mut self, req_id: RequestId) {
         let now = self.sim.now();
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         if req.committing.is_some() || req.completed {
             return;
         }
-        let Some(head) = req.pipeline.committable() else { return };
+        let Some(head) = req.pipeline.committable() else {
+            return;
+        };
         // Callee heads are consumed by their caller, not committed.
         if matches!(
             req.pipeline.slot(head).expect("live").role,
@@ -1457,7 +1672,9 @@ impl SpecEngine {
     }
 
     fn on_commit_apply(&mut self, req_id: RequestId, slot_id: SlotId) {
-        let Some(req) = self.requests.get_mut(&req_id) else { return };
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
         req.committing = None;
         if req.pipeline.head() != Some(slot_id)
             || req.pipeline.slot(slot_id).map(|s| s.state) != Some(SlotState::Completed)
@@ -1608,7 +1825,9 @@ impl SpecEngine {
 
     fn on_complete(&mut self, req_id: RequestId) {
         let now = self.sim.now();
-        let Some(req) = self.requests.remove(&req_id) else { return };
+        let Some(req) = self.requests.remove(&req_id) else {
+            return;
+        };
         // Apply committed knowledge to the persistent tables (§V-E: never
         // updated with speculative data — the whole invocation validated).
         // Group memo knowledge by (func, input): the callee inputs come
@@ -1652,6 +1871,7 @@ impl SpecEngine {
                 functions_run: req.functions_run,
                 functions_squashed: req.functions_squashed,
                 sequence: req.committed_sequence,
+                outcome: RequestOutcome::Completed,
             });
         }
         // Closed loop: this client immediately issues its next request.
@@ -1671,13 +1891,38 @@ impl SpecEngine {
     /// Squashes `first` and every later slot. `kind` decides whether
     /// `first` is reset in place (re-execute) or removed (wrong path).
     fn squash_from(&mut self, req_id: RequestId, first: SlotId, kind: SquashKind) {
-        let Some(req) = self.requests.get(&req_id) else { return };
-        let Some(pos) = req.pipeline.position(first) else { return };
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
+        let Some(pos) = req.pipeline.position(first) else {
+            return;
+        };
         let order: Vec<SlotId> = req.pipeline.iter_order().collect();
         let victims: Vec<SlotId> = order[pos..].to_vec();
 
+        // Dependents torn down because a committed-path execution
+        // faulted (not because speculation was wrong).
+        if kind == SquashKind::Fault {
+            self.metrics.faults.squashed_due_to_fault += victims.len() as u64 - 1;
+        }
+        // Fork-branch heads are spawned exactly once, at their fork's
+        // commit (extend_one defers fan-out). A head caught in the squash
+        // suffix is a *parallel* sibling, not a dependent: removing it
+        // would lose it forever and starve the join, so reset it in place
+        // instead.
+        let mut fork_heads: HashSet<usize> = HashSet::new();
+        for i in 0..self.seqtable.compiled().entries.len() {
+            if let EntryKind::Fork { branches, .. } = self.seqtable.kind_at(i) {
+                fork_heads.extend(branches.iter().copied());
+            }
+        }
         for (i, v) in victims.iter().enumerate() {
-            let reset_in_place = i == 0 && kind != SquashKind::WrongPath;
+            let req = self.requests.get(&req_id).expect("live");
+            let is_fork_head = matches!(
+                req.pipeline.slot(*v).map(|s| s.role),
+                Some(SlotRole::Entry { entry }) if fork_heads.contains(&entry)
+            );
+            let reset_in_place = (i == 0 && kind != SquashKind::WrongPath) || is_fork_head;
             self.squash_slot(req_id, *v, reset_in_place);
         }
         // Callers waiting on removed callees: their Call will be
@@ -1688,6 +1933,24 @@ impl SpecEngine {
             .retain(|callee, _| req.pipeline.slot(*callee).is_some());
         req.stalled_reads
             .retain(|sr| req.pipeline.slot(sr.slot).is_some());
+        if kind == SquashKind::Fault {
+            // A removed dependent may have been the created program-order
+            // successor of a *surviving* entry slot (a faulted callee's
+            // caller, say). Victims form a strict suffix, so only the last
+            // surviving entry slot can be affected: clear its extension
+            // mark so the successor is recreated. Re-extending a
+            // terminally-extended slot just re-marks it, so this is safe
+            // even when nothing was lost.
+            let order: Vec<SlotId> = req.pipeline.iter_order().collect();
+            if let Some(&last_entry) = order.iter().rev().find(|s| {
+                matches!(
+                    req.pipeline.slot(**s).expect("live").role,
+                    SlotRole::Entry { .. }
+                )
+            }) {
+                req.extended.remove(&last_entry);
+            }
+        }
         self.pump(req_id);
     }
 
@@ -1728,10 +1991,16 @@ impl SpecEngine {
     /// Applies the configured squash mechanism to a live instance.
     fn kill_instance(&mut self, id: InstanceId) {
         let now = self.sim.now();
-        let Some(inst) = self.instances.get(&id) else { return };
+        let Some(inst) = self.instances.get(&id) else {
+            return;
+        };
         let (inst_state, inst_node, inst_func, inst_started) =
             (inst.state, inst.node, inst.func, inst.started_at);
-        let meta_acquired = self.meta.get(&id).map(|m| m.container_acquired).unwrap_or(false);
+        let meta_acquired = self
+            .meta
+            .get(&id)
+            .map(|m| m.container_acquired)
+            .unwrap_or(false);
         match self.config.squash {
             SquashMechanism::Lazy => {
                 // Let it run to completion in the background; outputs are
@@ -1831,7 +2100,9 @@ impl SpecEngine {
 
     fn on_squash_release(&mut self, id: InstanceId, reusable: bool) {
         let now = self.sim.now();
-        let Some(inst) = self.instances.remove(&id) else { return };
+        let Some(inst) = self.instances.remove(&id) else {
+            return;
+        };
         self.release_instance_resources(&inst, reusable, now);
     }
 
@@ -1904,6 +2175,177 @@ impl SpecEngine {
     }
 
     // ------------------------------------------------------------------
+    // Fault handling: slot retries with backoff, request aborts
+    // ------------------------------------------------------------------
+
+    /// Force-removes an instance that died (crash, hang timeout,
+    /// exhausted KV retries, or request abort), releasing whatever core
+    /// slot, queue position and container it holds. Unlike
+    /// `kill_instance` this ignores the configured squash mechanism: the
+    /// handler is already dead, so even lazy squashing cannot keep it
+    /// running. Its container is not reusable.
+    fn teardown_instance(&mut self, id: InstanceId) {
+        let now = self.sim.now();
+        let acquired = self
+            .meta
+            .remove(&id)
+            .map(|m| m.container_acquired)
+            .unwrap_or(false);
+        self.orphans.remove(&id);
+        let Some(inst) = self.instances.remove(&id) else {
+            return;
+        };
+        match inst.state {
+            InstanceState::Running => {
+                self.metrics.squashed_core_time += inst.accumulated_core
+                    + inst
+                        .started_at
+                        .map(|s| now - s)
+                        .unwrap_or(SimDuration::ZERO);
+                if inst.started_at.is_some() {
+                    if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
+                        self.grant_core(next, now);
+                    }
+                }
+            }
+            InstanceState::Blocked => {
+                self.metrics.squashed_core_time += inst.accumulated_core;
+            }
+            InstanceState::WaitingCore => {
+                self.cluster
+                    .node_mut(inst.node)
+                    .cores
+                    .remove_waiter(|w| *w == id);
+            }
+            _ => {}
+        }
+        if acquired {
+            self.cluster
+                .node_mut(inst.node)
+                .containers
+                .release(inst.func, false);
+        }
+    }
+
+    /// The instance executing `slot_id` suffered an unrecoverable-in-
+    /// place fault (container crash, hang timeout, or exhausted storage
+    /// retries). The slot and every dependent are squashed; the slot
+    /// relaunches after backoff — or the whole request aborts once its
+    /// retry budget is exhausted.
+    fn slot_fault(&mut self, req_id: RequestId, slot_id: SlotId) {
+        // The faulted handler is dead on the spot, not squash-killed.
+        let inst = self
+            .requests
+            .get_mut(&req_id)
+            .and_then(|r| r.slot_inst.remove(&slot_id));
+        if let Some(inst_id) = inst {
+            self.teardown_instance(inst_id);
+        }
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
+        if req.pipeline.slot(slot_id).is_none() {
+            return; // already squashed away
+        }
+        let failures = req.attempts.entry(slot_id).or_insert(0);
+        *failures += 1;
+        let failures = *failures;
+        if failures >= self.retry.max_attempts {
+            self.abort_request(req_id);
+            return;
+        }
+        // Hold the relaunch until the backoff elapses; squash the slot
+        // (reset in place, keeping its input) and its dependents now.
+        req.retry_hold.insert(slot_id);
+        self.metrics.faults.retried += 1;
+        let backoff = self.retry.backoff(failures);
+        self.squash_from(req_id, slot_id, SquashKind::Fault);
+        self.sim
+            .schedule_in(backoff, Ev::RetrySlot(req_id, slot_id));
+    }
+
+    /// Backoff elapsed: the held slot may launch again (it was reset in
+    /// place by the fault squash, so the ordinary pump relaunches it).
+    fn on_retry_slot(&mut self, req_id: RequestId, slot_id: SlotId) {
+        let Some(req) = self.requests.get_mut(&req_id) else {
+            return;
+        };
+        req.retry_hold.remove(&slot_id);
+        self.pump(req_id);
+    }
+
+    /// Invocation watchdog: a handler still live past the timeout is
+    /// treated as hung and goes through the slot fault path. A blocked
+    /// handler (legitimately waiting on a callee, stall, or deferred
+    /// side effect) gets its watchdog re-armed instead of killed.
+    fn on_timeout(&mut self, id: InstanceId) {
+        if self.orphans.contains(&id) {
+            return;
+        }
+        let Some(meta) = self.meta.get(&id) else {
+            return;
+        };
+        let (req_id, slot_id) = (meta.req, meta.slot);
+        let Some(inst) = self.instances.get(&id) else {
+            return;
+        };
+        match inst.state {
+            InstanceState::Done | InstanceState::Squashed => {}
+            InstanceState::Blocked => {
+                if let Some(t) = self.retry.invocation_timeout {
+                    self.sim.schedule_in(t, Ev::Timeout(id));
+                }
+            }
+            _ => {
+                self.metrics.faults.timeouts += 1;
+                self.slot_fault(req_id, slot_id);
+            }
+        }
+    }
+
+    /// Terminally fails a request: tears down every instance still
+    /// working for it, discards its speculative state, and records a
+    /// [`RequestOutcome::Failed`]. Committed work (already flushed to
+    /// global storage) stays, matching a real platform where a workflow
+    /// aborts midway.
+    fn abort_request(&mut self, req_id: RequestId) {
+        let now = self.sim.now();
+        let Some(req) = self.requests.remove(&req_id) else {
+            return;
+        };
+        let mut victims: Vec<InstanceId> = req.slot_inst.values().copied().collect();
+        victims.sort(); // HashMap order is not deterministic
+        for id in victims {
+            self.teardown_instance(id);
+        }
+        for (_, t) in req.slot_cpu {
+            self.metrics.squashed_core_time += t;
+        }
+        self.metrics.functions_squashed += u64::from(req.functions_squashed);
+        if req.measured {
+            self.metrics.record_failure(InvocationRecord {
+                arrived: req.arrived,
+                completed: now,
+                functions_run: req.functions_run,
+                functions_squashed: req.functions_squashed,
+                sequence: req.committed_sequence,
+                outcome: RequestOutcome::Failed,
+            });
+        } else {
+            self.metrics.faults.aborted += 1;
+        }
+        // Closed loop: the client observes the failure and issues its
+        // next request.
+        if self.closed_loop && now <= self.gen_deadline {
+            if let Some(mut g) = self.input_gen.take() {
+                let input = g(&mut self.rng);
+                self.input_gen = Some(g);
+                self.submit_request(input);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Drivers
     // ------------------------------------------------------------------
 
@@ -1927,36 +2369,45 @@ impl SpecEngine {
             Ev::CommitApply(req, slot) => self.on_commit_apply(req, slot),
             Ev::SquashRelease(id, reusable) => self.on_squash_release(id, reusable),
             Ev::Complete(req) => self.on_complete(req),
+            Ev::KvRetry(id, op, attempt) => self.on_kv_retry(id, op, attempt),
+            Ev::RetrySlot(req, slot) => self.on_retry_slot(req, slot),
+            Ev::Timeout(id) => self.on_timeout(id),
         }
     }
 
-    /// Runs one request to completion with no background load.
-    ///
-    /// # Panics
-    /// Panics if the simulation drains without completing the request
-    /// (an engine bug).
+    /// Re-issues a KV operation after its storage backoff. The
+    /// instance may have been squashed in the meantime, in which case
+    /// the retry is dropped.
+    fn on_kv_retry(&mut self, id: InstanceId, op: KvOp, attempt: u32) {
+        let Some(meta) = self.meta.get(&id) else {
+            return;
+        };
+        let (req_id, slot_id) = (meta.req, meta.slot);
+        match op {
+            KvOp::Get { key } => self.handle_get(req_id, slot_id, id, key, attempt),
+            KvOp::Set { key, value } => self.handle_set(req_id, slot_id, id, key, value, attempt),
+        }
+    }
+
+    /// Runs one request to completion (or terminal failure) with no
+    /// background load. If the simulation drains while the request is
+    /// still live — e.g. an injected hang with no invocation timeout
+    /// configured — the request is aborted and recorded as failed
+    /// instead of panicking.
     pub fn run_single(&mut self, input: Value) -> SimDuration {
-        let before = self.metrics.completed + u64::from(self.sim.now() < self.measure_from);
-        let _ = before;
         let target = self.next_req;
         let start = self.sim.now();
         self.submit_request(input);
-        while self.requests.contains_key(&RequestId(target))
-            || self
-                .sim
-                .peek_time()
-                .map(|_| self.requests.contains_key(&RequestId(target)))
-                .unwrap_or(false)
-        {
+        while self.requests.contains_key(&RequestId(target)) {
             let Some((_, ev)) = self.sim.step() else {
-                panic!("simulation drained without completing request {target}");
+                // Nothing left to schedule but the request never
+                // finished (e.g. an injected hang with no invocation
+                // timeout): abort it rather than spin or panic.
+                self.abort_request(RequestId(target));
+                break;
             };
             self.handle(ev);
-            if !self.requests.contains_key(&RequestId(target)) {
-                break;
-            }
         }
-        // Drain any leftover same-request events (commit tails, orphans).
         self.sim.now() - start
     }
 
@@ -1972,9 +2423,7 @@ impl SpecEngine {
             self.run_single(v);
         }
         // Let background (lazy-squash) work drain.
-        while let Some((_, ev)) = self.sim.step() {
-            self.handle(ev);
-        }
+        self.drain_all();
         // Credit useful core time from committed requests: approximated as
         // total minus squashed is tracked incrementally; compute window.
         let mut m = std::mem::take(&mut self.metrics);
@@ -2001,9 +2450,7 @@ impl SpecEngine {
         self.measure_from = start + warmup;
         self.cluster.reset_utilization(start + warmup);
         self.sim.schedule_now(Ev::Arrival);
-        while let Some((_, ev)) = self.sim.step() {
-            self.handle(ev);
-        }
+        self.drain_all();
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);
         m.window = self.gen_deadline.saturating_since(self.measure_from);
@@ -2039,9 +2486,7 @@ impl SpecEngine {
                 self.submit_request(v);
             }
         }
-        while let Some((_, ev)) = self.sim.step() {
-            self.handle(ev);
-        }
+        self.drain_all();
         self.closed_loop = false;
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);
@@ -2050,6 +2495,28 @@ impl SpecEngine {
         m.branch_hits = self.predictor.hit_rate();
         m.memo_hits = self.memos.hit_rate();
         m
+    }
+
+    /// Steps the simulation until the event queue is empty AND no
+    /// requests remain live. A request can outlive the queue when an
+    /// injected hang wedges a handler with no invocation timeout armed:
+    /// such requests are aborted (recorded as failed) and, in closed
+    /// loops, the freed clients resubmit — so the loop repeats until
+    /// everything settles.
+    fn drain_all(&mut self) {
+        loop {
+            while let Some((_, ev)) = self.sim.step() {
+                self.handle(ev);
+            }
+            if self.requests.is_empty() {
+                break;
+            }
+            let mut stuck: Vec<RequestId> = self.requests.keys().copied().collect();
+            stuck.sort(); // HashMap order is not deterministic
+            for r in stuck {
+                self.abort_request(r);
+            }
+        }
     }
 
     /// Diagnostic dump of live (possibly stuck) requests: pipeline slot
@@ -2065,7 +2532,10 @@ impl SpecEngine {
                     let sl = req.pipeline.slot(sid).expect("live");
                     format!(
                         "{sid}:{:?}:{:?}(in={} spec={})",
-                        sl.func, sl.state, sl.input.is_some(), sl.input_speculative
+                        sl.func,
+                        sl.state,
+                        sl.input.is_some(),
+                        sl.input_speculative
                     )
                 })
                 .collect();
@@ -2204,7 +2674,12 @@ mod tests {
             "Branchy",
             "Test",
             reg,
-            Workflow::when_field("cond", "ok", Workflow::task("yes"), Some(Workflow::task("no"))),
+            Workflow::when_field(
+                "cond",
+                "ok",
+                Workflow::task("yes"),
+                Some(Workflow::task("no")),
+            ),
         )
     }
 
@@ -2236,10 +2711,7 @@ mod tests {
         let d = e.run_single(Value::map([("x", Value::Int(50))]));
         // cond (4ms) and yes (4ms) overlap: end-to-end well under the
         // serial 8ms + overheads.
-        assert!(
-            d < SimDuration::from_millis(16),
-            "overlapped run took {d}"
-        );
+        assert!(d < SimDuration::from_millis(16), "overlapped run took {d}");
         assert!(e.predictor().hit_rate().rate() > 0.8);
     }
 
@@ -2427,11 +2899,15 @@ mod tests {
         let mut reg = FunctionRegistry::new();
         reg.register(FunctionSpec::new(
             "a",
-            Program::builder().compute_ms(5).ret(make_map([("v", lit(1i64))])),
+            Program::builder()
+                .compute_ms(5)
+                .ret(make_map([("v", lit(1i64))])),
         ));
         reg.register(FunctionSpec::with_annotations(
             "careful",
-            Program::builder().compute_ms(5).ret(make_map([("v", lit(2i64))])),
+            Program::builder()
+                .compute_ms(5)
+                .ret(make_map([("v", lit(2i64))])),
             specfaas_workflow::Annotations::non_speculative(),
         ));
         let app = AppSpec::new(
@@ -2456,7 +2932,9 @@ mod tests {
         let mut reg = FunctionRegistry::new();
         reg.register(FunctionSpec::with_annotations(
             "pure",
-            Program::builder().compute_ms(50).ret(make_map([("v", lit(7i64))])),
+            Program::builder()
+                .compute_ms(50)
+                .ret(make_map([("v", lit(7i64))])),
             specfaas_workflow::Annotations::pure_function(),
         ));
         reg.register(FunctionSpec::new(
@@ -2501,6 +2979,165 @@ mod tests {
             e.prewarm();
             e.run_single(fresh_input(&mut SimRng::seed(0)));
             e.run_single(fresh_input(&mut SimRng::seed(0))).as_micros()
+        };
+        assert_eq!(run(), run());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_disabled() {
+        let run = |enable: bool| {
+            let mut e = SpecEngine::new(Arc::new(chain_app(5, 5)), SpecConfig::full(), 7);
+            if enable {
+                e.enable_faults(FaultPlan::none(), RetryPolicy::default());
+            }
+            e.prewarm();
+            let m = e.run_concurrent(
+                4,
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(100),
+                fresh_input,
+            );
+            (
+                m.completed,
+                m.latency.mean_ms().to_bits(),
+                m.squashed_core_time,
+                m.useful_core_time,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_faults_retry_and_recover() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(5, 5)), SpecConfig::full(), 2);
+        e.enable_faults(
+            FaultPlan::none().with_container_crash(0.10),
+            RetryPolicy::default().with_max_attempts(10),
+        );
+        e.prewarm();
+        let m = e.run_closed(20, fresh_input);
+        assert_eq!(m.completed, 20, "all requests survive with retries");
+        assert_eq!(m.failed, 0);
+        assert!(m.faults.crashes > 0, "crash faults should have fired");
+        assert_eq!(m.faults.crashes, m.faults.retried);
+        // Every record still committed the full chain, in order.
+        for r in &m.records {
+            assert_eq!(r.sequence, vec![0, 1, 2, 3, 4]);
+            assert_eq!(r.outcome, RequestOutcome::Completed);
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_failed_outcome() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(3, 5)), SpecConfig::full(), 1);
+        e.enable_faults(
+            FaultPlan::none().with_container_crash(1.0),
+            RetryPolicy::default().with_max_attempts(2),
+        );
+        e.prewarm();
+        let m = e.run_closed(3, fresh_input);
+        assert_eq!(m.completed, 0, "every execution crashes");
+        assert_eq!(m.failed, 3);
+        assert!(m
+            .records
+            .iter()
+            .all(|r| r.outcome == RequestOutcome::Failed));
+        // Each aborted request burned its full retry budget.
+        assert!(m.faults.crashes >= 3 * 2);
+    }
+
+    #[test]
+    fn kv_faults_retry_at_storage_level() {
+        let mut e = SpecEngine::new(Arc::new(raw_dependence_app()), SpecConfig::full(), 1);
+        e.enable_faults(
+            FaultPlan::none().with_kv_get(0.3).with_kv_set(0.3),
+            RetryPolicy::default().with_max_attempts(10),
+        );
+        e.prewarm();
+        let m = e.run_closed(15, |_| Value::map([("v", Value::Int(1))]));
+        assert_eq!(m.completed, 15);
+        assert_eq!(m.failed, 0);
+        assert!(m.faults.kv_errors > 0, "KV faults should have fired");
+        assert!(m.faults.retried > 0);
+        // The winning write still landed.
+        assert_eq!(e.kv.peek("shared"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn hang_without_timeout_aborts_on_drain_instead_of_panicking() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(3, 5)), SpecConfig::full(), 1);
+        e.enable_faults(FaultPlan::none().with_hang(1.0), RetryPolicy::default());
+        e.prewarm();
+        // The first handler wedges forever; with no invocation timeout the
+        // simulation drains and the request is aborted, not panicked on.
+        e.run_single(fresh_input(&mut SimRng::seed(0)));
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.failed, 1);
+        assert!(m.faults.hangs >= 1);
+        assert_eq!(m.records[0].outcome, RequestOutcome::Failed);
+    }
+
+    #[test]
+    fn watchdog_detects_hangs_and_retries() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(3, 5)), SpecConfig::full(), 1);
+        // Hang only in a window covering the first execution; the retry
+        // runs after the window closes and succeeds.
+        e.enable_faults(
+            FaultPlan::none()
+                .with_hang(1.0)
+                .with_window(SimTime::ZERO, Some(SimTime::from_millis(50))),
+            RetryPolicy::default()
+                .with_timeout(SimDuration::from_millis(100))
+                .with_max_attempts(5),
+        );
+        e.prewarm();
+        e.run_single(fresh_input(&mut SimRng::seed(0)));
+        let m = e.run_closed(0, fresh_input);
+        assert_eq!(m.completed, 1, "watchdog should rescue the hung request");
+        assert!(m.faults.timeouts >= 1, "watchdog must have fired");
+        assert!(m.faults.retried >= 1);
+    }
+
+    #[test]
+    fn slot_drops_only_delay_speculation() {
+        let mut e = SpecEngine::new(Arc::new(chain_app(5, 5)), SpecConfig::full(), 2);
+        e.enable_faults(
+            FaultPlan::none().with_slot_drop(1.0),
+            RetryPolicy::default(),
+        );
+        e.prewarm();
+        let m = e.run_closed(5, fresh_input);
+        // Dropping speculative slots costs performance, never correctness.
+        assert_eq!(m.completed, 5);
+        assert_eq!(m.failed, 0);
+        assert!(m.faults.slot_drops > 0, "non-head launches should drop");
+        for r in &m.records {
+            assert_eq!(r.sequence, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn fault_timeline_is_deterministic_per_seed() {
+        let run = || {
+            let mut e = SpecEngine::new(Arc::new(chain_app(5, 5)), SpecConfig::full(), 11);
+            e.enable_faults(
+                FaultPlan::none()
+                    .with_container_crash(0.15)
+                    .with_kv_get(0.1),
+                RetryPolicy::default().with_max_attempts(8),
+            );
+            e.prewarm();
+            let m = e.run_concurrent(
+                3,
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(100),
+                fresh_input,
+            );
+            (m.completed, m.failed, m.faults)
         };
         assert_eq!(run(), run());
     }

@@ -45,7 +45,7 @@ pub mod predictor;
 pub mod seqtable;
 pub mod stall;
 
-pub use config::{SpecConfig, SquashMechanism};
+pub use config::{RetryPolicy, SpecConfig, SquashMechanism};
 pub use databuffer::DataBuffer;
 pub use engine::SpecEngine;
 pub use memo::{MemoEntry, MemoTable};

@@ -274,4 +274,69 @@ mod tests {
     fn zero_capacity_rejected() {
         MemoTable::new(0);
     }
+
+    /// A crash-retry re-commits the same (input, output) row. Duplicate
+    /// inserts at capacity must replace in place, never evict a third
+    /// party or grow the table.
+    #[test]
+    fn faulted_reinsert_at_capacity_does_not_evict() {
+        let mut t = MemoTable::new(2);
+        t.insert(Value::Int(1), Value::Int(10), vec![]);
+        t.insert(Value::Int(2), Value::Int(20), vec![]);
+        // Retried commit of key 1 (same row, arriving again after a fault).
+        t.insert(Value::Int(1), Value::Int(10), vec![]);
+        assert_eq!(t.len(), 2);
+        assert!(t.peek(&Value::Int(1)).is_some());
+        assert!(t.peek(&Value::Int(2)).is_some());
+    }
+
+    /// Interleaves a stream of fresh inserts with fault-retry duplicates
+    /// and hot-key lookups: the table stays LRU-bounded, the hot key
+    /// survives, and duplicates never inflate occupancy.
+    #[test]
+    fn eviction_bounded_under_interleaved_faulted_inserts() {
+        let mut t = MemoTable::new(4);
+        t.insert(Value::Int(0), Value::Int(0), vec![]); // hot key
+        for i in 1..30i64 {
+            t.lookup(&Value::Int(0)); // keep the hot key recent
+            t.insert(Value::Int(i), Value::Int(i * 10), vec![]);
+            if i % 3 == 0 {
+                // A faulted execution retries and re-commits its row.
+                t.insert(Value::Int(i), Value::Int(i * 10), vec![]);
+            }
+        }
+        assert_eq!(t.len(), 4, "capacity bound must hold");
+        assert!(
+            t.peek(&Value::Int(0)).is_some(),
+            "hot key must survive 29 eviction rounds"
+        );
+        assert!(t.peek(&Value::Int(29)).is_some(), "newest row present");
+    }
+
+    /// Same interleaved faulted-insert sequence twice ⇒ identical
+    /// surviving rows: every entry has a distinct LRU tick, so victim
+    /// selection never depends on hash-map iteration order.
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let run = || {
+            let mut t = MemoTable::new(3);
+            for i in 0..40i64 {
+                t.insert(Value::Int(i % 7), Value::Int(i), vec![]);
+                if i % 4 == 0 {
+                    t.lookup(&Value::Int((i + 2) % 7));
+                }
+                if i % 5 == 0 {
+                    t.insert(Value::Int(i % 7), Value::Int(i), vec![]); // retry
+                }
+            }
+            let mut alive: Vec<i64> = (0..7)
+                .filter(|k| t.peek(&Value::Int(*k)).is_some())
+                .collect();
+            alive.sort_unstable();
+            alive
+        };
+        let a = run();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, run());
+    }
 }

@@ -201,7 +201,8 @@ impl Pipeline {
     /// # Panics
     /// Panics if either slot is not in the pipeline.
     pub fn is_before(&self, a: SlotId, b: SlotId) -> bool {
-        self.position(a).expect("slot a in pipeline") < self.position(b).expect("slot b in pipeline")
+        self.position(a).expect("slot a in pipeline")
+            < self.position(b).expect("slot b in pipeline")
     }
 
     /// Number of live (uncommitted, unmerged) slots.
@@ -273,9 +274,21 @@ mod tests {
 
     fn pipe3() -> (Pipeline, SlotId, SlotId, SlotId) {
         let mut p = Pipeline::new();
-        let a = p.push_back(FuncId(0), SlotRole::Entry { entry: 0 }, PathHistory::start());
-        let b = p.push_back(FuncId(1), SlotRole::Entry { entry: 1 }, PathHistory::start());
-        let c = p.push_back(FuncId(2), SlotRole::Entry { entry: 2 }, PathHistory::start());
+        let a = p.push_back(
+            FuncId(0),
+            SlotRole::Entry { entry: 0 },
+            PathHistory::start(),
+        );
+        let b = p.push_back(
+            FuncId(1),
+            SlotRole::Entry { entry: 1 },
+            PathHistory::start(),
+        );
+        let c = p.push_back(
+            FuncId(2),
+            SlotRole::Entry { entry: 2 },
+            PathHistory::start(),
+        );
         (p, a, b, c)
     }
 
@@ -346,7 +359,11 @@ mod tests {
         let (mut p, a, _b, _c) = pipe3();
         assert_eq!(p.total_created(), 3);
         p.remove(a);
-        p.push_back(FuncId(5), SlotRole::Entry { entry: 0 }, PathHistory::start());
+        p.push_back(
+            FuncId(5),
+            SlotRole::Entry { entry: 0 },
+            PathHistory::start(),
+        );
         assert_eq!(p.total_created(), 4);
     }
 }

@@ -23,22 +23,18 @@ fn loop_app() -> Arc<AppSpec> {
     ));
     reg.register(FunctionSpec::new(
         "check",
-        Program::builder()
-            .compute_ms(2)
-            .ret(make_map([
-                ("more", gt(field(input(), "n"), lit(0i64))),
-                ("n", field(input(), "n")),
-                ("acc", field(input(), "acc")),
-            ])),
+        Program::builder().compute_ms(2).ret(make_map([
+            ("more", gt(field(input(), "n"), lit(0i64))),
+            ("n", field(input(), "n")),
+            ("acc", field(input(), "acc")),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "body",
-        Program::builder()
-            .compute_ms(3)
-            .ret(make_map([
-                ("n", sub(field(input(), "n"), lit(1i64))),
-                ("acc", add(field(input(), "acc"), field(input(), "n"))),
-            ])),
+        Program::builder().compute_ms(3).ret(make_map([
+            ("n", sub(field(input(), "n"), lit(1i64))),
+            ("acc", add(field(input(), "acc"), field(input(), "n"))),
+        ])),
     ));
     reg.register(FunctionSpec::new(
         "finish",
@@ -230,7 +226,12 @@ fn container_kill_makes_squashes_expensive() {
         "Kill",
         "Test",
         reg,
-        Workflow::when_field("cond", "t", Workflow::task("hot"), Some(Workflow::task("cold"))),
+        Workflow::when_field(
+            "cond",
+            "t",
+            Workflow::task("hot"),
+            Some(Workflow::task("cold")),
+        ),
     ));
     let run_with = |squash: SquashMechanism| {
         let mut cfg = SpecConfig::full();
@@ -291,15 +292,14 @@ fn stmt_level_loop_limit_is_contained() {
     reg.register(FunctionSpec::new(
         "spinner",
         Program::builder()
-            .while_(lit(true), vec![Stmt::Compute(specfaas_workflow::DurationSpec::millis(1))], 5)
+            .while_(
+                lit(true),
+                vec![Stmt::Compute(specfaas_workflow::DurationSpec::millis(1))],
+                5,
+            )
             .ret(lit("unreachable")),
     ));
-    let app = Arc::new(AppSpec::new(
-        "Spin",
-        "Test",
-        reg,
-        Workflow::task("spinner"),
-    ));
+    let app = Arc::new(AppSpec::new("Spin", "Test", reg, Workflow::task("spinner")));
     let mut e = SpecEngine::new(app, SpecConfig::full(), 7);
     e.prewarm();
     let d = e.run_single(Value::Null);

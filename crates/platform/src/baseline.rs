@@ -15,9 +15,10 @@
 //! * Cold containers pay container creation + runtime setup; warm
 //!   containers fork a handler instantly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
 use specfaas_storage::{KvStore, Value};
 use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId};
@@ -25,7 +26,7 @@ use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId};
 use crate::cluster::{Cluster, NodeId};
 use crate::container::ContainerAcquire;
 use crate::exec::{FnInstance, InstanceId, InstanceState};
-use crate::metrics::{InvocationRecord, RunMetrics};
+use crate::metrics::{InvocationRecord, RequestOutcome, RunMetrics};
 use crate::overheads::OverheadModel;
 use crate::workload::{RequestId, Workload};
 
@@ -43,8 +44,30 @@ enum Ev {
     /// Transfer overhead paid; launch workflow entry `entry` of `req` with
     /// the given payload.
     Transfer(RequestId, usize, Value),
+    /// Backoff after a transient KV fault elapsed; retry the operation.
+    KvRetry(InstanceId, KvOp, u32),
+    /// Backoff after an instance fault elapsed; relaunch the function.
+    Retry {
+        req: RequestId,
+        ctx: InstCtx,
+        func: FuncId,
+        input: Value,
+        attempt: u32,
+    },
+    /// Invocation watchdog fired for the instance.
+    Timeout(InstanceId),
     /// Final response delivered to the client.
     Complete(RequestId),
+}
+
+/// Boxed request-input generator driven by the engine RNG.
+type InputGen = Box<dyn FnMut(&mut SimRng) -> Value>;
+
+/// A storage operation being retried across transient KV faults.
+#[derive(Debug, Clone)]
+enum KvOp {
+    Get { key: String },
+    Set { key: String, value: Value },
 }
 
 /// Why an instance exists: a workflow-entry cursor or an implicit callee.
@@ -99,6 +122,16 @@ pub struct BaselineEngine {
     pub model: OverheadModel,
     sim: Simulator<Ev>,
     rng: SimRng,
+    /// Deterministic fault injector (disabled unless `enable_faults`).
+    faults: FaultInjector,
+    /// Retry/backoff/timeout policy applied when faults strike.
+    retry: RetryPolicy,
+    /// Seed the engine was built with (fault stream derivation).
+    seed: u64,
+    /// Retry attempt the instance is executing (absent = first attempt).
+    attempt_of: HashMap<InstanceId, u32>,
+    /// Instances that have acquired a container (released on teardown).
+    has_container: HashSet<InstanceId>,
     instances: HashMap<InstanceId, FnInstance>,
     ctxs: HashMap<InstanceId, InstCtx>,
     requests: HashMap<RequestId, ReqState>,
@@ -108,7 +141,7 @@ pub struct BaselineEngine {
     // Open-loop generation state.
     workload: Option<Workload>,
     gen_deadline: SimTime,
-    input_gen: Option<Box<dyn FnMut(&mut SimRng) -> Value>>,
+    input_gen: Option<InputGen>,
     measure_from: SimTime,
     /// Closed-loop mode: each completion immediately submits the next
     /// request (bounded concurrency, like a fixed client pool).
@@ -125,6 +158,11 @@ impl BaselineEngine {
             model: OverheadModel::default(),
             sim: Simulator::new(),
             rng: SimRng::seed(seed),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
+            seed,
+            attempt_of: HashMap::new(),
+            has_container: HashSet::new(),
             instances: HashMap::new(),
             ctxs: HashMap::new(),
             requests: HashMap::new(),
@@ -152,6 +190,21 @@ impl BaselineEngine {
     /// The application under test.
     pub fn app(&self) -> &AppSpec {
         &self.app
+    }
+
+    /// Arms deterministic fault injection with the given plan and
+    /// retry/backoff policy. The injector draws from a dedicated RNG
+    /// stream derived from the engine seed, so enabling faults never
+    /// perturbs workload randomness — and [`FaultPlan::none`] leaves the
+    /// simulation bit-identical to a fault-free engine.
+    pub fn enable_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.faults = FaultInjector::new(plan, self.seed);
+        self.retry = retry;
+    }
+
+    /// The fault injector (per-site injection counts for reporting).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
     }
 
     fn alloc_inst(&mut self) -> InstanceId {
@@ -220,7 +273,13 @@ impl BaselineEngine {
         self.spawn_named(req, ctx, func, input);
     }
 
-    fn spawn_named(&mut self, req: RequestId, ctx: InstCtx, func: FuncId, input: Value) {
+    fn spawn_named(
+        &mut self,
+        req: RequestId,
+        ctx: InstCtx,
+        func: FuncId,
+        input: Value,
+    ) -> InstanceId {
         let now = self.sim.now();
         let ctrl = self.requests[&req].ctrl;
         let delay = self.model.platform_fixed
@@ -240,13 +299,23 @@ impl BaselineEngine {
             r.functions_run += 1;
         }
         self.sim.schedule_in(delay, Ev::Launch(id));
+        // Invocation watchdog: the only recovery path for a hung handler.
+        if let Some(t) = self.retry.invocation_timeout {
+            self.sim.schedule_in(t, Ev::Timeout(id));
+        }
+        id
     }
 
     /// Handles container acquisition after platform overhead.
     fn on_launch(&mut self, id: InstanceId) {
-        let inst = self.instances.get_mut(&id).expect("live instance");
+        // The instance may have been torn down by a fault while the
+        // launch overhead was in flight.
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
         let node = inst.node;
         let func = inst.func;
+        self.has_container.insert(id);
         match self.cluster.acquire_container(node, func, &self.model) {
             ContainerAcquire::Warm => self.try_start(id),
             ContainerAcquire::Cold(d) => {
@@ -262,7 +331,9 @@ impl BaselineEngine {
     /// Acquires a core or queues for one.
     fn try_start(&mut self, id: InstanceId) {
         let now = self.sim.now();
-        let inst = self.instances.get_mut(&id).expect("live instance");
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
         let node = inst.node;
         if self.cluster.node_mut(node).cores.try_acquire(now) {
             inst.state = InstanceState::Running;
@@ -277,7 +348,9 @@ impl BaselineEngine {
     /// Releases the caller's execution slot while it blocks.
     fn block_instance(&mut self, id: InstanceId) {
         let now = self.sim.now();
-        let Some(inst) = self.instances.get_mut(&id) else { return };
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
         if inst.state != InstanceState::Running {
             return;
         }
@@ -326,6 +399,35 @@ impl BaselineEngine {
                 return;
             }
         }
+        // Fault injection at the step boundary: the handler's container
+        // crashes, or the handler wedges (hang) and stops making progress.
+        // Only before the handler externalizes a write: the baseline
+        // applies writes eagerly, so a retry of a partially externalized
+        // handler would double-apply non-idempotent effects. We model
+        // crashes as fail-stop before the point of no return (real
+        // platforms demand idempotent handlers for at-least-once retry).
+        if self.faults.enabled()
+            && self
+                .instances
+                .get(&id)
+                .map(|i| !i.externalized)
+                .unwrap_or(false)
+        {
+            if self.faults.roll(FaultSite::ContainerCrash, now) {
+                self.metrics.faults.injected += 1;
+                self.metrics.faults.crashes += 1;
+                self.fault_instance(id);
+                return;
+            }
+            if self.faults.roll(FaultSite::Hang, now) {
+                self.metrics.faults.injected += 1;
+                self.metrics.faults.hangs += 1;
+                // The wedged handler keeps its core and container but
+                // schedules nothing further; only the invocation
+                // watchdog (if configured) can recover it.
+                return;
+            }
+        }
         let mut inst = match self.instances.remove(&id) {
             Some(i) => i,
             None => return, // squashed / stale event
@@ -348,18 +450,12 @@ impl BaselineEngine {
                 self.sim.schedule_in(d, Ev::Resume(id, None));
             }
             Effect::Get { key } => {
-                let lat = self.kv.latency().read;
-                inst.breakdown.execution += lat;
-                let val = self.kv.get(&key).cloned().unwrap_or(Value::Null);
                 self.instances.insert(id, inst);
-                self.sim.schedule_in(lat, Ev::Resume(id, Some(val)));
+                self.kv_access(id, KvOp::Get { key }, 1);
             }
             Effect::Set { key, value } => {
-                let lat = self.kv.latency().write;
-                inst.breakdown.execution += lat;
-                self.kv.set(key, value);
                 self.instances.insert(id, inst);
-                self.sim.schedule_in(lat, Ev::Resume(id, None));
+                self.kv_access(id, KvOp::Set { key, value }, 1);
             }
             Effect::Http { .. } => {
                 let lat = self.model.http_latency;
@@ -414,6 +510,8 @@ impl BaselineEngine {
         let now = self.sim.now();
         let inst = self.instances.remove(&id).expect("live instance");
         let ctx = self.ctxs.remove(&id).expect("instance context");
+        self.attempt_of.remove(&id);
+        self.has_container.remove(&id);
         // Account useful core time and release the slot.
         if let Some(start) = inst.started_at {
             self.metrics.useful_core_time += inst.accumulated_core + (now - start);
@@ -466,7 +564,8 @@ impl BaselineEngine {
                                 // take the same input as the branch).
                                 let payload = inst.interp.input().clone();
                                 self.charge_transfer(id, transfer);
-                                self.sim.schedule_in(transfer, Ev::Transfer(req, n, payload));
+                                self.sim
+                                    .schedule_in(transfer, Ev::Transfer(req, n, payload));
                             }
                             None => self.cursor_done(req),
                         }
@@ -501,9 +600,219 @@ impl BaselineEngine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault handling: transient KV retries, instance retries, aborts
+    // ------------------------------------------------------------------
+
+    /// Performs a storage operation, rolling for a transient KV fault
+    /// first. A faulted operation retries after exponential backoff;
+    /// exhausting the retry budget escalates to an instance fault.
+    fn kv_access(&mut self, id: InstanceId, op: KvOp, attempt: u32) {
+        if !self.instances.contains_key(&id) {
+            return; // instance torn down while a retry was pending
+        }
+        let now = self.sim.now();
+        let site = match &op {
+            KvOp::Get { .. } => FaultSite::KvGet,
+            KvOp::Set { .. } => FaultSite::KvSet,
+        };
+        if self.faults.enabled() && self.faults.roll(site, now) {
+            self.metrics.faults.injected += 1;
+            self.metrics.faults.kv_errors += 1;
+            if attempt >= self.retry.max_attempts {
+                self.fault_instance(id);
+                return;
+            }
+            let backoff = self.retry.backoff(attempt);
+            if let Some(inst) = self.instances.get_mut(&id) {
+                inst.breakdown.retry_backoff += backoff;
+            }
+            self.metrics.faults.retried += 1;
+            self.sim
+                .schedule_in(backoff, Ev::KvRetry(id, op, attempt + 1));
+            return;
+        }
+        match op {
+            KvOp::Get { key } => {
+                let lat = self.kv.latency().read;
+                let val = self.kv.get(&key).cloned().unwrap_or(Value::Null);
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    inst.breakdown.execution += lat;
+                }
+                self.sim.schedule_in(lat, Ev::Resume(id, Some(val)));
+            }
+            KvOp::Set { key, value } => {
+                let lat = self.kv.latency().write;
+                self.kv.set(key, value);
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    inst.breakdown.execution += lat;
+                    inst.externalized = true;
+                }
+                // Retrying a caller replays its whole call subtree, so a
+                // callee's write externalizes every transitive caller too.
+                let mut cur = id;
+                while let Some(InstCtx::Callee { caller, .. }) = self.ctxs.get(&cur) {
+                    let caller = *caller;
+                    if let Some(ci) = self.instances.get_mut(&caller) {
+                        ci.externalized = true;
+                    }
+                    cur = caller;
+                }
+                self.sim.schedule_in(lat, Ev::Resume(id, None));
+            }
+        }
+    }
+
+    /// Force-removes an instance that died (crash, hang timeout,
+    /// exhausted KV retries, or request abort), releasing whatever core
+    /// slot, queue position and container it holds. Its container is not
+    /// reusable: the handler did not exit cleanly.
+    fn teardown_instance(&mut self, id: InstanceId) -> Option<FnInstance> {
+        let now = self.sim.now();
+        let inst = self.instances.remove(&id)?;
+        match inst.state {
+            InstanceState::Running => {
+                self.metrics.squashed_core_time += inst.accumulated_core
+                    + inst
+                        .started_at
+                        .map(|s| now - s)
+                        .unwrap_or(SimDuration::ZERO);
+                if inst.started_at.is_some() {
+                    if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
+                        self.grant_core(next, now);
+                    }
+                }
+            }
+            InstanceState::Blocked => {
+                self.metrics.squashed_core_time += inst.accumulated_core;
+            }
+            InstanceState::WaitingCore => {
+                self.cluster
+                    .node_mut(inst.node)
+                    .cores
+                    .remove_waiter(|w| *w == id);
+            }
+            _ => {}
+        }
+        if self.has_container.remove(&id) {
+            self.cluster
+                .node_mut(inst.node)
+                .containers
+                .release(inst.func, false);
+        }
+        Some(inst)
+    }
+
+    /// An instance suffered an unrecoverable-in-place fault: tear it
+    /// down, then relaunch the same function after backoff — or abort
+    /// the whole request once the retry budget is exhausted.
+    fn fault_instance(&mut self, id: InstanceId) {
+        let Some(inst) = self.teardown_instance(id) else {
+            return;
+        };
+        let Some(ctx) = self.ctxs.remove(&id) else {
+            return;
+        };
+        let attempt = self.attempt_of.remove(&id).unwrap_or(1);
+        let req = match &ctx {
+            InstCtx::Entry { req, .. } | InstCtx::Callee { req, .. } => *req,
+        };
+        if !self.requests.contains_key(&req) {
+            return; // request already aborted
+        }
+        if attempt >= self.retry.max_attempts {
+            self.abort_request(req);
+            return;
+        }
+        self.metrics.faults.retried += 1;
+        let input = inst.interp.input().clone();
+        self.sim.schedule_in(
+            self.retry.backoff(attempt),
+            Ev::Retry {
+                req,
+                ctx,
+                func: inst.func,
+                input,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    /// Invocation watchdog: a handler still live past the timeout is
+    /// treated as hung and goes through the instance fault path. A
+    /// blocked caller (legitimately waiting on a live callee) gets its
+    /// watchdog re-armed instead of killed.
+    fn on_timeout(&mut self, id: InstanceId) {
+        let Some(inst) = self.instances.get(&id) else {
+            return;
+        };
+        if !self.ctxs.contains_key(&id) {
+            return;
+        }
+        match inst.state {
+            InstanceState::Done => {}
+            InstanceState::Blocked => {
+                if let Some(t) = self.retry.invocation_timeout {
+                    self.sim.schedule_in(t, Ev::Timeout(id));
+                }
+            }
+            _ => {
+                self.metrics.faults.timeouts += 1;
+                self.fault_instance(id);
+            }
+        }
+    }
+
+    /// Terminally fails a request after its retry budget is exhausted
+    /// (or it wedged with no recovery path): tears down every instance
+    /// still working for it and records a [`RequestOutcome::Failed`].
+    fn abort_request(&mut self, req: RequestId) {
+        let now = self.sim.now();
+        let Some(state) = self.requests.remove(&req) else {
+            return;
+        };
+        let mut victims: Vec<InstanceId> = self
+            .ctxs
+            .iter()
+            .filter(|(_, c)| {
+                matches!(c, InstCtx::Entry { req: r, .. } | InstCtx::Callee { req: r, .. } if *r == req)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        victims.sort(); // HashMap order is not deterministic
+        for id in victims {
+            self.ctxs.remove(&id);
+            self.attempt_of.remove(&id);
+            self.teardown_instance(id);
+        }
+        if state.measured {
+            self.metrics.record_failure(InvocationRecord {
+                arrived: state.arrived,
+                completed: now,
+                functions_run: state.functions_run,
+                functions_squashed: 0,
+                sequence: state.sequence,
+                outcome: RequestOutcome::Failed,
+            });
+        } else {
+            self.metrics.faults.aborted += 1;
+        }
+        // Closed loop: the client observes the failure and issues its
+        // next request.
+        if self.closed_loop && now <= self.gen_deadline {
+            if let Some(mut g) = self.input_gen.take() {
+                let input = g(&mut self.rng);
+                self.input_gen = Some(g);
+                self.submit_request(input);
+            }
+        }
+    }
+
     /// One workflow cursor reached the end of the workflow.
     fn cursor_done(&mut self, req: RequestId) {
-        let state = self.requests.get_mut(&req).expect("live request");
+        let Some(state) = self.requests.get_mut(&req) else {
+            return;
+        };
         state.cursors -= 1;
         if state.cursors == 0 {
             self.sim
@@ -513,7 +822,9 @@ impl BaselineEngine {
 
     fn on_complete(&mut self, req: RequestId) {
         let now = self.sim.now();
-        let state = self.requests.remove(&req).expect("live request");
+        let Some(state) = self.requests.remove(&req) else {
+            return;
+        };
         if state.measured {
             self.metrics.record_completion(InvocationRecord {
                 arrived: state.arrived,
@@ -521,6 +832,7 @@ impl BaselineEngine {
                 functions_run: state.functions_run,
                 functions_squashed: 0,
                 sequence: state.sequence,
+                outcome: RequestOutcome::Completed,
             });
         }
         // Closed loop: this client immediately issues its next request.
@@ -555,31 +867,71 @@ impl BaselineEngine {
                     self.launch_entry(req, entry, payload);
                 }
             }
+            Ev::KvRetry(id, op, attempt) => self.kv_access(id, op, attempt),
+            Ev::Retry {
+                req,
+                ctx,
+                func,
+                input,
+                attempt,
+            } => {
+                if self.requests.contains_key(&req) {
+                    let id = self.spawn_named(req, ctx, func, input);
+                    self.attempt_of.insert(id, attempt);
+                }
+            }
+            Ev::Timeout(id) => self.on_timeout(id),
             Ev::Complete(req) => self.on_complete(req),
         }
     }
 
-    /// Runs a single request to completion with no background load and
-    /// returns its response time. Used for the QoS reference point
-    /// (Table III defines violation as >2× the single-request response)
-    /// and for the Fig. 3 breakdown.
+    /// Runs a single request to completion (or terminal failure) with no
+    /// background load and returns its response time. Used for the QoS
+    /// reference point (Table III defines violation as >2× the
+    /// single-request response) and for the Fig. 3 breakdown.
     pub fn run_single(&mut self, input: Value) -> SimDuration {
-        let before = self.metrics.completed;
         let req = self.submit_request(input);
         let arrived = self.requests[&req].arrived;
-        while self.metrics.completed == before {
+        while self.requests.contains_key(&req) {
             let Some((_, ev)) = self.sim.step() else {
-                panic!("simulation drained without completing the request");
+                // Drained with the request still live — an unrecoverable
+                // wedge (e.g. an injected hang with no invocation
+                // timeout). Terminal failure, not a panic.
+                self.abort_request(req);
+                break;
             };
             self.handle(ev);
         }
         self.sim.now() - arrived
     }
 
+    /// Drives the event loop until both the queue and the live-request
+    /// table are empty, aborting requests that wedge without any event
+    /// left to recover them (deterministic request order).
+    fn drain_all(&mut self) {
+        loop {
+            while let Some((_, ev)) = self.sim.step() {
+                self.handle(ev);
+            }
+            let mut stuck: Vec<RequestId> = self.requests.keys().copied().collect();
+            if stuck.is_empty() {
+                break;
+            }
+            stuck.sort();
+            for r in stuck {
+                self.abort_request(r);
+            }
+        }
+    }
+
     /// Runs `n` requests submitted back-to-back (closed loop, one at a
     /// time) — used to warm memoization/predictor state and for
     /// characterization runs.
-    pub fn run_closed(&mut self, n: u64, mut input: impl FnMut(&mut SimRng) -> Value) -> RunMetrics {
+    pub fn run_closed(
+        &mut self,
+        n: u64,
+        mut input: impl FnMut(&mut SimRng) -> Value,
+    ) -> RunMetrics {
         for _ in 0..n {
             let v = input(&mut self.rng);
             self.run_single(v);
@@ -607,9 +959,7 @@ impl BaselineEngine {
         self.cluster.reset_utilization(start + warmup);
         self.sim.schedule_now(Ev::Arrival);
         // Drive generation + all in-flight work to completion.
-        while let Some((_, ev)) = self.sim.step() {
-            self.handle(ev);
-        }
+        self.drain_all();
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);
         m.window = self.gen_deadline.saturating_since(self.measure_from);
@@ -643,9 +993,7 @@ impl BaselineEngine {
                 self.submit_request(v);
             }
         }
-        while let Some((_, ev)) = self.sim.step() {
-            self.handle(ev);
-        }
+        self.drain_all();
         self.closed_loop = false;
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);
@@ -715,7 +1063,12 @@ mod tests {
             "Branchy",
             "Test",
             reg,
-            Workflow::when_field("cond", "ok", Workflow::task("yes"), Some(Workflow::task("no"))),
+            Workflow::when_field(
+                "cond",
+                "ok",
+                Workflow::task("yes"),
+                Some(Workflow::task("no")),
+            ),
         )
     }
 
@@ -812,11 +1165,15 @@ mod tests {
         ));
         reg.register(FunctionSpec::new(
             "b1",
-            Program::builder().compute_ms(1).ret(add(input(), lit(1i64))),
+            Program::builder()
+                .compute_ms(1)
+                .ret(add(input(), lit(1i64))),
         ));
         reg.register(FunctionSpec::new(
             "b2",
-            Program::builder().compute_ms(1).ret(add(input(), lit(2i64))),
+            Program::builder()
+                .compute_ms(1)
+                .ret(add(input(), lit(2i64))),
         ));
         reg.register(FunctionSpec::new(
             "join",
@@ -895,5 +1252,140 @@ mod tests {
             (0.25..=0.55).contains(&frac),
             "execution fraction {frac} out of plausible warm band"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_disabled() {
+        let run = |enable: bool| {
+            let mut e = BaselineEngine::new(Arc::new(chain_app()), 3);
+            if enable {
+                e.enable_faults(FaultPlan::none(), RetryPolicy::default());
+            }
+            e.prewarm();
+            let m = e.run_concurrent(
+                4,
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(100),
+                |_| Value::Null,
+            );
+            (
+                m.completed,
+                m.latency.mean_ms().to_bits(),
+                m.useful_core_time,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_faults_retry_and_recover() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.enable_faults(
+            FaultPlan::none().with_container_crash(0.15),
+            RetryPolicy::default().with_max_attempts(10),
+        );
+        e.prewarm();
+        let m = e.run_closed(20, |_| Value::Null);
+        assert_eq!(m.completed, 20, "all requests survive with retries");
+        assert_eq!(m.failed, 0);
+        assert!(m.faults.crashes > 0, "crash faults should have fired");
+        assert_eq!(m.faults.crashes, m.faults.retried);
+        for r in &m.records {
+            assert_eq!(r.sequence, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_failed_outcome() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.enable_faults(
+            FaultPlan::none().with_container_crash(1.0),
+            RetryPolicy::default().with_max_attempts(2),
+        );
+        e.prewarm();
+        let m = e.run_closed(3, |_| Value::Null);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.failed, 3);
+        assert!(m
+            .records
+            .iter()
+            .all(|r| r.outcome == RequestOutcome::Failed));
+        assert_eq!(e.requests.len(), 0, "aborted request state cleaned up");
+    }
+
+    #[test]
+    fn kv_faults_retry_without_corrupting_state() {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new(
+            "writer",
+            Program::builder()
+                .set(lit("shared"), lit(41i64))
+                .ret(lit(true)),
+        ));
+        let app = AppSpec::new("W", "Test", reg, Workflow::task("writer"));
+        let mut e = BaselineEngine::new(Arc::new(app), 1);
+        e.enable_faults(
+            FaultPlan::none().with_kv_set(0.5),
+            RetryPolicy::default().with_max_attempts(10),
+        );
+        e.prewarm();
+        let m = e.run_closed(10, |_| Value::Null);
+        assert_eq!(m.completed, 10);
+        assert!(m.faults.kv_errors > 0);
+        assert_eq!(e.kv.peek("shared"), Some(&Value::Int(41)));
+    }
+
+    #[test]
+    fn watchdog_rescues_hung_invocations() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.enable_faults(
+            FaultPlan::none()
+                .with_hang(1.0)
+                .with_window(SimTime::ZERO, Some(SimTime::from_millis(30))),
+            RetryPolicy::default()
+                .with_timeout(SimDuration::from_millis(100))
+                .with_max_attempts(5),
+        );
+        e.prewarm();
+        e.run_single(Value::Null);
+        let m = e.run_closed(0, |_| Value::Null);
+        assert_eq!(m.completed, 1, "watchdog should rescue the hung request");
+        assert!(m.faults.timeouts >= 1);
+        assert!(m.faults.retried >= 1);
+    }
+
+    #[test]
+    fn hang_without_timeout_aborts_on_drain() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.enable_faults(FaultPlan::none().with_hang(1.0), RetryPolicy::default());
+        e.prewarm();
+        e.run_single(Value::Null);
+        let m = e.run_closed(0, |_| Value::Null);
+        assert_eq!(m.failed, 1);
+        assert!(m.faults.hangs >= 1);
+    }
+
+    #[test]
+    fn fault_counters_are_deterministic_per_seed() {
+        let run = || {
+            let mut e = BaselineEngine::new(Arc::new(chain_app()), 9);
+            e.enable_faults(
+                FaultPlan::none().with_container_crash(0.2).with_kv_get(0.1),
+                RetryPolicy::default().with_max_attempts(8),
+            );
+            e.prewarm();
+            let m = e.run_concurrent(
+                3,
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(100),
+                |_| Value::Null,
+            );
+            (m.completed, m.failed, m.faults)
+        };
+        assert_eq!(run(), run());
     }
 }

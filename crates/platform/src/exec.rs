@@ -75,6 +75,11 @@ pub struct FnInstance {
     pub pending_resume: Option<Option<Value>>,
     /// Output document, once done.
     pub output: Option<Value>,
+    /// True once the handler has applied a write to shared storage.
+    /// Engines that apply writes eagerly (the baseline) use this as the
+    /// fault-injection point of no return: retrying a partially
+    /// externalized handler would double-apply non-idempotent effects.
+    pub externalized: bool,
 }
 
 impl FnInstance {
@@ -102,6 +107,7 @@ impl FnInstance {
             accumulated_core: specfaas_sim::SimDuration::ZERO,
             pending_resume: None,
             output: None,
+            externalized: false,
         }
     }
 

@@ -40,6 +40,6 @@ pub use baseline::BaselineEngine;
 pub use cluster::{Cluster, NodeId};
 pub use container::{ContainerAcquire, ContainerPool};
 pub use exec::{FnInstance, InstanceId, InstanceState};
-pub use metrics::{Breakdown, InvocationRecord, RunMetrics};
+pub use metrics::{Breakdown, FaultStats, InvocationRecord, RequestOutcome, RunMetrics};
 pub use overheads::OverheadModel;
 pub use workload::{Load, RequestId, Workload};

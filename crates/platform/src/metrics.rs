@@ -9,6 +9,61 @@ use serde::{Deserialize, Serialize};
 use specfaas_sim::stats::{HitRate, LatencyRecorder};
 use specfaas_sim::{SimDuration, SimTime};
 
+/// Terminal outcome of one application request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// The request ran to completion and its effects were committed.
+    #[default]
+    Completed,
+    /// The request was aborted: an injected fault exhausted the retry
+    /// budget (or the simulation drained with the request unfinished).
+    Failed,
+}
+
+/// Counters describing injected faults and what the engine did about
+/// them. All zeros when fault injection is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected, across all sites.
+    pub injected: u64,
+    /// Container crashes injected.
+    pub crashes: u64,
+    /// Transient KV get/set errors injected.
+    pub kv_errors: u64,
+    /// Speculative slot launches dropped.
+    pub slot_drops: u64,
+    /// Invocation hangs injected (recoverable only via watchdog timeout).
+    pub hangs: u64,
+    /// Watchdog timeouts that fired on a live invocation.
+    pub timeouts: u64,
+    /// Retry attempts scheduled (function-level and storage-level).
+    pub retried: u64,
+    /// Speculative slots squashed because an earlier function faulted.
+    pub squashed_due_to_fault: u64,
+    /// Requests aborted after the retry budget was exhausted.
+    pub aborted: u64,
+}
+
+impl FaultStats {
+    /// Component-wise addition.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.crashes += other.crashes;
+        self.kv_errors += other.kv_errors;
+        self.slot_drops += other.slot_drops;
+        self.hangs += other.hangs;
+        self.timeouts += other.timeouts;
+        self.retried += other.retried;
+        self.squashed_due_to_fault += other.squashed_due_to_fault;
+        self.aborted += other.aborted;
+    }
+
+    /// True if nothing was ever injected or acted upon.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Per-invocation time attribution, mirroring the five categories of the
 /// paper's Fig. 3.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,12 +80,20 @@ pub struct Breakdown {
     pub transfer: SimDuration,
     /// Actual function execution (compute + storage stalls).
     pub execution: SimDuration,
+    /// Time spent waiting in retry backoff after an injected fault.
+    /// Always zero when fault injection is disabled.
+    pub retry_backoff: SimDuration,
 }
 
 impl Breakdown {
     /// Sum of all components.
     pub fn total(&self) -> SimDuration {
-        self.container_creation + self.runtime_setup + self.platform + self.transfer + self.execution
+        self.container_creation
+            + self.runtime_setup
+            + self.platform
+            + self.transfer
+            + self.execution
+            + self.retry_backoff
     }
 
     /// Fraction of the total spent in actual execution (Observation 1).
@@ -49,6 +112,7 @@ impl Breakdown {
         self.platform += other.platform;
         self.transfer += other.transfer;
         self.execution += other.execution;
+        self.retry_backoff += other.retry_backoff;
     }
 
     /// Component-wise mean of many breakdowns (empty input → zeros).
@@ -67,6 +131,7 @@ impl Breakdown {
             platform: sum.platform / n,
             transfer: sum.transfer / n,
             execution: sum.execution / n,
+            retry_backoff: sum.retry_backoff / n,
         }
     }
 }
@@ -85,6 +150,8 @@ pub struct InvocationRecord {
     /// Sequence of committed function ids, in commit order (used by the
     /// Observation-2 most-popular-sequence measurement).
     pub sequence: Vec<u32>,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
 }
 
 impl InvocationRecord {
@@ -105,6 +172,8 @@ pub struct RunMetrics {
     pub breakdowns: Vec<Breakdown>,
     /// Requests completed.
     pub completed: u64,
+    /// Requests that terminated with [`RequestOutcome::Failed`].
+    pub failed: u64,
     /// Requests submitted.
     pub submitted: u64,
     /// Function executions started.
@@ -123,6 +192,8 @@ pub struct RunMetrics {
     pub cpu_utilization: f64,
     /// Length of the measured window.
     pub window: SimDuration,
+    /// Injected-fault counters and the engine's responses to them.
+    pub faults: FaultStats,
 }
 
 impl RunMetrics {
@@ -133,9 +204,28 @@ impl RunMetrics {
 
     /// Records a completed request.
     pub fn record_completion(&mut self, rec: InvocationRecord) {
+        debug_assert_eq!(rec.outcome, RequestOutcome::Completed);
         self.latency.record(rec.response_time());
         self.completed += 1;
         self.records.push(rec);
+    }
+
+    /// Records a request that terminated with [`RequestOutcome::Failed`]
+    /// (retry budget exhausted, or unrecoverable hang). Failed requests
+    /// are kept in `records` for inspection but excluded from the latency
+    /// recorder — response time of an abort is not a service time.
+    pub fn record_failure(&mut self, rec: InvocationRecord) {
+        debug_assert_eq!(rec.outcome, RequestOutcome::Failed);
+        self.failed += 1;
+        self.faults.aborted += 1;
+        self.records.push(rec);
+    }
+
+    /// Completed requests per second of goodput (failed requests do not
+    /// count) — identical to [`RunMetrics::throughput_rps`] today, but
+    /// named for fault-injection reports.
+    pub fn goodput_rps(&self) -> f64 {
+        self.throughput_rps()
     }
 
     /// Mean response time in milliseconds.
@@ -170,19 +260,26 @@ impl RunMetrics {
     /// completed requests (Observation 2). Returns `None` if no requests
     /// completed.
     pub fn most_popular_sequence(&self) -> Option<(Vec<u32>, f64)> {
-        if self.records.is_empty() {
+        use std::collections::HashMap;
+        // Failed requests carry partial sequences; only committed runs
+        // describe the application's real control flow.
+        let done: Vec<&InvocationRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Completed)
+            .collect();
+        if done.is_empty() {
             return None;
         }
-        use std::collections::HashMap;
         let mut counts: HashMap<&[u32], usize> = HashMap::new();
-        for r in &self.records {
+        for r in &done {
             *counts.entry(r.sequence.as_slice()).or_insert(0) += 1;
         }
         let (seq, n) = counts
             .into_iter()
             .max_by_key(|(seq, n)| (*n, seq.len()))
             .expect("non-empty");
-        Some((seq.to_vec(), n as f64 / self.records.len() as f64))
+        Some((seq.to_vec(), n as f64 / done.len() as f64))
     }
 }
 
@@ -197,6 +294,7 @@ mod tests {
             functions_run: seq.len() as u32,
             functions_squashed: 0,
             sequence: seq,
+            outcome: RequestOutcome::Completed,
         }
     }
 
@@ -244,6 +342,110 @@ mod tests {
         m.useful_core_time = SimDuration::from_millis(90);
         m.squashed_core_time = SimDuration::from_millis(10);
         assert!((m.squashed_work_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_edge_cases() {
+        let mut m = RunMetrics::new();
+        // No samples: percentiles and throughput must degrade to 0, not
+        // panic or divide by zero.
+        assert_eq!(m.p99_response_ms(), 0.0);
+        assert_eq!(m.mean_response_ms(), 0.0);
+        assert_eq!(m.throughput_rps(), 0.0);
+        assert_eq!(m.goodput_rps(), 0.0);
+        assert_eq!(m.squashed_work_fraction(), 0.0);
+        assert!(m.most_popular_sequence().is_none());
+        assert!(m.faults.is_zero());
+        // A window without completions still yields zero throughput.
+        m.window = SimDuration::from_secs(5);
+        assert_eq!(m.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn single_record_percentiles_are_that_record() {
+        let mut m = RunMetrics::new();
+        m.record_completion(rec(0, 7, vec![0]));
+        assert_eq!(m.p99_response_ms(), 7.0);
+        assert_eq!(m.latency.p50_ms(), 7.0);
+        assert_eq!(m.mean_response_ms(), 7.0);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn disjoint_breakdown_merge_is_componentwise_sum() {
+        let mut a = Breakdown {
+            container_creation: SimDuration::from_millis(3),
+            runtime_setup: SimDuration::from_millis(5),
+            ..Breakdown::default()
+        };
+        let b = Breakdown {
+            platform: SimDuration::from_millis(7),
+            transfer: SimDuration::from_millis(11),
+            execution: SimDuration::from_millis(13),
+            retry_backoff: SimDuration::from_millis(17),
+            ..Breakdown::default()
+        };
+        a.merge(&b);
+        // Disjoint components: the merge must not mix categories.
+        assert_eq!(a.container_creation, SimDuration::from_millis(3));
+        assert_eq!(a.runtime_setup, SimDuration::from_millis(5));
+        assert_eq!(a.platform, SimDuration::from_millis(7));
+        assert_eq!(a.transfer, SimDuration::from_millis(11));
+        assert_eq!(a.execution, SimDuration::from_millis(13));
+        assert_eq!(a.retry_backoff, SimDuration::from_millis(17));
+        assert_eq!(a.total(), SimDuration::from_millis(56));
+    }
+
+    #[test]
+    fn fault_stats_merge_adds_every_counter() {
+        let mut a = FaultStats {
+            injected: 1,
+            crashes: 2,
+            kv_errors: 3,
+            slot_drops: 4,
+            hangs: 5,
+            timeouts: 6,
+            retried: 7,
+            squashed_due_to_fault: 8,
+            aborted: 9,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(
+            a,
+            FaultStats {
+                injected: 2,
+                crashes: 4,
+                kv_errors: 6,
+                slot_drops: 8,
+                hangs: 10,
+                timeouts: 12,
+                retried: 14,
+                squashed_due_to_fault: 16,
+                aborted: 18,
+            }
+        );
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn failed_requests_counted_but_not_in_latency_or_sequences() {
+        let mut m = RunMetrics::new();
+        m.window = SimDuration::from_secs(1);
+        m.record_completion(rec(0, 5, vec![0, 1]));
+        let mut failed = rec(10, 500, vec![0]);
+        failed.outcome = RequestOutcome::Failed;
+        m.record_failure(failed);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.faults.aborted, 1);
+        // Latency and throughput describe goodput only.
+        assert_eq!(m.mean_response_ms(), 5.0);
+        assert_eq!(m.throughput_rps(), 1.0);
+        // Partial sequences of failed requests don't pollute Obs. 2.
+        let (seq, share) = m.most_popular_sequence().unwrap();
+        assert_eq!(seq, vec![0, 1]);
+        assert_eq!(share, 1.0);
     }
 
     #[test]

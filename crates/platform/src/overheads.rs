@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn spec_fast_path_is_cheaper_than_conductor_path() {
         let m = OverheadModel::default();
-        assert!(m.spec_launch_service + m.spec_commit_service
-            < m.controller_service + m.conductor_service);
+        assert!(
+            m.spec_launch_service + m.spec_commit_service
+                < m.controller_service + m.conductor_service
+        );
     }
 }

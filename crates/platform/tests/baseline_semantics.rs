@@ -114,5 +114,9 @@ fn cold_start_only_once_per_container() {
     e.run_single(Value::Null);
     assert_eq!(e.cluster.cold_starts(), 3);
     e.run_single(Value::Null);
-    assert_eq!(e.cluster.cold_starts(), 3, "second request reuses containers");
+    assert_eq!(
+        e.cluster.cold_starts(),
+        3,
+        "second request reuses containers"
+    );
 }

@@ -127,7 +127,11 @@ impl<E> Simulator<E> {
     /// # Panics
     /// Debug builds panic if `at < self.now()`.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -1,0 +1,467 @@
+//! Deterministic fault injection: seed-driven fault plans, the injector
+//! that evaluates them against the sim clock, and the retry policy the
+//! engines apply when a fault fires.
+//!
+//! Real FaaS platforms treat failure as the common case: containers crash
+//! mid-execution, storage operations fail transiently, and invocations
+//! hang until a watchdog times them out. SpecFaaS's core claim is that
+//! speculative state is always recoverable via squash-and-replay, so the
+//! reproduction must be able to exercise the squash machinery with faults
+//! — not just mispredictions — while staying bit-for-bit reproducible.
+//!
+//! Design rules:
+//!
+//! * **Dedicated RNG stream.** The injector owns a [`SimRng`] derived
+//!   from the run seed with a fixed salt. Fault decisions never draw from
+//!   the engine's stream, so enabling faults does not perturb workload
+//!   generation, and a disabled plan ([`FaultPlan::none`]) draws nothing
+//!   at all — runs without faults are bit-identical to the pre-fault
+//!   engine.
+//! * **Per-site probability + schedule.** Each fault site has its own
+//!   probability, and the whole plan can be gated to a window of
+//!   simulated time (`active_from` / `active_until`), which lets
+//!   experiments inject a burst of faults mid-run.
+//! * **Counting at the injector.** The injector counts what it injected
+//!   per site; the engines separately count what they did about it
+//!   (retries, squashes, aborts) in their run metrics.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Salt XOR-ed into the run seed to derive the injector's private RNG
+/// stream. Arbitrary constant; fixed so runs are reproducible.
+const FAULT_STREAM_SALT: u64 = 0xFA_17_5E_ED_0B_AD_CA_FE;
+
+/// Where a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The container running a function crashes at an execution step
+    /// boundary; all progress in that invocation is lost.
+    ContainerCrash,
+    /// A KV read fails transiently (remote storage hiccup).
+    KvGet,
+    /// A KV write fails transiently; the write is not applied.
+    KvSet,
+    /// A speculative slot's pre-launch is dropped by the platform; the
+    /// function falls back to non-speculative (in-order) execution.
+    SlotDrop,
+    /// The invocation hangs: it stops making progress and only a
+    /// watchdog timeout (see [`RetryPolicy::invocation_timeout`]) can
+    /// recover it.
+    Hang,
+}
+
+/// All sites, in a fixed order (used for counters and reports).
+pub const ALL_SITES: [FaultSite; 5] = [
+    FaultSite::ContainerCrash,
+    FaultSite::KvGet,
+    FaultSite::KvSet,
+    FaultSite::SlotDrop,
+    FaultSite::Hang,
+];
+
+impl FaultSite {
+    /// Stable index into per-site counter arrays.
+    fn index(self) -> usize {
+        match self {
+            FaultSite::ContainerCrash => 0,
+            FaultSite::KvGet => 1,
+            FaultSite::KvSet => 2,
+            FaultSite::SlotDrop => 3,
+            FaultSite::Hang => 4,
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::ContainerCrash => "container-crash",
+            FaultSite::KvGet => "kv-get",
+            FaultSite::KvSet => "kv-set",
+            FaultSite::SlotDrop => "slot-drop",
+            FaultSite::Hang => "hang",
+        }
+    }
+}
+
+/// A deterministic, seed-driven fault schedule: per-site probabilities
+/// plus an active window on the sim clock.
+///
+/// # Example
+///
+/// ```
+/// use specfaas_sim::fault::FaultPlan;
+///
+/// let none = FaultPlan::none();
+/// assert!(!none.any_enabled());
+///
+/// let plan = FaultPlan::none()
+///     .with_container_crash(0.05)
+///     .with_kv_get(0.02);
+/// assert!(plan.any_enabled());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a running function crashes at each execution step.
+    pub container_crash: f64,
+    /// Probability a KV read fails transiently.
+    pub kv_get: f64,
+    /// Probability a KV write fails transiently.
+    pub kv_set: f64,
+    /// Probability a speculative slot launch is dropped.
+    pub slot_drop: f64,
+    /// Probability an invocation hangs at its first execution step.
+    pub hang: f64,
+    /// Faults only fire at or after this instant.
+    pub active_from: SimTime,
+    /// If set, faults only fire strictly before this instant.
+    pub active_until: Option<SimTime>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Zero-cost: the injector never draws
+    /// from its RNG under this plan.
+    pub fn none() -> Self {
+        FaultPlan {
+            container_crash: 0.0,
+            kv_get: 0.0,
+            kv_set: 0.0,
+            slot_drop: 0.0,
+            hang: 0.0,
+            active_from: SimTime::ZERO,
+            active_until: None,
+        }
+    }
+
+    /// A moderate all-site plan used by ablations and tests: every site
+    /// fires with probability `p`, except hangs which fire at `p / 4`
+    /// (hangs are only survivable with a watchdog, and real platforms
+    /// see them far less often than transient storage errors).
+    pub fn uniform(p: f64) -> Self {
+        FaultPlan {
+            container_crash: p,
+            kv_get: p,
+            kv_set: p,
+            slot_drop: p,
+            hang: p / 4.0,
+            active_from: SimTime::ZERO,
+            active_until: None,
+        }
+    }
+
+    /// Sets the container-crash probability.
+    pub fn with_container_crash(mut self, p: f64) -> Self {
+        self.container_crash = p;
+        self
+    }
+
+    /// Sets the KV-read fault probability.
+    pub fn with_kv_get(mut self, p: f64) -> Self {
+        self.kv_get = p;
+        self
+    }
+
+    /// Sets the KV-write fault probability.
+    pub fn with_kv_set(mut self, p: f64) -> Self {
+        self.kv_set = p;
+        self
+    }
+
+    /// Sets the speculative-slot-drop probability.
+    pub fn with_slot_drop(mut self, p: f64) -> Self {
+        self.slot_drop = p;
+        self
+    }
+
+    /// Sets the invocation-hang probability.
+    pub fn with_hang(mut self, p: f64) -> Self {
+        self.hang = p;
+        self
+    }
+
+    /// Restricts the plan to `[from, until)` on the sim clock.
+    pub fn with_window(mut self, from: SimTime, until: Option<SimTime>) -> Self {
+        self.active_from = from;
+        self.active_until = until;
+        self
+    }
+
+    /// Probability configured for `site`.
+    pub fn probability(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::ContainerCrash => self.container_crash,
+            FaultSite::KvGet => self.kv_get,
+            FaultSite::KvSet => self.kv_set,
+            FaultSite::SlotDrop => self.slot_drop,
+            FaultSite::Hang => self.hang,
+        }
+    }
+
+    /// True if any site has a positive probability.
+    pub fn any_enabled(&self) -> bool {
+        ALL_SITES.iter().any(|s| self.probability(*s) > 0.0)
+    }
+
+    /// True if the plan is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.active_from && self.active_until.map(|u| now < u).unwrap_or(true)
+    }
+}
+
+/// Evaluates a [`FaultPlan`] against the sim clock, with a private RNG
+/// stream split off the run seed.
+///
+/// # Example
+///
+/// ```
+/// use specfaas_sim::fault::{FaultInjector, FaultPlan, FaultSite};
+/// use specfaas_sim::SimTime;
+///
+/// let mut inj = FaultInjector::new(FaultPlan::uniform(1.0), 42);
+/// assert!(inj.roll(FaultSite::KvGet, SimTime::ZERO));
+/// assert_eq!(inj.injected(FaultSite::KvGet), 1);
+///
+/// let mut off = FaultInjector::disabled();
+/// assert!(!off.roll(FaultSite::KvGet, SimTime::ZERO));
+/// assert_eq!(off.total_injected(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    injected: [u64; ALL_SITES.len()],
+}
+
+impl FaultInjector {
+    /// An injector with [`FaultPlan::none`]: never fires, never draws.
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultPlan::none(), 0)
+    }
+
+    /// Creates an injector for one run. `seed` should be the engine's
+    /// run seed; the injector derives its own independent stream from it
+    /// so fault decisions never perturb workload randomness.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: SimRng::seed(seed ^ FAULT_STREAM_SALT),
+            injected: [0; ALL_SITES.len()],
+        }
+    }
+
+    /// The plan under evaluation.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True if any fault site can ever fire. Engines use this to skip
+    /// fault bookkeeping entirely when faults are off.
+    pub fn enabled(&self) -> bool {
+        self.plan.any_enabled()
+    }
+
+    /// Decides whether a fault strikes `site` at `now`, counting it if
+    /// so. Draws from the private stream only when the site has positive
+    /// probability and the plan is active — a disabled injector performs
+    /// no RNG work at all.
+    pub fn roll(&mut self, site: FaultSite, now: SimTime) -> bool {
+        let p = self.plan.probability(site);
+        if p <= 0.0 || !self.plan.active_at(now) {
+            return false;
+        }
+        let hit = self.rng.chance(p);
+        if hit {
+            self.injected[site.index()] += 1;
+        }
+        hit
+    }
+
+    /// Number of faults injected at `site` so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()]
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+}
+
+/// Retry semantics the engines apply when an invocation faults:
+/// bounded attempts with exponential backoff, plus an optional watchdog
+/// timeout that recovers hung invocations.
+///
+/// Also re-exported as `specfaas_core::config::RetryPolicy`.
+///
+/// # Example
+///
+/// ```
+/// use specfaas_sim::fault::RetryPolicy;
+/// use specfaas_sim::SimDuration;
+///
+/// let r = RetryPolicy::default();
+/// assert!(r.backoff(2) > r.backoff(1));
+/// assert!(r.backoff(100) <= r.max_backoff);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per invocation, including the first. At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied per additional retry (exponential backoff).
+    pub backoff_multiplier: f64,
+    /// Upper bound on any single backoff.
+    pub max_backoff: SimDuration,
+    /// If set, a watchdog kills (and retries) any invocation still
+    /// running after this long. Required to survive [`FaultSite::Hang`].
+    pub invocation_timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base backoff doubling per retry, capped at
+    /// 1 s, no watchdog. With no faults injected this policy is inert.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: SimDuration::from_millis(1_000),
+            invocation_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out: the first fault
+    /// aborts the request.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            backoff_multiplier: 1.0,
+            max_backoff: SimDuration::ZERO,
+            invocation_timeout: None,
+        }
+    }
+
+    /// Sets the watchdog timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.invocation_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the attempt budget (clamped to at least 1).
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Backoff before retry number `retry` (1-based: the delay between
+    /// attempt N failing and attempt N+1 starting is `backoff(N)`).
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        let exp = retry.saturating_sub(1).min(30);
+        let scaled =
+            self.base_backoff.as_micros() as f64 * self.backoff_multiplier.powi(exp as i32);
+        let capped = scaled.min(self.max_backoff.as_micros() as f64).max(0.0);
+        SimDuration::from_micros(capped as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires_and_never_draws() {
+        let mut inj = FaultInjector::disabled();
+        let before = inj.rng.clone();
+        for _ in 0..1_000 {
+            assert!(!inj.roll(FaultSite::ContainerCrash, SimTime::ZERO));
+            assert!(!inj.roll(FaultSite::KvGet, SimTime::from_millis(5)));
+        }
+        assert_eq!(inj.rng, before, "disabled injector must not consume RNG");
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_plan_same_decisions() {
+        let plan = FaultPlan::uniform(0.3);
+        let mut a = FaultInjector::new(plan.clone(), 99);
+        let mut b = FaultInjector::new(plan, 99);
+        for i in 0..5_000u64 {
+            let site = ALL_SITES[(i % 5) as usize];
+            let t = SimTime::from_micros(i);
+            assert_eq!(a.roll(site, t), b.roll(site, t));
+        }
+        for site in ALL_SITES {
+            assert_eq!(a.injected(site), b.injected(site));
+        }
+    }
+
+    #[test]
+    fn fault_stream_is_independent_of_engine_stream() {
+        // Same seed: the injector's draws must not be the engine's draws.
+        let mut engine_rng = SimRng::seed(7);
+        let mut inj = FaultInjector::new(FaultPlan::uniform(0.5), 7);
+        let engine_draws: Vec<bool> = (0..100).map(|_| engine_rng.chance(0.5)).collect();
+        let fault_draws: Vec<bool> = (0..100)
+            .map(|_| inj.roll(FaultSite::KvGet, SimTime::ZERO))
+            .collect();
+        assert_ne!(engine_draws, fault_draws);
+    }
+
+    #[test]
+    fn window_gates_injection() {
+        let plan = FaultPlan::uniform(1.0)
+            .with_window(SimTime::from_millis(10), Some(SimTime::from_millis(20)));
+        let mut inj = FaultInjector::new(plan, 1);
+        assert!(!inj.roll(FaultSite::KvGet, SimTime::from_millis(9)));
+        assert!(inj.roll(FaultSite::KvGet, SimTime::from_millis(10)));
+        assert!(inj.roll(FaultSite::KvGet, SimTime::from_millis(19)));
+        assert!(!inj.roll(FaultSite::KvGet, SimTime::from_millis(20)));
+        assert_eq!(inj.total_injected(), 2);
+    }
+
+    #[test]
+    fn per_site_counters_track_hits() {
+        let plan = FaultPlan::none().with_kv_set(1.0);
+        let mut inj = FaultInjector::new(plan, 3);
+        for _ in 0..4 {
+            assert!(inj.roll(FaultSite::KvSet, SimTime::ZERO));
+            assert!(!inj.roll(FaultSite::ContainerCrash, SimTime::ZERO));
+        }
+        assert_eq!(inj.injected(FaultSite::KvSet), 4);
+        assert_eq!(inj.injected(FaultSite::ContainerCrash), 0);
+        assert_eq!(inj.total_injected(), 4);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let r = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: SimDuration::from_millis(55),
+            invocation_timeout: None,
+        };
+        assert_eq!(r.backoff(1), SimDuration::from_millis(10));
+        assert_eq!(r.backoff(2), SimDuration::from_millis(20));
+        assert_eq!(r.backoff(3), SimDuration::from_millis(40));
+        assert_eq!(r.backoff(4), SimDuration::from_millis(55), "cap applies");
+        assert_eq!(r.backoff(30), SimDuration::from_millis(55));
+    }
+
+    #[test]
+    fn no_retries_policy_gives_single_attempt() {
+        let r = RetryPolicy::no_retries();
+        assert_eq!(r.max_attempts, 1);
+        assert_eq!(r.backoff(1), SimDuration::ZERO);
+    }
+}

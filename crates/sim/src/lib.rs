@@ -37,11 +37,13 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, Simulator};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

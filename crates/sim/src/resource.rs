@@ -103,8 +103,8 @@ impl<T> CorePool<T> {
 
     /// Removes a queued waiter (e.g. because its function got squashed
     /// before ever starting). Returns `true` if found.
-    pub fn remove_waiter<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> bool {
-        if let Some(pos) = self.waiters.iter().position(|t| pred(t)) {
+    pub fn remove_waiter<F: FnMut(&T) -> bool>(&mut self, pred: F) -> bool {
+        if let Some(pos) = self.waiters.iter().position(pred) {
             self.waiters.remove(pos);
             true
         } else {

@@ -6,16 +6,17 @@
 //! values from skewed distributions. Everything here is built on a
 //! deterministic, splittable seeded generator so experiment runs are
 //! reproducible.
-
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public domain, Blackman
+//! & Vigna) seeded through SplitMix64, so the simulator carries no external
+//! RNG dependency — important because the build environment is offline.
 
 /// A deterministic random source for one simulation run.
 ///
-/// Wraps [`StdRng`] with the handful of draw helpers used across the
-/// reproduction. Use [`SimRng::split`] to derive independent streams (e.g.
-/// one per application instance) without correlating them.
+/// Wraps a xoshiro256++ state with the handful of draw helpers used across
+/// the reproduction. Use [`SimRng::split`] to derive independent streams
+/// (e.g. one per application instance, or one for the fault injector)
+/// without correlating them.
 ///
 /// # Example
 ///
@@ -26,17 +27,46 @@ use rand::{Rng, SeedableRng};
 /// let mut b = SimRng::seed(42);
 /// assert_eq!(a.uniform_u64(100), b.uniform_u64(100));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the 256-bit state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut x = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
         }
+    }
+
+    /// One xoshiro256++ output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator.
@@ -44,16 +74,27 @@ impl SimRng {
     /// The child's stream is fully determined by the parent state at the
     /// time of the split, so overall determinism is preserved.
     pub fn split(&mut self) -> SimRng {
-        SimRng::seed(self.inner.gen())
+        SimRng::seed(self.next_u64())
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)`, unbiased (Lemire's method).
     ///
     /// # Panics
     /// Panics if `bound == 0`.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform_u64 bound must be positive");
-        self.inner.gen_range(0..bound)
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
@@ -62,18 +103,33 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_range requires lo <= hi");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.uniform_u64(span + 1)
+        }
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1)` — never exactly zero, safe for `ln()`.
+    fn uniform_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.uniform_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
     }
 
     /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.uniform_f64() < p
     }
 
     /// Exponentially distributed value with the given mean.
@@ -88,7 +144,7 @@ impl SimRng {
             mean.is_finite() && mean > 0.0,
             "exponential mean must be positive"
         );
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.uniform_f64_open();
         -mean * u.ln()
     }
 
@@ -97,8 +153,8 @@ impl SimRng {
     ///
     /// Used for service-time jitter around the calibrated means.
     pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, min: f64, max: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.uniform_f64_open();
+        let u2 = self.uniform_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (mean + z * std_dev).clamp(min, max)
     }
@@ -117,7 +173,7 @@ impl SimRng {
         // Finite support: normalize sum_{k=1..n} k^-s and invert.
         // n is small (hundreds) in all our uses, so linear scan is fine.
         let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
-        let mut target = self.inner.gen::<f64>() * norm;
+        let mut target = self.uniform_f64() * norm;
         for k in 1..=n {
             target -= (k as f64).powf(-s);
             if target <= 0.0 {
@@ -137,7 +193,7 @@ impl SimRng {
             !weights.is_empty() && total > 0.0,
             "weighted_index requires positive total weight"
         );
-        let mut target = self.inner.gen::<f64>() * total;
+        let mut target = self.uniform_f64() * total;
         for (i, w) in weights.iter().enumerate() {
             target -= w;
             if target <= 0.0 {
@@ -150,14 +206,9 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.uniform_range(0, i as u64) as usize;
             items.swap(i, j);
         }
-    }
-
-    /// Samples from any `rand` distribution.
-    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
-        dist.sample(&mut self.inner)
     }
 }
 
@@ -182,6 +233,36 @@ mod tests {
         let s1: Vec<u64> = (0..10).map(|_| c1.uniform_u64(1_000_000)).collect();
         let s2: Vec<u64> = (0..10).map(|_| c2.uniform_u64(1_000_000)).collect();
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn uniform_u64_stays_in_bounds() {
+        let mut rng = SimRng::seed(23);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..1_000 {
+                assert!(rng.uniform_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_u64_is_roughly_uniform() {
+        let mut rng = SimRng::seed(29);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.uniform_u64(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} off uniform");
+        }
+    }
+
+    #[test]
+    fn uniform_range_full_span_does_not_overflow() {
+        let mut rng = SimRng::seed(31);
+        // Must not panic or loop: span + 1 would overflow u64.
+        let _ = rng.uniform_range(0, u64::MAX);
+        assert_eq!(rng.uniform_range(5, 5), 5);
     }
 
     #[test]

@@ -110,7 +110,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -250,8 +251,8 @@ impl Cdf {
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
         assert!(!self.values.is_empty(), "quantile of empty CDF");
-        let idx = ((q * (self.values.len() - 1) as f64).round() as usize)
-            .min(self.values.len() - 1);
+        let idx =
+            ((q * (self.values.len() - 1) as f64).round() as usize).min(self.values.len() - 1);
         self.values[idx]
     }
 

@@ -134,11 +134,7 @@ mod tests {
     #[test]
     fn nested_effects_found() {
         let p = Program::builder()
-            .if_(
-                lit(true),
-                vec![Stmt::Http { url: lit("u") }],
-                vec![],
-            )
+            .if_(lit(true), vec![Stmt::Http { url: lit("u") }], vec![])
             .build();
         assert!(SideEffects::of(&p).http_requests);
     }

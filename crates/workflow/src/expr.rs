@@ -439,7 +439,11 @@ mod tests {
         assert_eq!(ev(&lt(lit(1i64), lit(2i64))), Value::Bool(true));
         assert_eq!(ev(&ge(lit(2.0), lit(2i64))), Value::Bool(true));
         assert_eq!(ev(&eq(lit("a"), lit("a"))), Value::Bool(true));
-        assert_eq!(ev(&ne(lit(1i64), lit(1.0))), Value::Bool(true), "Int != Float structurally");
+        assert_eq!(
+            ev(&ne(lit(1i64), lit(1.0))),
+            Value::Bool(true),
+            "Int != Float structurally"
+        );
     }
 
     #[test]
@@ -461,7 +465,11 @@ mod tests {
 
     #[test]
     fn indexing_with_negative_and_oob() {
-        let l = lit(Value::list([Value::Int(10), Value::Int(20), Value::Int(30)]));
+        let l = lit(Value::list([
+            Value::Int(10),
+            Value::Int(20),
+            Value::Int(30),
+        ]));
         assert_eq!(ev(&index(l.clone(), lit(0i64))), Value::Int(10));
         assert_eq!(ev(&index(l.clone(), lit(-1i64))), Value::Int(30));
         assert_eq!(ev(&index(l, lit(99i64))), Value::Null);

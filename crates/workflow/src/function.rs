@@ -12,9 +12,7 @@ use crate::program::Program;
 ///
 /// Stable within one [`FunctionRegistry`]; indexes are assigned in
 /// registration order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FuncId(pub u32);
 
 impl fmt::Display for FuncId {

@@ -422,22 +422,29 @@ mod tests {
 
     fn run(p: &Program, input: Value) -> Value {
         let mut storage = HashMap::new();
-        Interp::run_functional(p, input, &mut storage, &mut |_, _, _, _| Ok(Value::Null), &mut rng())
-            .unwrap()
+        Interp::run_functional(
+            p,
+            input,
+            &mut storage,
+            &mut |_, _, _, _| Ok(Value::Null),
+            &mut rng(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn straight_line_compute_and_return() {
-        let p = Program::builder()
-            .compute_ms(3)
-            .ret(lit("ok"));
+        let p = Program::builder().compute_ms(3).ret(lit("ok"));
         let mut i = Interp::new(&p, Value::Null);
         let mut r = rng();
         assert_eq!(
             i.step(None, &mut r).unwrap(),
             Effect::Compute(SimDuration::from_millis(3))
         );
-        assert_eq!(i.step(None, &mut r).unwrap(), Effect::Done(Value::str("ok")));
+        assert_eq!(
+            i.step(None, &mut r).unwrap(),
+            Effect::Done(Value::str("ok"))
+        );
         assert!(i.is_finished());
     }
 
@@ -459,7 +466,9 @@ mod tests {
         let mut r = rng();
         assert_eq!(
             i.step(None, &mut r).unwrap(),
-            Effect::Get { key: "user:7".into() }
+            Effect::Get {
+                key: "user:7".into()
+            }
         );
         assert_eq!(
             i.step(Some(Value::str("alice")), &mut r).unwrap(),
@@ -485,8 +494,14 @@ mod tests {
                 vec![Stmt::Return(lit("small"))],
             )
             .build();
-        assert_eq!(run(&p, Value::map([("x", Value::Int(50))])), Value::str("big"));
-        assert_eq!(run(&p, Value::map([("x", Value::Int(5))])), Value::str("small"));
+        assert_eq!(
+            run(&p, Value::map([("x", Value::Int(50))])),
+            Value::str("big")
+        );
+        assert_eq!(
+            run(&p, Value::map([("x", Value::Int(5))])),
+            Value::str("small")
+        );
     }
 
     #[test]
@@ -565,7 +580,13 @@ mod tests {
             &mut storage,
             &mut |name, args, storage, rng| {
                 assert_eq!(name, "inc");
-                Interp::run_functional(&callee, args, storage, &mut |_, _, _, _| Ok(Value::Null), rng)
+                Interp::run_functional(
+                    &callee,
+                    args,
+                    storage,
+                    &mut |_, _, _, _| Ok(Value::Null),
+                    rng,
+                )
             },
             &mut rng(),
         )
@@ -588,9 +609,14 @@ mod tests {
         let mut r = rng();
         assert_eq!(
             i.step(None, &mut r).unwrap(),
-            Effect::Http { url: "https://api/pay".into() }
+            Effect::Http {
+                url: "https://api/pay".into()
+            }
         );
-        assert_eq!(i.step(None, &mut r).unwrap(), Effect::Done(Value::Bool(true)));
+        assert_eq!(
+            i.step(None, &mut r).unwrap(),
+            Effect::Done(Value::Bool(true))
+        );
     }
 
     #[test]

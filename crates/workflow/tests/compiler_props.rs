@@ -1,13 +1,18 @@
 //! Property tests for the workflow compiler: arbitrary well-formed
 //! workflow trees compile to structurally sound sequence tables.
+//!
+//! Generation is driven by the repo's own seeded `SimRng` (the offline
+//! build environment cannot fetch `proptest`), so every case is
+//! reproducible from the printed loop seed.
 
-use proptest::prelude::*;
+use specfaas_sim::SimRng;
 use specfaas_workflow::expr::lit;
 use specfaas_workflow::{
     CompiledWorkflow, EntryKind, FunctionRegistry, FunctionSpec, Program, Workflow,
 };
 
 const FUNCS: usize = 12;
+const CASES: u64 = 300;
 
 fn registry() -> FunctionRegistry {
     let mut reg = FunctionRegistry::new();
@@ -20,34 +25,41 @@ fn registry() -> FunctionRegistry {
     reg
 }
 
+fn arb_task(rng: &mut SimRng) -> Workflow {
+    Workflow::task(format!("g{}", rng.uniform_u64(FUNCS as u64)))
+}
+
 /// Random workflows over the fixed registry. `parallel` only appears in
 /// the supported placement (inside a sequence, after a task).
-fn arb_workflow(depth: u32) -> BoxedStrategy<Workflow> {
-    let task = (0..FUNCS).prop_map(|i| Workflow::task(format!("g{i}")));
-    task.prop_recursive(depth, 24, 4, |inner| {
-        let task = (0..FUNCS).prop_map(|i| Workflow::task(format!("g{i}")));
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Workflow::sequence),
-            ((0..FUNCS), inner.clone(), proptest::option::of(inner.clone()))
-                .prop_map(|(c, t, e)| Workflow::when(format!("g{c}"), t, e)),
-            ((0..FUNCS), inner.clone()).prop_map(|(c, b)| Workflow::WhileLoop {
-                cond: format!("g{c}"),
-                field: Some("more".into()),
-                body: Box::new(b),
-            }),
-            // sequence [task, parallel [...], task] — the supported shape.
-            (task, proptest::collection::vec(inner, 1..3), (0..FUNCS)).prop_map(
-                |(pre, branches, join)| {
-                    Workflow::sequence(vec![
-                        pre,
-                        Workflow::parallel(branches),
-                        Workflow::task(format!("g{join}")),
-                    ])
-                }
-            ),
-        ]
-    })
-    .boxed()
+fn arb_workflow(rng: &mut SimRng, depth: u32) -> Workflow {
+    if depth == 0 || rng.chance(0.3) {
+        return arb_task(rng);
+    }
+    match rng.uniform_u64(4) {
+        0 => {
+            let n = rng.uniform_range(1, 3);
+            Workflow::sequence((0..n).map(|_| arb_workflow(rng, depth - 1)).collect())
+        }
+        1 => {
+            let cond = format!("g{}", rng.uniform_u64(FUNCS as u64));
+            let then = arb_workflow(rng, depth - 1);
+            let els = rng.chance(0.5).then(|| arb_workflow(rng, depth - 1));
+            Workflow::when(cond, then, els)
+        }
+        2 => Workflow::WhileLoop {
+            cond: format!("g{}", rng.uniform_u64(FUNCS as u64)),
+            field: Some("more".into()),
+            body: Box::new(arb_workflow(rng, depth - 1)),
+        },
+        // sequence [task, parallel [...], task] — the supported shape.
+        _ => {
+            let pre = arb_task(rng);
+            let n = rng.uniform_range(1, 2);
+            let branches = (0..n).map(|_| arb_workflow(rng, depth - 1)).collect();
+            let join = arb_task(rng);
+            Workflow::sequence(vec![pre, Workflow::parallel(branches), join])
+        }
+    }
 }
 
 fn check_sound(c: &CompiledWorkflow) {
@@ -84,41 +96,59 @@ fn check_sound(c: &CompiledWorkflow) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    /// Every random workflow either compiles to a sound table or reports
-    /// a well-defined error (never panics, never emits dangling indexes).
-    #[test]
-    fn compile_is_sound_or_rejects(w in arb_workflow(3)) {
-        let reg = registry();
+/// Every random workflow either compiles to a sound table or reports a
+/// well-defined error (never panics, never emits dangling indexes).
+#[test]
+fn compile_is_sound_or_rejects() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0x51AB + case);
+        let w = arb_workflow(&mut rng, 3);
         if let Ok(c) = CompiledWorkflow::compile(&w, &reg) {
             check_sound(&c);
             // Branch-count consistency with the source tree.
-            prop_assert!(c.branch_entries().len() >= w.branch_count().min(c.len()) / 2);
+            assert!(
+                c.branch_entries().len() >= w.branch_count().min(c.len()) / 2,
+                "case {case}: too few branch entries"
+            );
         }
     }
+}
 
-    /// Compilation is deterministic.
-    #[test]
-    fn compile_deterministic(w in arb_workflow(3)) {
-        let reg = registry();
+/// Compilation is deterministic.
+#[test]
+fn compile_deterministic() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xD0_0D + case);
+        let w = arb_workflow(&mut rng, 3);
         let a = CompiledWorkflow::compile(&w, &reg);
         let b = CompiledWorkflow::compile(&w, &reg);
-        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "case {case}: non-deterministic compile"
+        );
     }
+}
 
-    /// Every function referenced in the source appears in the table.
-    #[test]
-    fn all_functions_reachable(w in arb_workflow(3)) {
-        let reg = registry();
+/// Every function referenced in the source appears in the table.
+#[test]
+fn all_functions_reachable() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xFA_CE + case);
+        let w = arb_workflow(&mut rng, 3);
         if let Ok(c) = CompiledWorkflow::compile(&w, &reg) {
             let names = w.function_names();
             let table_funcs: std::collections::HashSet<u32> =
                 c.entries.iter().map(|e| e.func.0).collect();
             for n in names {
                 let id = reg.lookup(n).unwrap();
-                prop_assert!(table_funcs.contains(&id.0), "{n} missing from table");
+                assert!(
+                    table_funcs.contains(&id.0),
+                    "case {case}: {n} missing from table"
+                );
             }
         }
     }

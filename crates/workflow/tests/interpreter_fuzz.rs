@@ -1,153 +1,183 @@
 //! Property tests over the program interpreter: randomly generated
 //! programs must never panic, always terminate (loop bounds), and be
 //! deterministic for a given input and storage state.
+//!
+//! The generators are driven by the repo's own seeded `SimRng` (the
+//! offline build environment cannot fetch `proptest`), so every case is
+//! reproducible from the loop seed printed in an assertion message.
 
-use proptest::prelude::*;
 use specfaas_sim::SimRng;
 use specfaas_storage::Value;
 use specfaas_workflow::expr::*;
-use specfaas_workflow::{Expr, Interp, Program, Stmt};
+use specfaas_workflow::{Effect, Expr, Interp, Program, Stmt};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+const CASES: u64 = 200;
+
 /// A small generator of well-formed expressions over known variables.
-fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        any::<i64>().prop_map(|v| lit(v)),
-        any::<bool>().prop_map(|b| lit(Value::Bool(b))),
-        "[a-z]{1,4}".prop_map(|s| lit(Value::str(s))),
-        Just(input()),
-        Just(var("x")), // bound by the program prologue
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| eq(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| lt(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| and(a, b)),
-            inner.clone().prop_map(not),
-            inner.clone().prop_map(hash_of),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| if_else(c, a, b)),
-        ]
-    })
-    .boxed()
+fn arb_expr(rng: &mut SimRng, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.chance(0.35);
+    if leaf {
+        return match rng.uniform_u64(5) {
+            0 => lit(rng.uniform_range(0, 1 << 32) as i64 - (1 << 31)),
+            1 => lit(Value::Bool(rng.chance(0.5))),
+            2 => {
+                let len = rng.uniform_range(1, 4) as usize;
+                let s: String = (0..len)
+                    .map(|_| (b'a' + rng.uniform_u64(26) as u8) as char)
+                    .collect();
+                lit(Value::str(s))
+            }
+            3 => input(),
+            _ => var("x"), // bound by the program prologue
+        };
+    }
+    let a = arb_expr(rng, depth - 1);
+    let b = arb_expr(rng, depth - 1);
+    match rng.uniform_u64(10) {
+        0 => add(a, b),
+        1 => sub(a, b),
+        2 => mul(a, b),
+        3 => div(a, b),
+        4 => eq(a, b),
+        5 => lt(a, b),
+        6 => and(a, b),
+        7 => not(a),
+        8 => hash_of(a),
+        _ => {
+            let c = arb_expr(rng, depth - 1);
+            if_else(c, a, b)
+        }
+    }
+}
+
+fn arb_leaf_stmt(rng: &mut SimRng) -> Stmt {
+    if rng.chance(0.5) {
+        Stmt::Compute(specfaas_workflow::DurationSpec::millis(
+            rng.uniform_range(1, 4),
+        ))
+    } else {
+        Stmt::Let {
+            var: "x".into(),
+            expr: arb_expr(rng, 1),
+        }
+    }
+}
+
+fn arb_leaf_block(rng: &mut SimRng) -> Vec<Stmt> {
+    (0..rng.uniform_u64(3))
+        .map(|_| arb_leaf_stmt(rng))
+        .collect()
 }
 
 /// Well-formed statements (variables referenced are always bound).
-fn arb_stmt() -> BoxedStrategy<Stmt> {
-    prop_oneof![
-        (1u64..20).prop_map(|ms| Stmt::Compute(specfaas_workflow::DurationSpec::millis(ms))),
-        arb_expr(2).prop_map(|e| Stmt::Let {
+fn arb_stmt(rng: &mut SimRng) -> Stmt {
+    match rng.uniform_u64(7) {
+        0 => Stmt::Compute(specfaas_workflow::DurationSpec::millis(
+            rng.uniform_range(1, 19),
+        )),
+        1 => Stmt::Let {
             var: "x".into(),
-            expr: e
-        }),
-        arb_expr(2).prop_map(|k| Stmt::Get {
-            key: concat([lit("key:"), hash_of(k)]),
-            var: "x".into()
-        }),
-        (arb_expr(2), arb_expr(2)).prop_map(|(k, v)| Stmt::Set {
-            key: concat([lit("key:"), hash_of(k)]),
-            value: v
-        }),
-        (arb_expr(2), arb_expr(2)).prop_map(|(n, d)| Stmt::FileWrite {
-            name: concat([lit("f"), hash_of(n)]),
-            data: d
-        }),
-        (arb_expr(1), proptest::collection::vec(arb_leaf_stmt(), 0..3))
-            .prop_map(|(c, body)| Stmt::While {
-                cond: c,
-                body: Arc::new(body),
-                max_iters: 4,
-            }),
-        (
-            arb_expr(1),
-            proptest::collection::vec(arb_leaf_stmt(), 0..3),
-            proptest::collection::vec(arb_leaf_stmt(), 0..3)
-        )
-            .prop_map(|(c, t, e)| Stmt::If {
-                cond: c,
-                then: Arc::new(t),
-                els: Arc::new(e),
-            }),
-    ]
-    .boxed()
+            expr: arb_expr(rng, 2),
+        },
+        2 => Stmt::Get {
+            key: concat([lit("key:"), hash_of(arb_expr(rng, 2))]),
+            var: "x".into(),
+        },
+        3 => Stmt::Set {
+            key: concat([lit("key:"), hash_of(arb_expr(rng, 2))]),
+            value: arb_expr(rng, 2),
+        },
+        4 => Stmt::FileWrite {
+            name: concat([lit("f"), hash_of(arb_expr(rng, 2))]),
+            data: arb_expr(rng, 2),
+        },
+        5 => Stmt::While {
+            cond: arb_expr(rng, 1),
+            body: Arc::new(arb_leaf_block(rng)),
+            max_iters: 4,
+        },
+        _ => Stmt::If {
+            cond: arb_expr(rng, 1),
+            then: Arc::new(arb_leaf_block(rng)),
+            els: Arc::new(arb_leaf_block(rng)),
+        },
+    }
 }
 
-fn arb_leaf_stmt() -> BoxedStrategy<Stmt> {
-    prop_oneof![
-        (1u64..5).prop_map(|ms| Stmt::Compute(specfaas_workflow::DurationSpec::millis(ms))),
-        arb_expr(1).prop_map(|e| Stmt::Let {
+fn arb_program(rng: &mut SimRng) -> Program {
+    let mut stmts: Vec<Stmt> = (0..rng.uniform_u64(8)).map(|_| arb_stmt(rng)).collect();
+    // Prologue binds `x`; epilogue returns it.
+    stmts.insert(
+        0,
+        Stmt::Let {
             var: "x".into(),
-            expr: e
-        }),
-    ]
-    .boxed()
-}
-
-fn arb_program() -> BoxedStrategy<Program> {
-    proptest::collection::vec(arb_stmt(), 0..8)
-        .prop_map(|mut stmts| {
-            // Prologue binds `x`; epilogue returns it.
-            stmts.insert(
-                0,
-                Stmt::Let {
-                    var: "x".into(),
-                    expr: lit(0i64),
-                },
-            );
-            stmts.push(Stmt::Return(var("x")));
-            Program::new(stmts)
-        })
-        .boxed()
+            expr: lit(0i64),
+        },
+    );
+    stmts.push(Stmt::Return(var("x")));
+    Program::new(stmts)
 }
 
 fn run_program(p: &Program, input: Value, seed: u64) -> Result<Value, String> {
     let mut storage: HashMap<String, Value> = HashMap::new();
     let mut rng = SimRng::seed(seed);
-    Interp::run_functional(p, input, &mut storage, &mut |_, _, _, _| Ok(Value::Null), &mut rng)
-        .map_err(|e| e.to_string())
+    Interp::run_functional(
+        p,
+        input,
+        &mut storage,
+        &mut |_, _, _, _| Ok(Value::Null),
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Random programs never panic and always terminate (errors are
-    /// fine; hangs and panics are not).
-    #[test]
-    fn interpreter_total_on_random_programs(p in arb_program(), v in any::<i64>()) {
+/// Random programs never panic and always terminate (errors are fine;
+/// hangs and panics are not).
+#[test]
+fn interpreter_total_on_random_programs() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xF00D + case);
+        let p = arb_program(&mut rng);
+        let v = rng.uniform_range(0, 1 << 40) as i64 - (1 << 39);
         let _ = run_program(&p, Value::Int(v), 1);
     }
+}
 
-    /// Program outputs are deterministic in (program, input), regardless
-    /// of the timing-jitter seed.
-    #[test]
-    fn interpreter_deterministic(p in arb_program(), v in any::<i64>()) {
+/// Program outputs are deterministic in (program, input), regardless of
+/// the timing-jitter seed.
+#[test]
+fn interpreter_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xBEEF + case);
+        let p = arb_program(&mut rng);
+        let v = rng.uniform_range(0, 1 << 40) as i64 - (1 << 39);
         let a = run_program(&p, Value::Int(v), 1);
         let b = run_program(&p, Value::Int(v), 999);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: outputs diverged across jitter seeds");
     }
+}
 
-    /// Step counts are bounded: with loop bounds of 4 and ≤8 top-level
-    /// statements, no program runs forever.
-    #[test]
-    fn interpreter_bounded_steps(p in arb_program()) {
+/// Step counts are bounded: with loop bounds of 4 and ≤8 top-level
+/// statements, no program runs forever.
+#[test]
+fn interpreter_bounded_steps() {
+    'cases: for case in 0..CASES {
+        let mut gen = SimRng::seed(0xCAFE + case);
+        let p = arb_program(&mut gen);
         let mut interp = Interp::new(&p, Value::Int(1));
         let mut rng = SimRng::seed(3);
         let mut resume: Option<Value> = None;
         for _ in 0..10_000 {
             match interp.step(resume.take(), &mut rng) {
-                Ok(specfaas_workflow::Effect::Done(_)) | Err(_) => return Ok(()),
-                Ok(specfaas_workflow::Effect::Get { .. })
-                | Ok(specfaas_workflow::Effect::FileRead { .. })
-                | Ok(specfaas_workflow::Effect::Call { .. }) => {
+                Ok(Effect::Done(_)) | Err(_) => continue 'cases,
+                Ok(Effect::Get { .. }) | Ok(Effect::FileRead { .. }) | Ok(Effect::Call { .. }) => {
                     resume = Some(Value::Null);
                 }
                 Ok(_) => {}
             }
         }
-        prop_assert!(false, "program did not terminate within 10k steps");
+        panic!("case {case}: program did not terminate within 10k steps");
     }
 }

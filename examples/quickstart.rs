@@ -25,9 +25,7 @@ fn main() {
         Program::builder()
             .compute_ms(9)
             .get(lit("config"), "cfg")
-            .ret(make_map([
-                ("result", add(field(input(), "x"), var("cfg"))),
-            ])),
+            .ret(make_map([("result", add(field(input(), "x"), var("cfg")))])),
     ));
     reg.register(FunctionSpec::new(
         "Store",

@@ -14,10 +14,12 @@ use specfaas_sim::SimDuration;
 
 fn main() {
     let bundle = faaschain::flight_booking();
-    println!("application: {} ({} functions, {} branches)",
+    println!(
+        "application: {} ({} functions, {} branches)",
         bundle.name(),
         bundle.app.registry.len(),
-        bundle.app.workflow.branch_count());
+        bundle.app.workflow.branch_count()
+    );
 
     let duration = SimDuration::from_secs(4);
     let warmup = SimDuration::from_millis(400);
@@ -41,13 +43,34 @@ fn main() {
     let mut ms = spec.run_open(100.0, duration, warmup, move |r| gen(r));
 
     println!("\n                 baseline    SpecFaaS");
-    println!("mean response:   {:>7.1}ms  {:>7.1}ms", mb.mean_response_ms(), ms.mean_response_ms());
-    println!("P50 response:    {:>7.1}ms  {:>7.1}ms", mb.latency.p50_ms(), ms.latency.p50_ms());
-    println!("P99 response:    {:>7.1}ms  {:>7.1}ms", mb.latency.p99_ms(), ms.latency.p99_ms());
+    println!(
+        "mean response:   {:>7.1}ms  {:>7.1}ms",
+        mb.mean_response_ms(),
+        ms.mean_response_ms()
+    );
+    println!(
+        "P50 response:    {:>7.1}ms  {:>7.1}ms",
+        mb.latency.p50_ms(),
+        ms.latency.p50_ms()
+    );
+    println!(
+        "P99 response:    {:>7.1}ms  {:>7.1}ms",
+        mb.latency.p99_ms(),
+        ms.latency.p99_ms()
+    );
     println!("requests served: {:>9}  {:>9}", mb.completed, ms.completed);
     println!("\nspeculation statistics:");
-    println!("  branch predictor hit rate: {:.1}%", ms.branch_hits.rate() * 100.0);
-    println!("  memoization hit rate:      {:.1}%", ms.memo_hits.rate() * 100.0);
+    println!(
+        "  branch predictor hit rate: {:.1}%",
+        ms.branch_hits.rate() * 100.0
+    );
+    println!(
+        "  memoization hit rate:      {:.1}%",
+        ms.memo_hits.rate() * 100.0
+    );
     println!("  functions squashed:        {}", ms.functions_squashed);
-    println!("  speedup (mean):            {:.2}x", mb.mean_response_ms() / ms.mean_response_ms());
+    println!(
+        "  speedup (mean):            {:.2}x",
+        mb.mean_response_ms() / ms.mean_response_ms()
+    );
 }

@@ -69,7 +69,7 @@ pub use specfaas_workflow as workflow;
 pub mod prelude {
     pub use specfaas_core::{SpecConfig, SpecEngine, SquashMechanism};
     pub use specfaas_platform::{BaselineEngine, Load, RunMetrics};
-    pub use specfaas_sim::{SimDuration, SimRng, SimTime};
+    pub use specfaas_sim::{FaultPlan, FaultSite, RetryPolicy, SimDuration, SimRng, SimTime};
     pub use specfaas_storage::{KvStore, Value};
     pub use specfaas_workflow::expr::*;
     pub use specfaas_workflow::{

@@ -16,7 +16,10 @@ fn audit_chain(n: usize) -> Arc<AppSpec> {
             &name,
             Program::builder()
                 .compute_ms(4)
-                .let_("next", add(mul(field(input(), "v"), lit(3i64)), lit(i as i64)))
+                .let_(
+                    "next",
+                    add(mul(field(input(), "v"), lit(3i64)), lit(i as i64)),
+                )
                 .set(concat([lit("audit:"), lit(i as i64)]), var("next"))
                 .ret(make_map([("v", var("next"))])),
         ));
@@ -65,7 +68,10 @@ fn speculation_gets_faster_with_training_and_never_wrong() {
     let first = spec.run_single(input.clone());
     let second = spec.run_single(input.clone());
     let third = spec.run_single(input);
-    assert!(second < first, "training should speed up: {first} -> {second}");
+    assert!(
+        second < first,
+        "training should speed up: {first} -> {second}"
+    );
     assert!(third <= second + SimDuration::from_millis(1));
     // audit:7 = folding v=9 through 8 stages.
     let mut v = 9i64;
@@ -99,7 +105,8 @@ fn all_16_paper_apps_agree_between_engines() {
             let ms = spec.run_closed(0, |_| Value::Null);
 
             assert_eq!(
-                mb.records[0].sequence, ms.records[0].sequence,
+                mb.records[0].sequence,
+                ms.records[0].sequence,
                 "{}: committed sequences diverge",
                 bundle.name()
             );
@@ -136,7 +143,9 @@ fn non_speculative_annotation_is_honoured_end_to_end() {
     let mut reg = FunctionRegistry::new();
     reg.register(FunctionSpec::new(
         "a",
-        Program::builder().compute_ms(5).ret(make_map([("v", lit(1i64))])),
+        Program::builder()
+            .compute_ms(5)
+            .ret(make_map([("v", lit(1i64))])),
     ));
     reg.register(FunctionSpec::with_annotations(
         "external",
@@ -158,8 +167,152 @@ fn non_speculative_annotation_is_honoured_end_to_end() {
     spec.run_single(Value::Null);
     let m = spec.run_closed(0, |_| Value::Null);
     for r in &m.records {
-        assert_eq!(r.functions_squashed, 0, "non-speculative work never squashes");
+        assert_eq!(
+            r.functions_squashed, 0,
+            "non-speculative work never squashes"
+        );
         assert_eq!(r.sequence.len(), 2);
+    }
+}
+
+/// Snapshot of the global store, ordered for comparison.
+fn kv_map(kv: &KvStore) -> std::collections::BTreeMap<String, Value> {
+    kv.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+/// A fault plan every request should survive given a generous retry
+/// budget: occasional crashes, transient storage errors, rare hangs.
+fn survivable_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_container_crash(0.05)
+        .with_kv_get(0.05)
+        .with_kv_set(0.05)
+        .with_hang(0.02)
+}
+
+fn generous_retries() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_max_attempts(10)
+        .with_timeout(SimDuration::from_secs(2))
+}
+
+#[test]
+fn spec_under_survivable_faults_matches_fault_free_baseline_state() {
+    // On every app of all three suites (FaaSChain, TrainTicket, Alibaba):
+    // SpecFaaS with faults injected — but retries generous enough that
+    // nothing aborts — must leave the global store exactly as a
+    // fault-free baseline run does.
+    for suite in specfaas::apps::all_suites() {
+        for bundle in &suite.apps {
+            let mut rng = SimRng::seed(0xFA);
+            let inputs: Vec<Value> = (0..3).map(|_| (bundle.make_input)(&mut rng)).collect();
+
+            let mut base = BaselineEngine::new(Arc::clone(&bundle.app), 9);
+            base.prewarm();
+            let mut srng = SimRng::seed(9);
+            (bundle.seed)(&mut base.kv, &mut srng);
+            for i in &inputs {
+                base.run_single(i.clone());
+            }
+            let mb = base.run_closed(0, |_| Value::Null);
+            assert_eq!(
+                mb.failed,
+                0,
+                "{}: fault-free baseline failed",
+                bundle.name()
+            );
+
+            let mut spec = SpecEngine::new(Arc::clone(&bundle.app), SpecConfig::full(), 9);
+            spec.enable_faults(survivable_plan(), generous_retries());
+            spec.prewarm();
+            let mut srng = SimRng::seed(9);
+            (bundle.seed)(&mut spec.kv, &mut srng);
+            for i in &inputs {
+                spec.run_single(i.clone());
+            }
+            let ms = spec.run_closed(0, |_| Value::Null);
+            assert_eq!(
+                ms.failed,
+                0,
+                "{}: a survivable fault aborted a request",
+                bundle.name()
+            );
+            assert_eq!(
+                kv_map(&base.kv),
+                kv_map(&spec.kv),
+                "{}: fault recovery diverged from fault-free state",
+                bundle.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_under_survivable_faults_matches_fault_free_state() {
+    // Retried executions are at-least-once: values written must still be
+    // those of a clean run.
+    for suite in specfaas::apps::all_suites() {
+        for bundle in &suite.apps {
+            let mut rng = SimRng::seed(0xFB);
+            let inputs: Vec<Value> = (0..3).map(|_| (bundle.make_input)(&mut rng)).collect();
+
+            let run = |faulty: bool| {
+                let mut e = BaselineEngine::new(Arc::clone(&bundle.app), 9);
+                if faulty {
+                    e.enable_faults(survivable_plan(), generous_retries());
+                }
+                e.prewarm();
+                let mut srng = SimRng::seed(9);
+                (bundle.seed)(&mut e.kv, &mut srng);
+                for i in &inputs {
+                    e.run_single(i.clone());
+                }
+                let m = e.run_closed(0, |_| Value::Null);
+                assert_eq!(m.failed, 0, "{}: request aborted", bundle.name());
+                kv_map(&e.kv)
+            };
+            assert_eq!(
+                run(false),
+                run(true),
+                "{}: baseline fault recovery changed observable state",
+                bundle.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exhausted_retries_fail_terminally_without_panicking() {
+    // Crash every execution with a minimal retry budget: every request
+    // must abort cleanly with a Failed outcome — no drain panic, no
+    // leaked request state.
+    let app = audit_chain(4);
+    for spec_engine in [false, true] {
+        let (failed, live) = if spec_engine {
+            let mut e = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 7);
+            e.enable_faults(
+                FaultPlan::none().with_container_crash(1.0),
+                RetryPolicy::default().with_max_attempts(2),
+            );
+            e.prewarm();
+            e.run_single(Value::map([("v", Value::Int(1))]));
+            e.run_single(Value::map([("v", Value::Int(2))]));
+            let m = e.run_closed(0, |_| Value::Null);
+            (m.failed, m.records.len())
+        } else {
+            let mut e = BaselineEngine::new(Arc::clone(&app), 7);
+            e.enable_faults(
+                FaultPlan::none().with_container_crash(1.0),
+                RetryPolicy::default().with_max_attempts(2),
+            );
+            e.prewarm();
+            e.run_single(Value::map([("v", Value::Int(1))]));
+            e.run_single(Value::map([("v", Value::Int(2))]));
+            let m = e.run_closed(0, |_| Value::Null);
+            (m.failed, m.records.len())
+        };
+        assert_eq!(failed, 2, "engine spec={spec_engine}");
+        assert_eq!(live, 2, "every aborted request leaves a record");
     }
 }
 
@@ -196,7 +349,12 @@ fn squash_mechanisms_all_converge_to_correct_state() {
             "Flip",
             "Test",
             reg,
-            Workflow::when_field("cond", "t", Workflow::task("yes"), Some(Workflow::task("no"))),
+            Workflow::when_field(
+                "cond",
+                "t",
+                Workflow::task("yes"),
+                Some(Workflow::task("no")),
+            ),
         ));
         let mut cfg = SpecConfig::full();
         cfg.squash = squash;
