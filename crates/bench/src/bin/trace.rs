@@ -1,0 +1,147 @@
+//! Flight-recorder capture: run one application with the tracer armed
+//! and optionally export a Chrome-trace / Perfetto JSON timeline
+//! (DESIGN.md, "Observability").
+//!
+//! ```text
+//! cargo run --release --bin trace -- [--app NAME] [--engine spec|baseline]
+//!     [--requests N] [--seed N] [--faults RATE] [--trace PATH]
+//! ```
+//!
+//! With `--trace PATH` the per-invocation lifecycle timeline (container
+//! acquisition, cold-start phases, speculative launches, memo hits,
+//! squashes, replays, commits) is written as Chrome-trace JSON, loadable
+//! in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev). The
+//! invariant checker always runs; any violation fails the process.
+//! Identical seeds produce byte-identical trace files.
+
+use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_core::SpecConfig;
+use specfaas_sim::trace::{validate_json, Tracer};
+use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration};
+
+struct Args {
+    app: String,
+    engine: String,
+    requests: u64,
+    seed: u64,
+    faults: f64,
+    trace_path: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--app NAME] [--engine spec|baseline] [--requests N] \
+         [--seed N] [--faults RATE] [--trace PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: "HotelBooking".to_string(),
+        engine: "spec".to_string(),
+        requests: 200,
+        seed: 0x7ace,
+        faults: 0.0,
+        trace_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| it.next().unwrap_or_else(|| usage_missing(flag));
+        match flag.as_str() {
+            "--app" => args.app = val("--app"),
+            "--engine" => args.engine = val("--engine"),
+            "--requests" => args.requests = parse(&val("--requests")),
+            "--seed" => args.seed = parse(&val("--seed")),
+            "--faults" => args.faults = parse(&val("--faults")),
+            "--trace" => args.trace_path = Some(val("--trace")),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage_missing(flag: &str) -> ! {
+    eprintln!("missing value for {flag}");
+    usage();
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument: {s}");
+        usage();
+    })
+}
+
+fn find_app(name: &str) -> specfaas_apps::AppBundle {
+    for suite in specfaas_apps::all_suites() {
+        for bundle in suite.apps {
+            if bundle.app.name.eq_ignore_ascii_case(name) {
+                return bundle;
+            }
+        }
+    }
+    eprintln!("unknown app `{name}`; available:");
+    for suite in specfaas_apps::all_suites() {
+        for bundle in &suite.apps {
+            eprintln!("  {} ({})", bundle.app.name, suite.name);
+        }
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let bundle = find_app(&args.app);
+    let plan = FaultPlan::none()
+        .with_container_crash(args.faults)
+        .with_kv_get(args.faults / 2.0)
+        .with_kv_set(args.faults / 2.0);
+    let policy = RetryPolicy::default()
+        .with_max_attempts(8)
+        .with_timeout(SimDuration::from_secs(2));
+
+    let gen = bundle.make_input.clone();
+    let (tracer, metrics) = match args.engine.as_str() {
+        "spec" => {
+            let mut e = prepared_spec(&bundle, SpecConfig::full(), args.seed, 300);
+            e.enable_faults(plan, policy);
+            e.set_tracer(Tracer::with_invariants());
+            let m = e.run_closed(args.requests, move |r| gen(r));
+            (e.take_tracer(), m)
+        }
+        "baseline" => {
+            let mut e = prepared_baseline(&bundle, args.seed);
+            e.enable_faults(plan, policy);
+            e.set_tracer(Tracer::with_invariants());
+            let m = e.run_closed(args.requests, move |r| gen(r));
+            (e.take_tracer(), m)
+        }
+        _ => usage(),
+    };
+
+    println!(
+        "{} / {}: {} requests done, {} failed, {} trace events",
+        bundle.app.name,
+        args.engine,
+        metrics.completed,
+        metrics.failed,
+        tracer.events().len()
+    );
+
+    if !tracer.violations().is_empty() {
+        eprintln!("invariant violations:");
+        for v in tracer.violations() {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("invariants: ok");
+
+    if let Some(path) = args.trace_path {
+        let json = tracer.export_chrome_json();
+        validate_json(&json).expect("exporter produced invalid JSON");
+        std::fs::write(&path, &json).expect("failed to write trace file");
+        println!("wrote {} bytes of Chrome-trace JSON to {path}", json.len());
+    }
+}

@@ -20,6 +20,13 @@
 //! | `table4` | Table IV — CPU utilization of squash mechanisms |
 //! | `run_all`| everything above, in sequence |
 //!
+//! Two diagnostic binaries sit outside the paper's figure set:
+//!
+//! | Binary   | Purpose |
+//! |----------|---------|
+//! | `faults` | fault-injection ablation: fault-rate and retry-budget sweeps |
+//! | `trace`  | flight recorder: invariant-checked run, `--trace` exports Chrome-trace JSON |
+//!
 //! The library half provides the shared measurement protocol
 //! ([`runner`]) and plain-text table rendering ([`report`]).
 

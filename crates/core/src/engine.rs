@@ -20,6 +20,7 @@ use specfaas_platform::exec::{FnInstance, InstanceId, InstanceState};
 use specfaas_platform::metrics::{InvocationRecord, RequestOutcome, RunMetrics};
 use specfaas_platform::overheads::OverheadModel;
 use specfaas_platform::workload::{RequestId, Workload};
+use specfaas_sim::trace::{Phase, SquashCause, TraceEventKind, Tracer};
 use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
 use specfaas_storage::{KvStore, Value};
@@ -211,6 +212,22 @@ pub struct SpecEngine {
     retry: RetryPolicy,
     /// Seed the engine was built with (fault stream derivation).
     seed: u64,
+    /// Flight recorder (disabled by default; see [`SpecEngine::set_tracer`]).
+    tracer: Tracer,
+    /// Cluster busy-core-time integral at tracer install / last end-of-run
+    /// check, so the conservation invariant compares per-window deltas.
+    busy_snapshot: SimDuration,
+    /// (useful, squashed) core time already attributed when the tracer was
+    /// installed — excluded from the first conservation check.
+    attributed_base: (SimDuration, SimDuration),
+    /// Core time a dying handler keeps its core busy between the kill and
+    /// its `SquashRelease` (the kill latency). Deliberately *not* part of
+    /// [`RunMetrics::squashed_core_time`] (which reproduces the paper's
+    /// wasted-CPU attribution at kill time); tracked here so the
+    /// conservation invariant `useful + squashed == busy` still closes.
+    squash_kill_busy: SimDuration,
+    /// `squash_kill_busy` value at tracer install / last end-of-run check.
+    kill_busy_base: SimDuration,
     seqtable: SequenceTable,
     predictor: BranchPredictor,
     memos: MemoTables,
@@ -251,6 +268,11 @@ impl SpecEngine {
             faults: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             seed,
+            tracer: Tracer::disabled(),
+            busy_snapshot: SimDuration::ZERO,
+            attributed_base: (SimDuration::ZERO, SimDuration::ZERO),
+            squash_kill_busy: SimDuration::ZERO,
+            kill_busy_base: SimDuration::ZERO,
             seqtable,
             instances: HashMap::new(),
             meta: HashMap::new(),
@@ -311,6 +333,57 @@ impl SpecEngine {
         &self.faults
     }
 
+    /// Installs a flight recorder. Pass [`Tracer::recording`] for event
+    /// capture alone, or [`Tracer::with_invariants`] to also validate the
+    /// engine's invariants online and at every run-driver end. Install it
+    /// before the runs it should cover: the conservation check windows
+    /// start here.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        let now = self.sim.now();
+        self.busy_snapshot = self.cluster.busy_core_time_total(now);
+        self.attributed_base = (
+            self.metrics.useful_core_time,
+            self.metrics.squashed_core_time,
+        );
+        self.kill_busy_base = self.squash_kill_busy;
+        self.tracer = tracer;
+    }
+
+    /// The installed flight recorder (event inspection, violation reports,
+    /// and Chrome-trace JSON export).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Takes the flight recorder out of the engine, leaving a disabled one.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// End-of-driver invariant validation: every execution reached a
+    /// terminal state and the core time the engine attributed (useful +
+    /// squashed) exactly equals the cluster's integrated busy core-time
+    /// over the same window. Callers take the metrics right after.
+    fn trace_end_of_run(&mut self) {
+        if !self.tracer.checking() {
+            return;
+        }
+        let now = self.sim.now();
+        let busy = self.cluster.busy_core_time_total(now);
+        let (base_u, base_s) = self.attributed_base;
+        self.tracer.check_end_of_run(
+            self.instances.len(),
+            self.metrics.useful_core_time - base_u,
+            self.metrics.squashed_core_time - base_s
+                + (self.squash_kill_busy - self.kill_busy_base),
+            busy - self.busy_snapshot,
+        );
+        self.busy_snapshot = busy;
+        self.kill_busy_base = self.squash_kill_busy;
+        // The driver resets the metrics (mem::take) right after this.
+        self.attributed_base = (SimDuration::ZERO, SimDuration::ZERO);
+    }
+
     // ------------------------------------------------------------------
     // Request lifecycle
     // ------------------------------------------------------------------
@@ -358,6 +431,10 @@ impl SpecEngine {
         }
         self.requests.insert(id, req);
         self.metrics.submitted += 1;
+        if self.tracer.enabled() {
+            self.tracer
+                .emit(now, TraceEventKind::RequestArrival { req: id.0 });
+        }
         // Predict the start function's output so extension can speculate
         // past it immediately.
         self.refresh_prediction(id, slot);
@@ -519,6 +596,16 @@ impl SpecEngine {
                         .slot_mut(slot_id)
                         .expect("live")
                         .predicted_taken = Some(dir);
+                    if self.tracer.enabled() {
+                        let now = self.sim.now();
+                        self.tracer.emit(
+                            now,
+                            TraceEventKind::BranchPredict {
+                                req: req_id.0,
+                                taken: dir,
+                            },
+                        );
+                    }
                 }
                 let Some(n) = target else {
                     // Predicted end of workflow: nothing to launch until
@@ -603,8 +690,21 @@ impl SpecEngine {
             return;
         };
         let func = slot.func.0;
-        if let Some(entry) = self.memos.table_mut(func).lookup(&input) {
+        let hit = if let Some(entry) = self.memos.table_mut(func).lookup(&input) {
             slot.predicted_output = Some(entry.output.clone());
+            true
+        } else {
+            false
+        };
+        if hit && self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::MemoHit {
+                    req: req_id.0,
+                    func,
+                },
+            );
         }
     }
 
@@ -706,6 +806,30 @@ impl SpecEngine {
             if !head && self.faults.roll(FaultSite::SlotDrop, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.slot_drops += 1;
+                if self.tracer.enabled() {
+                    let func = self
+                        .requests
+                        .get(&req_id)
+                        .and_then(|r| r.pipeline.slot(slot_id))
+                        .map(|s| s.func.0)
+                        .unwrap_or(u32::MAX);
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::FaultInjected {
+                            req: req_id.0,
+                            site: "slot_drop",
+                        },
+                    );
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::RetryBackoff {
+                            req: req_id.0,
+                            func,
+                            attempt: 1,
+                            backoff: self.retry.backoff(1),
+                        },
+                    );
+                }
                 self.sim
                     .schedule_in(self.retry.backoff(1), Ev::RetrySlot(req_id, slot_id));
                 return;
@@ -718,6 +842,22 @@ impl SpecEngine {
             (req.ctrl, slot.func, slot.input.clone().expect("input"))
         };
         let annotations = self.app.registry.spec(func).annotations;
+        if self.tracer.enabled() {
+            let speculative = self
+                .requests
+                .get(&req_id)
+                .map(|r| !r.pipeline.is_head(slot_id))
+                .unwrap_or(false);
+            self.tracer.emit(
+                now,
+                TraceEventKind::SlotLaunch {
+                    req: req_id.0,
+                    slot: slot_id.0,
+                    func: func.0,
+                    speculative,
+                },
+            );
+        }
 
         // Pure-function skip (§V-B): on a memoization hit, skip execution
         // entirely. Disabled by default to match the paper's conservative
@@ -731,6 +871,15 @@ impl SpecEngine {
                 slot.output = Some(output);
                 req.functions_run += 1;
                 self.metrics.functions_started += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::MemoHit {
+                            req: req_id.0,
+                            func: func.0,
+                        },
+                    );
+                }
                 self.on_slot_completed(req_id, slot_id);
                 return;
             }
@@ -866,16 +1015,72 @@ impl SpecEngine {
             return; // killed before launch
         };
         meta.container_acquired = true;
+        let req_id = meta.req;
         let inst = self.instances.get_mut(&id).expect("live instance");
         let node = inst.node;
         let func = inst.func;
         match self.cluster.acquire_container(node, func, &self.model) {
-            ContainerAcquire::Warm => self.try_start(id),
+            ContainerAcquire::Warm => {
+                if self.tracer.enabled() {
+                    let now = self.sim.now();
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::ContainerAcquire {
+                            req: req_id.0,
+                            func: func.0,
+                            node: node.0 as u32,
+                            cold: false,
+                        },
+                    );
+                }
+                self.try_start(id)
+            }
             ContainerAcquire::Cold(d) => {
                 let inst = self.instances.get_mut(&id).expect("live");
                 inst.breakdown.container_creation = self.model.container_creation;
                 inst.breakdown.runtime_setup = self.model.runtime_setup;
                 inst.state = InstanceState::ColdStarting;
+                if self.tracer.enabled() {
+                    let now = self.sim.now();
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::ContainerAcquire {
+                            req: req_id.0,
+                            func: func.0,
+                            node: node.0 as u32,
+                            cold: true,
+                        },
+                    );
+                    // Fig. 3 cold-start spans: container creation, then
+                    // runtime setup for whatever remains of the delay.
+                    let cc = if self.model.container_creation < d {
+                        self.model.container_creation
+                    } else {
+                        d
+                    };
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::Span {
+                            req: req_id.0,
+                            func: func.0,
+                            node: node.0 as u32,
+                            phase: Phase::ContainerCreation,
+                            end: now + cc,
+                        },
+                    );
+                    if cc < d {
+                        self.tracer.emit(
+                            now + cc,
+                            TraceEventKind::Span {
+                                req: req_id.0,
+                                func: func.0,
+                                node: node.0 as u32,
+                                phase: Phase::RuntimeSetup,
+                                end: now + d,
+                            },
+                        );
+                    }
+                }
                 self.sim.schedule_in(d, Ev::ContainerReady(id));
             }
         }
@@ -938,12 +1143,30 @@ impl SpecEngine {
             if self.faults.roll(FaultSite::ContainerCrash, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.crashes += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::FaultInjected {
+                            req: req_id.0,
+                            site: "container_crash",
+                        },
+                    );
+                }
                 self.slot_fault(req_id, slot_id);
                 return;
             }
             if self.faults.roll(FaultSite::Hang, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.hangs += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::FaultInjected {
+                            req: req_id.0,
+                            site: "hang",
+                        },
+                    );
+                }
                 // The wedged handler keeps its core and container but
                 // schedules nothing further; only the invocation
                 // watchdog (if configured) can recover it.
@@ -1023,6 +1246,20 @@ impl SpecEngine {
         }
         if let Some(start) = inst.started_at.take() {
             inst.accumulated_core += now - start;
+            if self.tracer.enabled() {
+                if let Some(m) = self.meta.get(&id) {
+                    self.tracer.emit(
+                        start,
+                        TraceEventKind::Span {
+                            req: m.req.0,
+                            func: inst.func.0,
+                            node: inst.node.0 as u32,
+                            phase: Phase::Execution,
+                            end: now,
+                        },
+                    );
+                }
+            }
         }
         inst.state = InstanceState::Blocked;
         let node = inst.node;
@@ -1062,6 +1299,19 @@ impl SpecEngine {
         }
         self.metrics.faults.injected += 1;
         self.metrics.faults.kv_errors += 1;
+        if self.tracer.enabled() {
+            let site = match &op {
+                KvOp::Get { .. } => "kv_get",
+                KvOp::Set { .. } => "kv_set",
+            };
+            self.tracer.emit(
+                now,
+                TraceEventKind::FaultInjected {
+                    req: req_id.0,
+                    site,
+                },
+            );
+        }
         if attempt >= self.retry.max_attempts {
             // Storage retries exhausted: the whole execution faults.
             self.slot_fault(req_id, slot_id);
@@ -1070,6 +1320,22 @@ impl SpecEngine {
         let backoff = self.retry.backoff(attempt);
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.breakdown.retry_backoff += backoff;
+        }
+        if self.tracer.enabled() {
+            let func = self
+                .instances
+                .get(&id)
+                .map(|i| i.func.0)
+                .unwrap_or(u32::MAX);
+            self.tracer.emit(
+                now,
+                TraceEventKind::RetryBackoff {
+                    req: req_id.0,
+                    func,
+                    attempt: attempt + 1,
+                    backoff,
+                },
+            );
         }
         self.metrics.faults.retried += 1;
         self.sim
@@ -1451,8 +1717,26 @@ impl SpecEngine {
                 .started_at
                 .map(|s| now - s)
                 .unwrap_or(SimDuration::ZERO);
+        if self.tracer.enabled() {
+            if let Some(s) = inst.started_at {
+                self.tracer.emit(
+                    s,
+                    TraceEventKind::Span {
+                        req: req_id.0,
+                        func: inst.func.0,
+                        node: inst.node.0 as u32,
+                        phase: Phase::Execution,
+                        end: now,
+                    },
+                );
+            }
+        }
 
         let Some(req) = self.requests.get_mut(&req_id) else {
+            // Request already gone (defensive): the stint can no longer be
+            // attributed to a slot, so count it as wasted work rather than
+            // dropping it from the core-time conservation ledger.
+            self.metrics.squashed_core_time += core_time;
             return;
         };
         if req.pipeline.slot(slot_id).is_none() {
@@ -1505,6 +1789,18 @@ impl SpecEngine {
                     .take(stop - start + 1)
                     .collect()
             };
+            if self.tracer.enabled() {
+                let now = self.sim.now();
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::Squash {
+                        req: req_id.0,
+                        slot: head.0,
+                        cause: SquashCause::WrongPath,
+                        cascade: block.len() as u32,
+                    },
+                );
+            }
             for s in block {
                 self.squash_slot(req_id, s, false);
             }
@@ -1552,6 +1848,17 @@ impl SpecEngine {
         let output = slot.output.clone().expect("completed");
         let actual = Self::branch_outcome(&output, field.as_deref());
         self.predictor.record_outcome(predicted == actual);
+        if self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::BranchResolve {
+                    req: req_id.0,
+                    predicted,
+                    actual,
+                },
+            );
+        }
         {
             let req = self.requests.get_mut(&req_id).expect("live");
             let slot = req.pipeline.slot_mut(slot_id).expect("live");
@@ -1695,6 +2002,17 @@ impl SpecEngine {
         }
         let req = self.requests.get_mut(&req_id).expect("live");
         req.committed_sequence.push(slot.func.0);
+        if self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::Commit {
+                    req: req_id.0,
+                    slot: slot_id.0,
+                    func: slot.func.0,
+                },
+            );
+        }
 
         // Record committed knowledge for end-of-invocation table updates.
         let input = slot.input.clone().expect("committed slot has input");
@@ -1863,6 +2181,23 @@ impl SpecEngine {
                 .table_mut(func)
                 .insert(input, output, callee_inputs);
         }
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                TraceEventKind::Terminal {
+                    req: req_id.0,
+                    completed: true,
+                },
+            );
+        }
+        if self.tracer.checking() {
+            // The learned-table promotion above is the only place memo
+            // tables grow; re-validate capacity after every request.
+            for f in 0..self.app.registry.len() as u32 {
+                let t = self.memos.table(f);
+                self.tracer.check_memo_capacity(f, t.len(), t.capacity());
+            }
+        }
         self.metrics.functions_squashed += u64::from(req.functions_squashed);
         if req.measured {
             self.metrics.record_completion(InvocationRecord {
@@ -1900,6 +2235,24 @@ impl SpecEngine {
         let order: Vec<SlotId> = req.pipeline.iter_order().collect();
         let victims: Vec<SlotId> = order[pos..].to_vec();
 
+        if self.tracer.enabled() {
+            let cause = match kind {
+                SquashKind::WrongPath => SquashCause::WrongPath,
+                SquashKind::WrongInput => SquashCause::WrongInput,
+                SquashKind::Violation => SquashCause::Violation,
+                SquashKind::Fault => SquashCause::Fault,
+            };
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::Squash {
+                    req: req_id.0,
+                    slot: first.0,
+                    cause,
+                    cascade: victims.len() as u32,
+                },
+            );
+        }
         // Dependents torn down because a committed-path execution
         // faulted (not because speculation was wrong).
         if kind == SquashKind::Fault {
@@ -1994,8 +2347,13 @@ impl SpecEngine {
         let Some(inst) = self.instances.get(&id) else {
             return;
         };
-        let (inst_state, inst_node, inst_func, inst_started) =
-            (inst.state, inst.node, inst.func, inst.started_at);
+        let (inst_state, inst_node, inst_func, inst_started, inst_acc) = (
+            inst.state,
+            inst.node,
+            inst.func,
+            inst.started_at,
+            inst.accumulated_core,
+        );
         let meta_acquired = self
             .meta
             .get(&id)
@@ -2035,9 +2393,26 @@ impl SpecEngine {
                 match inst_state {
                     InstanceState::Running => {
                         // The handler dies after the kill latency; the core
-                        // frees then.
+                        // frees then. Wasted-CPU attribution happens now
+                        // (matching the paper's squash-cost accounting);
+                        // the kill-latency window itself goes into
+                        // `squash_kill_busy` at SquashRelease.
                         if let Some(s) = inst_started {
-                            self.metrics.squashed_core_time += now - s;
+                            self.metrics.squashed_core_time += (now - s) + inst_acc;
+                        }
+                        if self.tracer.enabled() {
+                            if let (Some(s), Some(m)) = (inst_started, self.meta.get(&id)) {
+                                self.tracer.emit(
+                                    s,
+                                    TraceEventKind::Span {
+                                        req: m.req.0,
+                                        func: inst_func.0,
+                                        node: inst_node.0 as u32,
+                                        phase: Phase::Execution,
+                                        end: now + self.model.process_kill,
+                                    },
+                                );
+                            }
                         }
                         self.sim
                             .schedule_in(self.model.process_kill, Ev::SquashRelease(id, reusable));
@@ -2049,6 +2424,9 @@ impl SpecEngine {
                         }
                     }
                     InstanceState::WaitingCore => {
+                        // Past blocked stints are wasted work even though
+                        // the instance holds no core right now.
+                        self.metrics.squashed_core_time += inst_acc;
                         self.cluster
                             .node_mut(inst_node)
                             .cores
@@ -2103,6 +2481,13 @@ impl SpecEngine {
         let Some(inst) = self.instances.remove(&id) else {
             return;
         };
+        // The stint up to the kill was already charged to
+        // squashed_core_time by `kill_instance`; the core stayed busy for
+        // the kill latency since then, which only the conservation ledger
+        // sees.
+        if inst.started_at.is_some() {
+            self.squash_kill_busy += self.model.process_kill;
+        }
         self.release_instance_resources(&inst, reusable, now);
     }
 
@@ -2166,9 +2551,14 @@ impl SpecEngine {
             }
             Effect::Done(_) => {
                 self.orphans.remove(&id);
-                if let Some(s) = inst.started_at {
-                    self.metrics.squashed_core_time += now - s;
-                }
+                // Everything this orphan ever ran was wasted: its final
+                // stint plus any stints accumulated while it was blocked
+                // before being squashed.
+                self.metrics.squashed_core_time += inst.accumulated_core
+                    + inst
+                        .started_at
+                        .map(|s| now - s)
+                        .unwrap_or(SimDuration::ZERO);
                 self.release_instance_resources(&inst, true, now);
             }
         }
@@ -2186,11 +2576,9 @@ impl SpecEngine {
     /// running. Its container is not reusable.
     fn teardown_instance(&mut self, id: InstanceId) {
         let now = self.sim.now();
-        let acquired = self
-            .meta
-            .remove(&id)
-            .map(|m| m.container_acquired)
-            .unwrap_or(false);
+        let meta = self.meta.remove(&id);
+        let acquired = meta.as_ref().map(|m| m.container_acquired).unwrap_or(false);
+        let meta_req = meta.map(|m| m.req);
         self.orphans.remove(&id);
         let Some(inst) = self.instances.remove(&id) else {
             return;
@@ -2202,6 +2590,20 @@ impl SpecEngine {
                         .started_at
                         .map(|s| now - s)
                         .unwrap_or(SimDuration::ZERO);
+                if self.tracer.enabled() {
+                    if let (Some(s), Some(req)) = (inst.started_at, meta_req) {
+                        self.tracer.emit(
+                            s,
+                            TraceEventKind::Span {
+                                req: req.0,
+                                func: inst.func.0,
+                                node: inst.node.0 as u32,
+                                phase: Phase::Execution,
+                                end: now,
+                            },
+                        );
+                    }
+                }
                 if inst.started_at.is_some() {
                     if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
                         self.grant_core(next, now);
@@ -2212,6 +2614,9 @@ impl SpecEngine {
                 self.metrics.squashed_core_time += inst.accumulated_core;
             }
             InstanceState::WaitingCore => {
+                // Past blocked stints count as wasted work even though no
+                // core is held at teardown time.
+                self.metrics.squashed_core_time += inst.accumulated_core;
                 self.cluster
                     .node_mut(inst.node)
                     .cores
@@ -2259,6 +2664,24 @@ impl SpecEngine {
         req.retry_hold.insert(slot_id);
         self.metrics.faults.retried += 1;
         let backoff = self.retry.backoff(failures);
+        if self.tracer.enabled() {
+            let func = self
+                .requests
+                .get(&req_id)
+                .and_then(|r| r.pipeline.slot(slot_id))
+                .map(|s| s.func.0)
+                .unwrap_or(u32::MAX);
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::RetryBackoff {
+                    req: req_id.0,
+                    func,
+                    attempt: failures + 1,
+                    backoff,
+                },
+            );
+        }
         self.squash_from(req_id, slot_id, SquashKind::Fault);
         self.sim
             .schedule_in(backoff, Ev::RetrySlot(req_id, slot_id));
@@ -2271,6 +2694,16 @@ impl SpecEngine {
             return;
         };
         req.retry_hold.remove(&slot_id);
+        if self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::Replay {
+                    req: req_id.0,
+                    slot: slot_id.0,
+                },
+            );
+        }
         self.pump(req_id);
     }
 
@@ -2298,6 +2731,16 @@ impl SpecEngine {
             }
             _ => {
                 self.metrics.faults.timeouts += 1;
+                if self.tracer.enabled() {
+                    let now = self.sim.now();
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::FaultInjected {
+                            req: req_id.0,
+                            site: "timeout",
+                        },
+                    );
+                }
                 self.slot_fault(req_id, slot_id);
             }
         }
@@ -2320,6 +2763,15 @@ impl SpecEngine {
         }
         for (_, t) in req.slot_cpu {
             self.metrics.squashed_core_time += t;
+        }
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                TraceEventKind::Terminal {
+                    req: req_id.0,
+                    completed: false,
+                },
+            );
         }
         self.metrics.functions_squashed += u64::from(req.functions_squashed);
         if req.measured {
@@ -2424,6 +2876,7 @@ impl SpecEngine {
         }
         // Let background (lazy-squash) work drain.
         self.drain_all();
+        self.trace_end_of_run();
         // Credit useful core time from committed requests: approximated as
         // total minus squashed is tracked incrementally; compute window.
         let mut m = std::mem::take(&mut self.metrics);
@@ -2451,6 +2904,7 @@ impl SpecEngine {
         self.cluster.reset_utilization(start + warmup);
         self.sim.schedule_now(Ev::Arrival);
         self.drain_all();
+        self.trace_end_of_run();
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);
         m.window = self.gen_deadline.saturating_since(self.measure_from);
@@ -2487,6 +2941,7 @@ impl SpecEngine {
             }
         }
         self.drain_all();
+        self.trace_end_of_run();
         self.closed_loop = false;
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);

@@ -120,6 +120,11 @@ impl MemoTable {
         self.entries.len()
     }
 
+    /// Maximum number of rows (the LRU bound).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True if the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

@@ -68,7 +68,7 @@ pub enum Prediction {
     NoSpeculation,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Counts {
     taken: u64,
     not_taken: u64,
@@ -106,6 +106,10 @@ impl Counts {
 #[derive(Debug, Clone, Default)]
 pub struct BranchPredictor {
     entries: HashMap<(BranchSite, PathHistory), Counts>,
+    /// Per-site sum over all path sub-entries, maintained incrementally by
+    /// `update` so the unseen-path fallback in `predict` is O(1) instead
+    /// of a scan over the whole entry table.
+    site_totals: HashMap<BranchSite, Counts>,
     confidence_window: f64,
     accuracy: HitRate,
 }
@@ -123,6 +127,7 @@ impl BranchPredictor {
         );
         BranchPredictor {
             entries: HashMap::new(),
+            site_totals: HashMap::new(),
             confidence_window,
             accuracy: HitRate::new(),
         }
@@ -149,17 +154,13 @@ impl BranchPredictor {
                 Prediction::NotTaken
             };
         }
-        // Prefer the path-specific sub-entry; fall back to an aggregate
-        // over all paths for this site (first visits via a new path).
+        // Prefer the path-specific sub-entry; fall back to the cached
+        // per-site aggregate (first visits via a new path).
         let counts = self.entries.get(&(site, path)).copied().or_else(|| {
-            let mut agg = Counts::default();
-            for ((s, _), c) in &self.entries {
-                if *s == site {
-                    agg.taken += c.taken;
-                    agg.not_taken += c.not_taken;
-                }
-            }
-            (agg.total() > 0).then_some(agg)
+            self.site_totals
+                .get(&site)
+                .copied()
+                .filter(|agg| agg.total() > 0)
         });
         match counts {
             None => Prediction::NoSpeculation,
@@ -180,10 +181,13 @@ impl BranchPredictor {
     /// *committed* (non-speculative) outcomes (§V-E).
     pub fn update(&mut self, site: BranchSite, path: PathHistory, taken: bool) {
         let c = self.entries.entry((site, path)).or_default();
+        let agg = self.site_totals.entry(site).or_default();
         if taken {
             c.taken += 1;
+            agg.taken += 1;
         } else {
             c.not_taken += 1;
+            agg.not_taken += 1;
         }
     }
 
@@ -203,9 +207,25 @@ impl BranchPredictor {
         self.entries.len()
     }
 
-    /// True if no outcomes were ever recorded.
+    /// True if the predictor holds no (site, path) sub-entries. Because
+    /// sub-entries are only created by [`BranchPredictor::update`], which
+    /// records exactly one outcome, this is equivalent to "no outcomes
+    /// were ever recorded via `update`" — oracle-mode predictions and
+    /// [`BranchPredictor::record_outcome`] accuracy samples do not count.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    #[cfg(test)]
+    fn recomputed_site_aggregate(&self, site: BranchSite) -> Counts {
+        let mut agg = Counts::default();
+        for ((s, _), c) in &self.entries {
+            if *s == site {
+                agg.taken += c.taken;
+                agg.not_taken += c.not_taken;
+            }
+        }
+        agg
     }
 }
 
@@ -270,6 +290,35 @@ mod tests {
         }
         let unseen = PathHistory::start().extend(4);
         assert_eq!(bp.predict(site(), unseen, None), Prediction::Taken);
+    }
+
+    /// The incrementally-maintained per-site aggregate must stay equal to
+    /// a recomputation from scratch under interleaved updates across many
+    /// sites and paths.
+    #[test]
+    fn cached_site_aggregate_matches_recomputation() {
+        let mut bp = BranchPredictor::new(0.1);
+        let sites = [
+            BranchSite::Entry(0),
+            BranchSite::Entry(1),
+            BranchSite::Call { caller: 3, site: 0 },
+        ];
+        for i in 0..200u32 {
+            let s = sites[(i % 3) as usize];
+            let path = PathHistory::start().extend(i % 5);
+            bp.update(s, path, i % 7 < 4);
+            if i % 13 == 0 {
+                // Interleave predictions; they must not disturb the cache.
+                let _ = bp.predict(s, PathHistory::start().extend(99), None);
+            }
+        }
+        for s in sites {
+            assert_eq!(
+                bp.site_totals.get(&s).copied().unwrap_or_default(),
+                bp.recomputed_site_aggregate(s),
+                "cached aggregate diverged for {s:?}"
+            );
+        }
     }
 
     #[test]

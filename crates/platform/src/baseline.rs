@@ -18,6 +18,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use specfaas_sim::trace::{Phase, TraceEventKind, Tracer};
 use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
 use specfaas_storage::{KvStore, Value};
@@ -128,6 +129,15 @@ pub struct BaselineEngine {
     retry: RetryPolicy,
     /// Seed the engine was built with (fault stream derivation).
     seed: u64,
+    /// Flight recorder (disabled by default; see
+    /// [`BaselineEngine::set_tracer`]).
+    tracer: Tracer,
+    /// Cluster busy-core-time integral at tracer install / last end-of-run
+    /// check, so the conservation invariant compares per-window deltas.
+    busy_snapshot: SimDuration,
+    /// (useful, squashed) core time already attributed when the tracer was
+    /// installed — excluded from the first conservation check.
+    attributed_base: (SimDuration, SimDuration),
     /// Retry attempt the instance is executing (absent = first attempt).
     attempt_of: HashMap<InstanceId, u32>,
     /// Instances that have acquired a container (released on teardown).
@@ -161,6 +171,9 @@ impl BaselineEngine {
             faults: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             seed,
+            tracer: Tracer::disabled(),
+            busy_snapshot: SimDuration::ZERO,
+            attributed_base: (SimDuration::ZERO, SimDuration::ZERO),
             attempt_of: HashMap::new(),
             has_container: HashSet::new(),
             instances: HashMap::new(),
@@ -207,6 +220,58 @@ impl BaselineEngine {
         &self.faults
     }
 
+    /// Installs a flight recorder. Call before the runs it should cover:
+    /// the conservation check windows start here.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        let now = self.sim.now();
+        self.busy_snapshot = self.cluster.busy_core_time_total(now);
+        self.attributed_base = (
+            self.metrics.useful_core_time,
+            self.metrics.squashed_core_time,
+        );
+        self.tracer = tracer;
+    }
+
+    /// The installed flight recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Takes the flight recorder out of the engine (for export), leaving
+    /// a disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Runs the end-of-run invariants over the window since the tracer
+    /// was installed (or the previous check).
+    fn trace_end_of_run(&mut self) {
+        if !self.tracer.checking() {
+            return;
+        }
+        let now = self.sim.now();
+        let busy = self.cluster.busy_core_time_total(now);
+        let (base_u, base_s) = self.attributed_base;
+        self.tracer.check_end_of_run(
+            self.instances.len(),
+            self.metrics.useful_core_time - base_u,
+            self.metrics.squashed_core_time - base_s,
+            busy - self.busy_snapshot,
+        );
+        self.busy_snapshot = busy;
+        // The driver resets the metrics (mem::take) right after this.
+        self.attributed_base = (SimDuration::ZERO, SimDuration::ZERO);
+    }
+
+    /// Request the instance works for, for trace labelling (`u64::MAX`
+    /// when the context is already gone).
+    fn req_of(&self, id: InstanceId) -> u64 {
+        match self.ctxs.get(&id) {
+            Some(InstCtx::Entry { req, .. }) | Some(InstCtx::Callee { req, .. }) => req.0,
+            None => u64::MAX,
+        }
+    }
+
     fn alloc_inst(&mut self) -> InstanceId {
         let id = InstanceId(self.next_inst);
         self.next_inst += 1;
@@ -233,6 +298,10 @@ impl BaselineEngine {
             },
         );
         self.metrics.submitted += 1;
+        if self.tracer.enabled() {
+            self.tracer
+                .emit(now, TraceEventKind::RequestArrival { req: id.0 });
+        }
         let start = self.app.compiled.start;
         self.launch_entry(id, start, input);
         id
@@ -298,6 +367,27 @@ impl BaselineEngine {
         if let Some(r) = self.requests.get_mut(&req) {
             r.functions_run += 1;
         }
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                TraceEventKind::SlotLaunch {
+                    req: req.0,
+                    slot: id.0,
+                    func: func.0,
+                    speculative: false,
+                },
+            );
+            self.tracer.emit(
+                now,
+                TraceEventKind::Span {
+                    req: req.0,
+                    func: func.0,
+                    node: node.0 as u32,
+                    phase: Phase::Platform,
+                    end: now + delay,
+                },
+            );
+        }
         self.sim.schedule_in(delay, Ev::Launch(id));
         // Invocation watchdog: the only recovery path for a hung handler.
         if let Some(t) = self.retry.invocation_timeout {
@@ -317,12 +407,67 @@ impl BaselineEngine {
         let func = inst.func;
         self.has_container.insert(id);
         match self.cluster.acquire_container(node, func, &self.model) {
-            ContainerAcquire::Warm => self.try_start(id),
+            ContainerAcquire::Warm => {
+                if self.tracer.enabled() {
+                    let now = self.sim.now();
+                    let req = self.req_of(id);
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::ContainerAcquire {
+                            req,
+                            func: func.0,
+                            node: node.0 as u32,
+                            cold: false,
+                        },
+                    );
+                }
+                self.try_start(id)
+            }
             ContainerAcquire::Cold(d) => {
                 let inst = self.instances.get_mut(&id).expect("live instance");
                 inst.breakdown.container_creation = self.model.container_creation;
                 inst.breakdown.runtime_setup = self.model.runtime_setup;
                 inst.state = InstanceState::ColdStarting;
+                if self.tracer.enabled() {
+                    let now = self.sim.now();
+                    let req = self.req_of(id);
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::ContainerAcquire {
+                            req,
+                            func: func.0,
+                            node: node.0 as u32,
+                            cold: true,
+                        },
+                    );
+                    let cc = if self.model.container_creation < d {
+                        self.model.container_creation
+                    } else {
+                        d
+                    };
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::Span {
+                            req,
+                            func: func.0,
+                            node: node.0 as u32,
+                            phase: Phase::ContainerCreation,
+                            end: now + cc,
+                        },
+                    );
+                    if cc < d {
+                        self.tracer.emit(
+                            now + cc,
+                            TraceEventKind::Span {
+                                req,
+                                func: func.0,
+                                node: node.0 as u32,
+                                phase: Phase::RuntimeSetup,
+                                end: now + d,
+                            },
+                        );
+                    }
+                }
                 self.sim.schedule_in(d, Ev::ContainerReady(id));
             }
         }
@@ -356,6 +501,23 @@ impl BaselineEngine {
         }
         if let Some(start) = inst.started_at.take() {
             inst.accumulated_core += now - start;
+            if self.tracer.enabled() {
+                let (func, node) = (inst.func.0, inst.node.0 as u32);
+                self.tracer.emit(
+                    start,
+                    TraceEventKind::Span {
+                        req: match self.ctxs.get(&id) {
+                            Some(InstCtx::Entry { req, .. })
+                            | Some(InstCtx::Callee { req, .. }) => req.0,
+                            None => u64::MAX,
+                        },
+                        func,
+                        node,
+                        phase: Phase::Execution,
+                        end: now,
+                    },
+                );
+            }
         }
         inst.state = InstanceState::Blocked;
         let node = inst.node;
@@ -416,12 +578,27 @@ impl BaselineEngine {
             if self.faults.roll(FaultSite::ContainerCrash, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.crashes += 1;
+                if self.tracer.enabled() {
+                    let req = self.req_of(id);
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::FaultInjected {
+                            req,
+                            site: "container_crash",
+                        },
+                    );
+                }
                 self.fault_instance(id);
                 return;
             }
             if self.faults.roll(FaultSite::Hang, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.hangs += 1;
+                if self.tracer.enabled() {
+                    let req = self.req_of(id);
+                    self.tracer
+                        .emit(now, TraceEventKind::FaultInjected { req, site: "hang" });
+                }
                 // The wedged handler keeps its core and container but
                 // schedules nothing further; only the invocation
                 // watchdog (if configured) can recover it.
@@ -515,6 +692,21 @@ impl BaselineEngine {
         // Account useful core time and release the slot.
         if let Some(start) = inst.started_at {
             self.metrics.useful_core_time += inst.accumulated_core + (now - start);
+            if self.tracer.enabled() {
+                let req = match &ctx {
+                    InstCtx::Entry { req, .. } | InstCtx::Callee { req, .. } => req.0,
+                };
+                self.tracer.emit(
+                    start,
+                    TraceEventKind::Span {
+                        req,
+                        func: inst.func.0,
+                        node: inst.node.0 as u32,
+                        phase: Phase::Execution,
+                        end: now,
+                    },
+                );
+            }
             if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
                 self.grant_core(next, now);
             }
@@ -619,6 +811,20 @@ impl BaselineEngine {
         if self.faults.enabled() && self.faults.roll(site, now) {
             self.metrics.faults.injected += 1;
             self.metrics.faults.kv_errors += 1;
+            if self.tracer.enabled() {
+                let req = self.req_of(id);
+                let trace_site = match &op {
+                    KvOp::Get { .. } => "kv_get",
+                    KvOp::Set { .. } => "kv_set",
+                };
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::FaultInjected {
+                        req,
+                        site: trace_site,
+                    },
+                );
+            }
             if attempt >= self.retry.max_attempts {
                 self.fault_instance(id);
                 return;
@@ -626,6 +832,23 @@ impl BaselineEngine {
             let backoff = self.retry.backoff(attempt);
             if let Some(inst) = self.instances.get_mut(&id) {
                 inst.breakdown.retry_backoff += backoff;
+            }
+            if self.tracer.enabled() {
+                let req = self.req_of(id);
+                let func = self
+                    .instances
+                    .get(&id)
+                    .map(|i| i.func.0)
+                    .unwrap_or(u32::MAX);
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::RetryBackoff {
+                        req,
+                        func,
+                        attempt: attempt + 1,
+                        backoff,
+                    },
+                );
             }
             self.metrics.faults.retried += 1;
             self.sim
@@ -677,6 +900,21 @@ impl BaselineEngine {
                         .started_at
                         .map(|s| now - s)
                         .unwrap_or(SimDuration::ZERO);
+                if self.tracer.enabled() {
+                    if let Some(s) = inst.started_at {
+                        let req = self.req_of(id);
+                        self.tracer.emit(
+                            s,
+                            TraceEventKind::Span {
+                                req,
+                                func: inst.func.0,
+                                node: inst.node.0 as u32,
+                                phase: Phase::Execution,
+                                end: now,
+                            },
+                        );
+                    }
+                }
                 if inst.started_at.is_some() {
                     if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
                         self.grant_core(next, now);
@@ -687,6 +925,9 @@ impl BaselineEngine {
                 self.metrics.squashed_core_time += inst.accumulated_core;
             }
             InstanceState::WaitingCore => {
+                // Past blocked stints count as wasted work even though no
+                // core is held at teardown time.
+                self.metrics.squashed_core_time += inst.accumulated_core;
                 self.cluster
                     .node_mut(inst.node)
                     .cores
@@ -726,6 +967,18 @@ impl BaselineEngine {
         }
         self.metrics.faults.retried += 1;
         let input = inst.interp.input().clone();
+        if self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::RetryBackoff {
+                    req: req.0,
+                    func: inst.func.0,
+                    attempt: attempt + 1,
+                    backoff: self.retry.backoff(attempt),
+                },
+            );
+        }
         self.sim.schedule_in(
             self.retry.backoff(attempt),
             Ev::Retry {
@@ -758,6 +1011,17 @@ impl BaselineEngine {
             }
             _ => {
                 self.metrics.faults.timeouts += 1;
+                if self.tracer.enabled() {
+                    let now = self.sim.now();
+                    let req = self.req_of(id);
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::FaultInjected {
+                            req,
+                            site: "timeout",
+                        },
+                    );
+                }
                 self.fault_instance(id);
             }
         }
@@ -781,9 +1045,19 @@ impl BaselineEngine {
             .collect();
         victims.sort(); // HashMap order is not deterministic
         for id in victims {
+            // Teardown first so trace spans can still resolve the request.
+            self.teardown_instance(id);
             self.ctxs.remove(&id);
             self.attempt_of.remove(&id);
-            self.teardown_instance(id);
+        }
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                TraceEventKind::Terminal {
+                    req: req.0,
+                    completed: false,
+                },
+            );
         }
         if state.measured {
             self.metrics.record_failure(InvocationRecord {
@@ -825,6 +1099,15 @@ impl BaselineEngine {
         let Some(state) = self.requests.remove(&req) else {
             return;
         };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                TraceEventKind::Terminal {
+                    req: req.0,
+                    completed: true,
+                },
+            );
+        }
         if state.measured {
             self.metrics.record_completion(InvocationRecord {
                 arrived: state.arrived,
@@ -878,6 +1161,16 @@ impl BaselineEngine {
                 if self.requests.contains_key(&req) {
                     let id = self.spawn_named(req, ctx, func, input);
                     self.attempt_of.insert(id, attempt);
+                    if self.tracer.enabled() {
+                        let now = self.sim.now();
+                        self.tracer.emit(
+                            now,
+                            TraceEventKind::Replay {
+                                req: req.0,
+                                slot: id.0,
+                            },
+                        );
+                    }
                 }
             }
             Ev::Timeout(id) => self.on_timeout(id),
@@ -936,6 +1229,7 @@ impl BaselineEngine {
             let v = input(&mut self.rng);
             self.run_single(v);
         }
+        self.trace_end_of_run();
         let mut m = std::mem::take(&mut self.metrics);
         m.window = self.sim.now() - SimTime::ZERO;
         m.cpu_utilization = self.cluster.utilization(self.sim.now());
@@ -960,6 +1254,7 @@ impl BaselineEngine {
         self.sim.schedule_now(Ev::Arrival);
         // Drive generation + all in-flight work to completion.
         self.drain_all();
+        self.trace_end_of_run();
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);
         m.window = self.gen_deadline.saturating_since(self.measure_from);
@@ -994,6 +1289,7 @@ impl BaselineEngine {
             }
         }
         self.drain_all();
+        self.trace_end_of_run();
         self.closed_loop = false;
         let end = self.sim.now();
         let mut m = std::mem::take(&mut self.metrics);

@@ -163,6 +163,16 @@ impl Cluster {
         }
     }
 
+    /// Exact integrated busy core-time across all nodes since
+    /// construction, never reset — the reference side of the flight
+    /// recorder's core-time conservation invariant.
+    pub fn busy_core_time_total(&mut self, now: SimTime) -> SimDuration {
+        self.nodes
+            .iter_mut()
+            .map(|n| n.cores.busy_core_time_total(now))
+            .sum()
+    }
+
     /// Instantaneous fraction of execution slots that are busy, across
     /// the cluster (used by SpecFaaS depth throttling, §VI).
     pub fn occupancy(&self) -> f64 {

@@ -275,9 +275,17 @@ impl RunMetrics {
         for r in &done {
             *counts.entry(r.sequence.as_slice()).or_insert(0) += 1;
         }
+        // The winner needs a total order: count first, then a
+        // deterministic tie-break (longest, then lexicographically
+        // smallest sequence) — `max_by_key` alone would resolve ties by
+        // `HashMap` iteration order, which differs across runs.
         let (seq, n) = counts
             .into_iter()
-            .max_by_key(|(seq, n)| (*n, seq.len()))
+            .max_by(|(sa, na), (sb, nb)| {
+                na.cmp(nb)
+                    .then(sa.len().cmp(&sb.len()))
+                    .then_with(|| sb.cmp(sa))
+            })
             .expect("non-empty");
         Some((seq.to_vec(), n as f64 / done.len() as f64))
     }
@@ -446,6 +454,29 @@ mod tests {
         let (seq, share) = m.most_popular_sequence().unwrap();
         assert_eq!(seq, vec![0, 1]);
         assert_eq!(share, 1.0);
+    }
+
+    /// Equal-count, equal-length sequences must resolve deterministically
+    /// (lexicographically smallest), not by `HashMap` iteration order.
+    #[test]
+    fn most_popular_sequence_tie_breaks_deterministically() {
+        // Many tied sequences make an iteration-order-dependent pick very
+        // unlikely to land on the right one by chance.
+        let seqs: Vec<Vec<u32>> = (0..32u32).map(|i| vec![i, i + 1, i + 2]).collect();
+        let mut m = RunMetrics::new();
+        for (i, s) in seqs.iter().enumerate() {
+            m.record_completion(rec(i as u64, 1, s.clone()));
+        }
+        for _ in 0..10 {
+            let (seq, share) = m.most_popular_sequence().unwrap();
+            assert_eq!(seq, vec![0, 1, 2], "smallest sequence wins the tie");
+            assert!((share - 1.0 / 32.0).abs() < 1e-12);
+        }
+        // A longer sequence with the same count still outranks the tie.
+        let mut m2 = RunMetrics::new();
+        m2.record_completion(rec(0, 1, vec![9]));
+        m2.record_completion(rec(1, 1, vec![0, 1]));
+        assert_eq!(m2.most_popular_sequence().unwrap().0, vec![0, 1]);
     }
 
     #[test]

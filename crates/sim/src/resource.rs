@@ -139,6 +139,18 @@ impl<T> CorePool<T> {
     pub fn reset_utilization_window(&mut self, now: SimTime) {
         self.util.reset_window(now);
     }
+
+    /// Exact integrated busy core-time since construction (never reset) —
+    /// feeds the flight recorder's core-time conservation invariant.
+    pub fn busy_core_time_total(&mut self, now: SimTime) -> SimDuration {
+        self.util.busy_core_time_total(now)
+    }
+
+    /// Out-of-order transition timestamps observed (see
+    /// [`UtilizationTracker::time_anomalies`]).
+    pub fn time_anomalies(&self) -> u64 {
+        self.util.time_anomalies()
+    }
 }
 
 /// A single-server FIFO queue with deterministic service times — an M/D/1
@@ -256,6 +268,21 @@ mod tests {
         p.release(SimTime::from_millis(10));
         // 1 of 2 cores for 10ms of a 10ms window = 50%.
         assert!((p.utilization(SimTime::from_millis(10)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_busy_total_counts_through_handoff() {
+        let mut p: CorePool<u32> = CorePool::new(1);
+        assert!(p.try_acquire(SimTime::ZERO));
+        p.enqueue(7);
+        // Handoff at 10ms: the slot stays busy straight through.
+        assert_eq!(p.release(SimTime::from_millis(10)), Some(7));
+        assert_eq!(p.release(SimTime::from_millis(25)), None);
+        assert_eq!(
+            p.busy_core_time_total(SimTime::from_millis(40)),
+            SimDuration::from_millis(25)
+        );
+        assert_eq!(p.time_anomalies(), 0);
     }
 
     #[test]

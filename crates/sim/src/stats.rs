@@ -122,8 +122,8 @@ impl OnlineStats {
 ///
 /// Stores every sample (experiments record at most a few hundred thousand
 /// response times, which is cheap) and computes percentiles by sorting on
-/// demand with nearest-rank interpolation — the standard way P99 tail
-/// latency (paper Fig. 13) is reported.
+/// demand with linear interpolation between the two closest ranks — the
+/// way P99 tail latency (paper Fig. 13) is reported.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {
     samples_ms: Vec<f64>,
@@ -278,9 +278,18 @@ impl Cdf {
 pub struct UtilizationTracker {
     capacity: u64,
     busy: u64,
+    /// Windowed-integral clock. [`UtilizationTracker::reset_window`] may
+    /// legitimately set this *ahead* of simulated time (excluding a
+    /// warm-up transient before it elapses), so it says nothing about
+    /// transition ordering.
     last_change: SimTime,
-    busy_unit_time: f64, // unit-microseconds of busy time
+    busy_unit_time: f64, // unit-microseconds of busy time (window-relative)
+    /// Total-integral clock: advanced only by transitions and total
+    /// queries, never reset, so it orders real busy/idle transitions.
+    last_total: SimTime,
+    busy_micros_total: u64, // exact unit-microseconds of busy time, never reset
     window_start: SimTime,
+    time_anomalies: u64,
 }
 
 impl UtilizationTracker {
@@ -295,22 +304,40 @@ impl UtilizationTracker {
             busy: 0,
             last_change: SimTime::ZERO,
             busy_unit_time: 0.0,
+            last_total: SimTime::ZERO,
+            busy_micros_total: 0,
             window_start: SimTime::ZERO,
+            time_anomalies: 0,
         }
     }
 
-    fn integrate(&mut self, now: SimTime) {
-        let dt = now.saturating_since(self.last_change).as_micros() as f64;
-        self.busy_unit_time += dt * self.busy as f64;
+    fn integrate_window(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).as_micros();
+        self.busy_unit_time += dt as f64 * self.busy as f64;
         self.last_change = self.last_change.max(now);
+    }
+
+    fn integrate_total(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_total).as_micros();
+        self.busy_micros_total += dt * self.busy;
+        self.last_total = self.last_total.max(now);
     }
 
     /// Marks `n` more units busy at time `now`.
     ///
+    /// Busy/idle transitions must carry monotone timestamps: a timestamp
+    /// earlier than the last transition would silently under-integrate
+    /// busy time (the elapsed span clamps to zero). That is a caller bug,
+    /// so it panics in debug builds and is counted as a
+    /// [`UtilizationTracker::time_anomalies`] in release builds.
+    ///
     /// # Panics
-    /// Panics if this would exceed capacity.
+    /// Panics if this would exceed capacity, or (debug builds) if `now`
+    /// precedes the previous transition.
     pub fn acquire(&mut self, now: SimTime, n: u64) {
-        self.integrate(now);
+        self.check_monotone(now);
+        self.integrate_window(now);
+        self.integrate_total(now);
         assert!(
             self.busy + n <= self.capacity,
             "utilization acquire beyond capacity"
@@ -318,14 +345,36 @@ impl UtilizationTracker {
         self.busy += n;
     }
 
-    /// Marks `n` units idle at time `now`.
+    /// Marks `n` units idle at time `now`. The same timestamp-monotonicity
+    /// contract as [`UtilizationTracker::acquire`] applies.
     ///
     /// # Panics
-    /// Panics if more units are released than are busy.
+    /// Panics if more units are released than are busy, or (debug builds)
+    /// if `now` precedes the previous transition.
     pub fn release(&mut self, now: SimTime, n: u64) {
-        self.integrate(now);
+        self.check_monotone(now);
+        self.integrate_window(now);
+        self.integrate_total(now);
         assert!(self.busy >= n, "utilization release below zero");
         self.busy -= n;
+    }
+
+    fn check_monotone(&mut self, now: SimTime) {
+        if now < self.last_total {
+            debug_assert!(
+                false,
+                "utilization time went backwards: transition at {now} after {}",
+                self.last_total
+            );
+            self.time_anomalies += 1;
+        }
+    }
+
+    /// Number of busy/idle transitions that carried a timestamp earlier
+    /// than their predecessor (always 0 in debug builds, which panic
+    /// instead). Non-zero means busy time was under-integrated.
+    pub fn time_anomalies(&self) -> u64 {
+        self.time_anomalies
     }
 
     /// Currently busy units.
@@ -333,9 +382,17 @@ impl UtilizationTracker {
         self.busy
     }
 
+    /// Exact integrated busy time (unit-microseconds) since construction,
+    /// unaffected by window resets — the reference for the flight
+    /// recorder's core-time conservation invariant.
+    pub fn busy_core_time_total(&mut self, now: SimTime) -> SimDuration {
+        self.integrate_total(now);
+        SimDuration::from_micros(self.busy_micros_total)
+    }
+
     /// Average utilization in `[0, 1]` over `[window_start, now]`.
     pub fn utilization(&mut self, now: SimTime) -> f64 {
-        self.integrate(now);
+        self.integrate_window(now);
         let span = now.saturating_since(self.window_start).as_micros() as f64;
         if span == 0.0 {
             return 0.0;
@@ -344,9 +401,13 @@ impl UtilizationTracker {
     }
 
     /// Resets the measurement window to start at `now` (used to discard
-    /// warm-up transients before measuring).
+    /// warm-up transients before measuring). `now` may lie in the future:
+    /// the engines pre-announce the end of the warm-up phase, and busy
+    /// time before that instant is then excluded from the window. Only the
+    /// windowed integral is affected; the exact total keeps integrating
+    /// continuously.
     pub fn reset_window(&mut self, now: SimTime) {
-        self.integrate(now);
+        self.integrate_window(now);
         self.busy_unit_time = 0.0;
         self.window_start = now;
         self.last_change = now;
@@ -537,6 +598,52 @@ mod tests {
     fn utilization_over_acquire_panics() {
         let mut u = UtilizationTracker::new(1);
         u.acquire(SimTime::ZERO, 2);
+    }
+
+    /// Out-of-order busy/idle transitions are a caller bug: debug builds
+    /// must fail loudly instead of silently dropping busy time.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time went backwards")]
+    fn out_of_order_transition_panics_in_debug() {
+        let mut u = UtilizationTracker::new(2);
+        u.acquire(SimTime::from_millis(10), 1);
+        u.release(SimTime::from_millis(5), 1);
+    }
+
+    /// In release builds the same bug is counted, not ignored.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_order_transition_counted_in_release() {
+        let mut u = UtilizationTracker::new(2);
+        u.acquire(SimTime::from_millis(10), 1);
+        u.release(SimTime::from_millis(5), 1);
+        u.acquire(SimTime::from_millis(7), 1);
+        assert_eq!(u.time_anomalies(), 2);
+        assert_eq!(u.busy(), 1);
+    }
+
+    #[test]
+    fn monotone_transitions_report_no_anomalies() {
+        let mut u = UtilizationTracker::new(2);
+        u.acquire(SimTime::from_millis(1), 1);
+        u.release(SimTime::from_millis(2), 1);
+        // Queries with stale timestamps are fine: they clamp, they are not
+        // busy/idle transitions.
+        let _ = u.utilization(SimTime::from_millis(1));
+        assert_eq!(u.time_anomalies(), 0);
+    }
+
+    #[test]
+    fn busy_total_survives_window_reset() {
+        let mut u = UtilizationTracker::new(4);
+        u.acquire(SimTime::from_millis(0), 2);
+        u.reset_window(SimTime::from_millis(10)); // 2 units x 10ms so far
+        u.release(SimTime::from_millis(15), 2); // + 2 units x 5ms
+        assert_eq!(
+            u.busy_core_time_total(SimTime::from_millis(20)),
+            SimDuration::from_millis(30)
+        );
     }
 
     #[test]

@@ -1,0 +1,1029 @@
+//! Flight recorder: structured per-invocation lifecycle tracing with an
+//! online invariant checker and Chrome-trace/Perfetto JSON export.
+//!
+//! Aggregate [`stats`](crate::stats) tell you *how much* time a run spent
+//! where; they cannot tell you *which* squash cascade ate a request's
+//! latency budget. The flight recorder fills that gap: engines emit one
+//! [`TraceEvent`] per lifecycle transition (arrival, container acquire,
+//! speculative launch, memoization hit, branch predict/resolve, squash with
+//! cause and cascade depth, replay, retry/backoff, fault injection, commit,
+//! terminal outcome), each stamped with [`SimTime`] — never wall-clock — so
+//! a same-seed run reproduces the exact same event stream byte for byte.
+//!
+//! The recorder is a strict opt-in: a [`Tracer::disabled`] sink stores
+//! nothing, checks nothing, and costs one branch per emission site, so the
+//! measured engines are unperturbed when tracing is off.
+//!
+//! When enabled in checking mode, an [`InvariantChecker`] validates, online
+//! and at end of run, that:
+//!
+//! 1. commit order is monotone per request (commit timestamps never go
+//!    backwards, no slot commits twice, and commits only happen between
+//!    arrival and the terminal event — slot *ids* are deliberately not
+//!    required to increase, because fork branches commit interleaved),
+//! 2. every launched execution reaches a terminal state — no leaked
+//!    speculative slots after drain,
+//! 3. `useful_core_time + squashed_core_time` equals the integrated busy
+//!    core-time of the cluster (exact, in microseconds), and
+//! 4. memoization tables never exceed their configured capacity.
+//!
+//! Violations are collected (not panicked) so a test can assert the list is
+//! empty and a bench run can print them.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One of the paper's Fig. 3 response-time phases, used to label execution
+/// spans on the per-node tracks of the exported trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Creating the container and its network stack.
+    ContainerCreation,
+    /// Injecting code and starting the runtime proxy.
+    RuntimeSetup,
+    /// Front-end / controller scheduling work.
+    Platform,
+    /// Hop between a function and its successor.
+    Transfer,
+    /// Handler execution on a core.
+    Execution,
+    /// Waiting out a retry backoff after a fault.
+    RetryBackoff,
+}
+
+impl Phase {
+    /// Stable name used in the exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ContainerCreation => "container_creation",
+            Phase::RuntimeSetup => "runtime_setup",
+            Phase::Platform => "platform",
+            Phase::Transfer => "transfer",
+            Phase::Execution => "execution",
+            Phase::RetryBackoff => "retry_backoff",
+        }
+    }
+}
+
+/// Why a speculative execution was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashCause {
+    /// A branch resolved against the predicted direction.
+    WrongPath,
+    /// A successor was launched with a mispredicted input.
+    WrongInput,
+    /// A read-write ordering violation through global storage.
+    Violation,
+    /// An injected fault killed the execution.
+    Fault,
+}
+
+impl SquashCause {
+    /// Stable name used in the exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SquashCause::WrongPath => "wrong_path",
+            SquashCause::WrongInput => "wrong_input",
+            SquashCause::Violation => "violation",
+            SquashCause::Fault => "fault",
+        }
+    }
+}
+
+/// The payload of one recorded lifecycle event.
+///
+/// Identifiers are plain integers (request id, program-order slot index,
+/// function id, node index) so the recorder stays independent of the
+/// platform and engine crates that emit into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A request entered the system.
+    RequestArrival {
+        /// Request id.
+        req: u64,
+    },
+    /// A function execution was launched into a pipeline slot.
+    SlotLaunch {
+        /// Request id.
+        req: u64,
+        /// Program-order slot index.
+        slot: u64,
+        /// Function id.
+        func: u32,
+        /// True if launched speculatively (not the head slot).
+        speculative: bool,
+    },
+    /// A container was acquired for an execution.
+    ContainerAcquire {
+        /// Request id.
+        req: u64,
+        /// Function id.
+        func: u32,
+        /// Node the container lives on.
+        node: u32,
+        /// True on a cold start, false on a warm pool hit.
+        cold: bool,
+    },
+    /// A timed span of one Fig. 3 phase on one node. `at` is the start.
+    Span {
+        /// Request id.
+        req: u64,
+        /// Function id.
+        func: u32,
+        /// Node the span ran on.
+        node: u32,
+        /// Phase label.
+        phase: Phase,
+        /// End of the span (start is the event timestamp).
+        end: SimTime,
+    },
+    /// A memoization-table lookup returned a predicted output.
+    MemoHit {
+        /// Request id.
+        req: u64,
+        /// Function id.
+        func: u32,
+    },
+    /// The branch predictor speculated a direction.
+    BranchPredict {
+        /// Request id.
+        req: u64,
+        /// Predicted direction.
+        taken: bool,
+    },
+    /// A speculated branch resolved.
+    BranchResolve {
+        /// Request id.
+        req: u64,
+        /// Predicted direction.
+        predicted: bool,
+        /// Actual direction.
+        actual: bool,
+    },
+    /// A speculative execution was squashed.
+    Squash {
+        /// Request id.
+        req: u64,
+        /// First squashed slot.
+        slot: u64,
+        /// Why it was squashed.
+        cause: SquashCause,
+        /// Number of executions killed in the cascade (≥ 1).
+        cascade: u32,
+    },
+    /// A squashed slot was relaunched with corrected inputs.
+    Replay {
+        /// Request id.
+        req: u64,
+        /// Slot being re-executed.
+        slot: u64,
+    },
+    /// A faulted execution entered retry backoff.
+    RetryBackoff {
+        /// Request id.
+        req: u64,
+        /// Function id.
+        func: u32,
+        /// Attempt number about to run (1-based).
+        attempt: u32,
+        /// Backoff delay before the retry.
+        backoff: SimDuration,
+    },
+    /// The fault injector fired.
+    FaultInjected {
+        /// Request id.
+        req: u64,
+        /// Injection site name (e.g. `"container_crash"`).
+        site: &'static str,
+    },
+    /// A slot's effects were committed in program order.
+    Commit {
+        /// Request id.
+        req: u64,
+        /// Committed slot index.
+        slot: u64,
+        /// Function id.
+        func: u32,
+    },
+    /// The request reached a terminal state.
+    Terminal {
+        /// Request id.
+        req: u64,
+        /// True on success, false on abort.
+        completed: bool,
+    },
+}
+
+/// One recorded event: a [`SimTime`] stamp plus the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened (for spans: when the span started).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Collects invariant violations instead of panicking, so both tests and
+/// bench binaries can report every failure of a run at once.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    /// Per-request commit history: last commit time plus the set of
+    /// already-committed slot ids.
+    commits: HashMap<u64, (SimTime, HashSet<u64>)>,
+    /// Requests that arrived and have not reached a terminal state.
+    live_requests: HashMap<u64, ()>,
+    violations: Vec<String>,
+}
+
+impl InvariantChecker {
+    fn observe(&mut self, ev: &TraceEvent) {
+        match &ev.kind {
+            TraceEventKind::RequestArrival { req } => {
+                self.live_requests.insert(*req, ());
+                self.commits.remove(req);
+            }
+            TraceEventKind::Commit { req, slot, .. } => {
+                if !self.live_requests.contains_key(req) {
+                    self.violations.push(format!(
+                        "commit order not monotone: request {req} committed slot {slot} \
+                         outside its arrival..terminal lifetime"
+                    ));
+                }
+                let (last_t, seen) = self
+                    .commits
+                    .entry(*req)
+                    .or_insert_with(|| (ev.at, HashSet::new()));
+                if ev.at < *last_t {
+                    self.violations.push(format!(
+                        "commit order not monotone: commit time went backwards for \
+                         request {req} at slot {slot}"
+                    ));
+                }
+                *last_t = ev.at;
+                if !seen.insert(*slot) {
+                    self.violations.push(format!(
+                        "commit order not monotone: request {req} committed slot {slot} twice"
+                    ));
+                }
+            }
+            TraceEventKind::Terminal { req, .. } => {
+                let was_live = self.live_requests.remove(req).is_some();
+                if !was_live {
+                    self.violations
+                        .push(format!("request {req} reached a terminal state twice"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Checks one memoization table against its capacity bound.
+    pub fn check_memo_capacity(&mut self, func: u32, len: usize, capacity: usize) {
+        if len > capacity {
+            self.violations.push(format!(
+                "memo table of function {func} holds {len} rows, capacity {capacity}"
+            ));
+        }
+    }
+
+    /// End-of-run validation: no leaked executions or requests, and the
+    /// engine's attributed core-time (`useful + squashed`) exactly equals
+    /// the cluster's integrated busy core-time over the same window.
+    pub fn check_end_of_run(
+        &mut self,
+        live_instances: usize,
+        useful: SimDuration,
+        squashed: SimDuration,
+        busy_integral: SimDuration,
+    ) {
+        if live_instances != 0 {
+            self.violations.push(format!(
+                "{live_instances} execution(s) never reached a terminal state"
+            ));
+        }
+        if !self.live_requests.is_empty() {
+            let mut ids: Vec<u64> = self.live_requests.keys().copied().collect();
+            ids.sort_unstable();
+            self.violations
+                .push(format!("request(s) {ids:?} never reached a terminal state"));
+        }
+        let attributed = useful + squashed;
+        if attributed != busy_integral {
+            self.violations.push(format!(
+                "core-time not conserved: useful {}us + squashed {}us = {}us, \
+                 but integrated busy core-time is {}us",
+                useful.as_micros(),
+                squashed.as_micros(),
+                attributed.as_micros(),
+                busy_integral.as_micros()
+            ));
+        }
+    }
+
+    /// Violations found so far, in detection order.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    events: Vec<TraceEvent>,
+    checker: Option<InvariantChecker>,
+}
+
+/// The recording sink engines emit into.
+///
+/// [`Tracer::disabled`] is the default no-op sink: [`Tracer::enabled`]
+/// returns `false`, every emission site short-circuits on that one branch,
+/// and no allocation ever happens — tracing is free when off.
+///
+/// # Example
+///
+/// ```
+/// use specfaas_sim::trace::{TraceEventKind, Tracer};
+/// use specfaas_sim::SimTime;
+///
+/// let mut t = Tracer::recording();
+/// t.emit(SimTime::from_millis(1), TraceEventKind::RequestArrival { req: 0 });
+/// assert_eq!(t.events().len(), 1);
+/// let json = t.export_chrome_json();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Option<Box<TracerInner>>,
+}
+
+impl Tracer {
+    /// The no-op sink: records nothing, checks nothing.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Records events without invariant checking.
+    pub fn recording() -> Self {
+        Tracer {
+            inner: Some(Box::new(TracerInner {
+                events: Vec::new(),
+                checker: None,
+            })),
+        }
+    }
+
+    /// Records events and runs the online invariant checker.
+    pub fn with_invariants() -> Self {
+        Tracer {
+            inner: Some(Box::new(TracerInner {
+                events: Vec::new(),
+                checker: Some(InvariantChecker::default()),
+            })),
+        }
+    }
+
+    /// True if events are being recorded. Emission sites gate on this so a
+    /// disabled tracer costs a single predictable branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True if the invariant checker is active.
+    #[inline]
+    pub fn checking(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.checker.is_some())
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn emit(&mut self, at: SimTime, kind: TraceEventKind) {
+        if let Some(inner) = &mut self.inner {
+            let ev = TraceEvent { at, kind };
+            if let Some(c) = &mut inner.checker {
+                c.observe(&ev);
+            }
+            inner.events.push(ev);
+        }
+    }
+
+    /// Forwards a memo-capacity check to the checker, if active.
+    pub fn check_memo_capacity(&mut self, func: u32, len: usize, capacity: usize) {
+        if let Some(c) = self.checker_mut() {
+            c.check_memo_capacity(func, len, capacity);
+        }
+    }
+
+    /// Forwards the end-of-run validation to the checker, if active.
+    pub fn check_end_of_run(
+        &mut self,
+        live_instances: usize,
+        useful: SimDuration,
+        squashed: SimDuration,
+        busy_integral: SimDuration,
+    ) {
+        if let Some(c) = self.checker_mut() {
+            c.check_end_of_run(live_instances, useful, squashed, busy_integral);
+        }
+    }
+
+    fn checker_mut(&mut self) -> Option<&mut InvariantChecker> {
+        self.inner.as_mut().and_then(|i| i.checker.as_mut())
+    }
+
+    /// Invariant violations found so far (empty when not checking).
+    pub fn violations(&self) -> &[String] {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.checker.as_ref())
+            .map(|c| c.violations())
+            .unwrap_or(&[])
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        self.inner
+            .as_ref()
+            .map(|i| i.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Exports the recorded events as Chrome-trace / Perfetto JSON.
+    ///
+    /// Layout: one *process* per cluster node (plus a synthetic
+    /// `orchestrator` process for request-level events), and within each
+    /// node one *thread lane* per concurrently-running span, assigned
+    /// greedily — the visual equivalent of the node's occupied cores.
+    /// Spans become `"ph":"X"` complete events; everything else becomes a
+    /// `"ph":"i"` instant. Timestamps are simulated microseconds, so the
+    /// output is byte-identical across same-seed runs.
+    pub fn export_chrome_json(&self) -> String {
+        export_chrome_json(self.events())
+    }
+}
+
+/// Synthetic pid for request-level events with no node affinity.
+const ORCH_PID: u32 = 1000;
+/// Synthetic tid within a node process for instant events.
+const EVENT_LANE: u32 = 999;
+
+fn export_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    // Spans first: sort by (node, start, end, emission index) and assign
+    // each to the first free lane of its node. The sort key is total, so
+    // lane assignment is deterministic.
+    let mut spans: Vec<(usize, &TraceEvent)> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, TraceEventKind::Span { .. }))
+        .collect();
+    spans.sort_by_key(|(idx, e)| {
+        let (node, end) = match &e.kind {
+            TraceEventKind::Span { node, end, .. } => (*node, *end),
+            _ => unreachable!(),
+        };
+        (node, e.at, end, *idx)
+    });
+    let mut nodes_seen: Vec<u32> = Vec::new();
+    let mut lanes: HashMap<u32, Vec<SimTime>> = HashMap::new();
+    let mut max_lane: HashMap<u32, u32> = HashMap::new();
+    for (_, ev) in &spans {
+        let (req, func, node, phase, end) = match &ev.kind {
+            TraceEventKind::Span {
+                req,
+                func,
+                node,
+                phase,
+                end,
+            } => (*req, *func, *node, *phase, *end),
+            _ => unreachable!(),
+        };
+        if !nodes_seen.contains(&node) {
+            nodes_seen.push(node);
+        }
+        let node_lanes = lanes.entry(node).or_default();
+        let lane = match node_lanes.iter().position(|free| *free <= ev.at) {
+            Some(l) => {
+                node_lanes[l] = end;
+                l as u32
+            }
+            None => {
+                node_lanes.push(end);
+                (node_lanes.len() - 1) as u32
+            }
+        };
+        let m = max_lane.entry(node).or_insert(0);
+        *m = (*m).max(lane);
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"args\":{{\"req\":{},\"func\":{}}}}}",
+            phase.name(),
+            node,
+            lane,
+            ev.at.as_micros(),
+            end.saturating_since(ev.at).as_micros(),
+            req,
+            func
+        );
+    }
+
+    // Instant events, in emission order.
+    for ev in events {
+        let (name, pid, args) = match &ev.kind {
+            TraceEventKind::Span { .. } => continue,
+            TraceEventKind::RequestArrival { req } => {
+                ("request_arrival", ORCH_PID, format!("\"req\":{req}"))
+            }
+            TraceEventKind::SlotLaunch {
+                req,
+                slot,
+                func,
+                speculative,
+            } => (
+                "slot_launch",
+                ORCH_PID,
+                format!(
+                    "\"req\":{req},\"slot\":{slot},\"func\":{func},\"speculative\":{speculative}"
+                ),
+            ),
+            TraceEventKind::ContainerAcquire {
+                req,
+                func,
+                node,
+                cold,
+            } => (
+                "container_acquire",
+                *node,
+                format!("\"req\":{req},\"func\":{func},\"cold\":{cold}"),
+            ),
+            TraceEventKind::MemoHit { req, func } => (
+                "memo_hit",
+                ORCH_PID,
+                format!("\"req\":{req},\"func\":{func}"),
+            ),
+            TraceEventKind::BranchPredict { req, taken } => (
+                "branch_predict",
+                ORCH_PID,
+                format!("\"req\":{req},\"taken\":{taken}"),
+            ),
+            TraceEventKind::BranchResolve {
+                req,
+                predicted,
+                actual,
+            } => (
+                "branch_resolve",
+                ORCH_PID,
+                format!("\"req\":{req},\"predicted\":{predicted},\"actual\":{actual}"),
+            ),
+            TraceEventKind::Squash {
+                req,
+                slot,
+                cause,
+                cascade,
+            } => (
+                "squash",
+                ORCH_PID,
+                format!(
+                    "\"req\":{req},\"slot\":{slot},\"cause\":\"{}\",\"cascade\":{cascade}",
+                    cause.name()
+                ),
+            ),
+            TraceEventKind::Replay { req, slot } => {
+                ("replay", ORCH_PID, format!("\"req\":{req},\"slot\":{slot}"))
+            }
+            TraceEventKind::RetryBackoff {
+                req,
+                func,
+                attempt,
+                backoff,
+            } => (
+                "retry_backoff",
+                ORCH_PID,
+                format!(
+                    "\"req\":{req},\"func\":{func},\"attempt\":{attempt},\"backoff_us\":{}",
+                    backoff.as_micros()
+                ),
+            ),
+            TraceEventKind::FaultInjected { req, site } => (
+                "fault_injected",
+                ORCH_PID,
+                format!("\"req\":{req},\"site\":\"{site}\""),
+            ),
+            TraceEventKind::Commit { req, slot, func } => (
+                "commit",
+                ORCH_PID,
+                format!("\"req\":{req},\"slot\":{slot},\"func\":{func}"),
+            ),
+            TraceEventKind::Terminal { req, completed } => (
+                "terminal",
+                ORCH_PID,
+                format!("\"req\":{req},\"completed\":{completed}"),
+            ),
+        };
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":{EVENT_LANE},\
+             \"ts\":{},\"args\":{{{args}}}}}",
+            ev.at.as_micros()
+        );
+    }
+
+    // Process/thread naming metadata so Perfetto shows readable tracks.
+    for node in &nodes_seen {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":0,\
+             \"args\":{{\"name\":\"node{node}\"}}}}",
+        );
+        for lane in 0..=*max_lane.get(node).unwrap_or(&0) {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":{lane},\
+                 \"args\":{{\"name\":\"core-lane {lane}\"}}}}",
+            );
+        }
+    }
+    sep(&mut out);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{ORCH_PID},\"tid\":0,\
+         \"args\":{{\"name\":\"orchestrator\"}}}}"
+    );
+    out.push_str("]}");
+    out
+}
+
+/// Validates that `s` is well-formed JSON. Used by tests and the bench
+/// `--trace` path in lieu of an external JSON crate.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2; // escape + escaped byte (\uXXXX not emitted here)
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&c) = b.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    if *pos == start {
+        Err(format!("invalid number at byte {start}"))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::disabled();
+        assert!(!tr.enabled());
+        tr.emit(t(1), TraceEventKind::RequestArrival { req: 0 });
+        assert!(tr.events().is_empty());
+        assert!(tr.violations().is_empty());
+    }
+
+    #[test]
+    fn recording_preserves_emission_order() {
+        let mut tr = Tracer::recording();
+        tr.emit(t(2), TraceEventKind::RequestArrival { req: 1 });
+        tr.emit(t(1), TraceEventKind::RequestArrival { req: 0 });
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.events()[0].at, t(2));
+    }
+
+    #[test]
+    fn commit_monotonicity_violation_detected() {
+        let mut tr = Tracer::with_invariants();
+        tr.emit(t(0), TraceEventKind::RequestArrival { req: 7 });
+        tr.emit(
+            t(2),
+            TraceEventKind::Commit {
+                req: 7,
+                slot: 2,
+                func: 0,
+            },
+        );
+        // Fork branches may commit out of slot-id order — not a violation.
+        tr.emit(
+            t(3),
+            TraceEventKind::Commit {
+                req: 7,
+                slot: 1,
+                func: 1,
+            },
+        );
+        assert!(tr.violations().is_empty());
+        // But commit time going backwards is one.
+        tr.emit(
+            t(1),
+            TraceEventKind::Commit {
+                req: 7,
+                slot: 3,
+                func: 2,
+            },
+        );
+        assert_eq!(tr.violations().len(), 1);
+        assert!(tr.violations()[0].contains("not monotone"));
+    }
+
+    #[test]
+    fn double_commit_and_out_of_lifetime_commit_detected() {
+        let mut tr = Tracer::with_invariants();
+        tr.emit(t(0), TraceEventKind::RequestArrival { req: 4 });
+        tr.emit(
+            t(1),
+            TraceEventKind::Commit {
+                req: 4,
+                slot: 0,
+                func: 0,
+            },
+        );
+        tr.emit(
+            t(2),
+            TraceEventKind::Commit {
+                req: 4,
+                slot: 0,
+                func: 0,
+            },
+        );
+        assert_eq!(tr.violations().len(), 1);
+        assert!(tr.violations()[0].contains("twice"));
+        tr.emit(
+            t(3),
+            TraceEventKind::Terminal {
+                req: 4,
+                completed: true,
+            },
+        );
+        tr.emit(
+            t(4),
+            TraceEventKind::Commit {
+                req: 4,
+                slot: 1,
+                func: 1,
+            },
+        );
+        assert_eq!(tr.violations().len(), 2);
+        assert!(tr.violations()[1].contains("lifetime"));
+    }
+
+    #[test]
+    fn leaked_request_detected_at_end_of_run() {
+        let mut tr = Tracer::with_invariants();
+        tr.emit(t(0), TraceEventKind::RequestArrival { req: 3 });
+        tr.check_end_of_run(0, SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+        assert!(tr.violations().iter().any(|v| v.contains("terminal")));
+    }
+
+    #[test]
+    fn core_time_conservation_violation_detected() {
+        let mut tr = Tracer::with_invariants();
+        tr.check_end_of_run(
+            0,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(16),
+        );
+        assert!(tr.violations().iter().any(|v| v.contains("not conserved")));
+    }
+
+    #[test]
+    fn memo_capacity_violation_detected() {
+        let mut tr = Tracer::with_invariants();
+        tr.check_memo_capacity(4, 51, 50);
+        assert!(tr.violations().iter().any(|v| v.contains("memo table")));
+        tr.check_memo_capacity(4, 50, 50);
+        assert_eq!(tr.violations().len(), 1);
+    }
+
+    #[test]
+    fn export_is_valid_json_and_deterministic() {
+        let build = || {
+            let mut tr = Tracer::recording();
+            tr.emit(t(0), TraceEventKind::RequestArrival { req: 0 });
+            tr.emit(
+                t(1),
+                TraceEventKind::Span {
+                    req: 0,
+                    func: 2,
+                    node: 0,
+                    phase: Phase::Execution,
+                    end: t(5),
+                },
+            );
+            tr.emit(
+                t(2),
+                TraceEventKind::Span {
+                    req: 0,
+                    func: 3,
+                    node: 0,
+                    phase: Phase::Execution,
+                    end: t(4),
+                },
+            );
+            tr.emit(
+                t(5),
+                TraceEventKind::Squash {
+                    req: 0,
+                    slot: 1,
+                    cause: SquashCause::WrongPath,
+                    cascade: 2,
+                },
+            );
+            tr.export_chrome_json()
+        };
+        let a = build();
+        assert_eq!(a, build(), "export must be byte-identical");
+        validate_json(&a).expect("export must be valid JSON");
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("wrong_path"));
+    }
+
+    #[test]
+    fn overlapping_spans_get_distinct_lanes() {
+        let mut tr = Tracer::recording();
+        for i in 0..2u64 {
+            tr.emit(
+                t(0),
+                TraceEventKind::Span {
+                    req: i,
+                    func: 0,
+                    node: 1,
+                    phase: Phase::Execution,
+                    end: t(10),
+                },
+            );
+        }
+        let json = tr.export_chrome_json();
+        assert!(json.contains("\"pid\":1,\"tid\":0"));
+        assert!(json.contains("\"pid\":1,\"tid\":1"));
+    }
+
+    #[test]
+    fn sequential_spans_share_a_lane() {
+        let mut tr = Tracer::recording();
+        tr.emit(
+            t(0),
+            TraceEventKind::Span {
+                req: 0,
+                func: 0,
+                node: 0,
+                phase: Phase::Execution,
+                end: t(5),
+            },
+        );
+        tr.emit(
+            t(5),
+            TraceEventKind::Span {
+                req: 1,
+                func: 0,
+                node: 0,
+                phase: Phase::Execution,
+                end: t(9),
+            },
+        );
+        let json = tr.export_chrome_json();
+        assert!(!json.contains("\"tid\":1,\"ts\""), "no second lane: {json}");
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        validate_json("{\"a\":[1,2.5,-3e4,true,false,null,\"s\\\"x\"]}").unwrap();
+        assert!(validate_json("{\"a\":1").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("{} extra").is_err());
+        assert!(validate_json("").is_err());
+    }
+}

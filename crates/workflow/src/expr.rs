@@ -46,7 +46,7 @@ pub enum BinOp {
 /// A pure expression.
 ///
 /// Build expressions with the free constructor functions in this module
-/// ([`lit`], [`var`], [`input`], [`field`], [`concat`], …); they keep
+/// ([`lit`], [`var`], [`input`], [`field`], [`concat()`], …); they keep
 /// application code readable:
 ///
 /// ```
