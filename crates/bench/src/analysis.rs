@@ -1,0 +1,607 @@
+//! Post-hoc trace analytics: per-request critical paths, squash
+//! attribution, speculation-depth stats, and what-if speedup bounds.
+//!
+//! The flight recorder ([`specfaas_sim::trace`]) captures *what happened*;
+//! this module answers *where the time went*. It consumes the recorded
+//! event stream after a run — no engine coupling, no perturbation of the
+//! measured system — and produces:
+//!
+//! * **Per-request critical paths** ([`RequestPath`]): the request's
+//!   end-to-end latency decomposed into the paper's Fig. 3 phases
+//!   (container creation, runtime setup, platform, transfer, execution,
+//!   retry backoff) plus an explicit queue/other residual. The
+//!   decomposition is exact: the buckets always sum to the request's
+//!   arrival→terminal latency.
+//! * **Squash attribution** ([`SquashAttribution`]): wasted core-time by
+//!   charge site, by function, and by speculation-cascade depth. The
+//!   grand total reconciles *exactly* with the engine's Table-IV
+//!   squashed-CPU ledger, because every ledger increment emits one
+//!   [`TraceEventKind::SquashCharge`] with the same amount.
+//! * **Speculation-depth waterfall** ([`DepthStats`]): how deep each
+//!   request's speculative pipeline ran, as a per-request-maximum
+//!   histogram.
+//! * **A what-if bound** ([`WhatIf`]): per-app speedup ceiling under
+//!   zero-overhead speculation, where each request's ideal latency is its
+//!   longest single execution span — no schedule can beat the longest
+//!   serial handler, so `actual / ideal` is a genuine upper bound.
+//!
+//! # Example
+//!
+//! ```
+//! use specfaas_bench::analysis::analyze;
+//! use specfaas_sim::trace::{Phase, TraceEvent, TraceEventKind};
+//! use specfaas_sim::SimTime;
+//!
+//! let t = SimTime::from_millis;
+//! let events = [
+//!     TraceEvent { at: t(0), kind: TraceEventKind::RequestArrival { req: 0 } },
+//!     TraceEvent {
+//!         at: t(1),
+//!         kind: TraceEventKind::Span {
+//!             req: 0, func: 0, node: 0, phase: Phase::Execution, end: t(4),
+//!         },
+//!     },
+//!     TraceEvent { at: t(5), kind: TraceEventKind::Terminal { req: 0, completed: true } },
+//! ];
+//! let a = analyze(&events);
+//! assert_eq!(a.requests.len(), 1);
+//! // 5 ms end to end: 3 ms execution, 2 ms unattributed (queueing).
+//! assert_eq!(a.requests[0].latency().as_millis(), 5);
+//! assert_eq!(a.requests[0].breakdown.total().as_millis(), 5);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use specfaas_sim::trace::{Phase, TraceEvent, TraceEventKind};
+use specfaas_sim::{SimDuration, SimTime};
+
+/// Time attributed to each Fig. 3 phase plus the uncovered residual.
+///
+/// Built by an elementary-interval sweep over the request's lifetime:
+/// every instant between arrival and terminal is attributed to exactly
+/// one bucket, so [`PhaseBreakdown::total`] equals the end-to-end latency
+/// by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Time per phase, indexed in [`Phase::ALL`] order.
+    pub phases: [SimDuration; 6],
+    /// Time covered by no recorded span: queueing for cores or
+    /// controllers, commit waits, response return.
+    pub queue_other: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// The time attributed to one phase.
+    pub fn phase(&self, p: Phase) -> SimDuration {
+        self.phases[phase_index(p)]
+    }
+
+    /// Sum of every bucket — always the request's end-to-end latency.
+    pub fn total(&self) -> SimDuration {
+        self.phases.iter().copied().sum::<SimDuration>() + self.queue_other
+    }
+}
+
+/// One request's critical path.
+#[derive(Debug, Clone)]
+pub struct RequestPath {
+    /// Request id.
+    pub req: u64,
+    /// Arrival instant.
+    pub arrived: SimTime,
+    /// Terminal instant (success or abort).
+    pub terminal: SimTime,
+    /// True if the request completed successfully.
+    pub completed: bool,
+    /// Exact phase decomposition of the latency.
+    pub breakdown: PhaseBreakdown,
+    /// Ideal latency under zero-overhead speculation: the longest single
+    /// execution span (every schedule must run it serially).
+    pub ideal: SimDuration,
+}
+
+impl RequestPath {
+    /// End-to-end latency (arrival to terminal).
+    pub fn latency(&self) -> SimDuration {
+        self.terminal - self.arrived
+    }
+}
+
+/// Wasted core-time grouped by charge site, function, and cascade depth.
+///
+/// `total` equals the engine's `RunMetrics::squashed_core_time` for the
+/// traced window — asserted by the profile tests.
+#[derive(Debug, Clone, Default)]
+pub struct SquashAttribution {
+    /// Grand total of all charges — the Table-IV squashed-CPU ledger.
+    pub total: SimDuration,
+    /// Per charge-site `(site, wasted, charge count)`, sorted by
+    /// descending wasted time (ties by name).
+    pub by_site: Vec<(String, SimDuration, u64)>,
+    /// Per function `(func, wasted)`, sorted by descending wasted time
+    /// (ties by id). `u32::MAX` marks charges whose function was unknown.
+    pub by_func: Vec<(u32, SimDuration)>,
+    /// Per cascade depth `(depth, wasted)`, ascending. Depth 0 holds
+    /// charges that did not come from a pipeline squash (teardowns,
+    /// aborts, orphans).
+    pub by_cascade: Vec<(u32, SimDuration)>,
+}
+
+/// Distribution of per-request maximum speculation depth.
+#[derive(Debug, Clone, Default)]
+pub struct DepthStats {
+    /// `(max depth, number of requests that peaked there)`, ascending.
+    pub histogram: Vec<(u32, u64)>,
+}
+
+impl DepthStats {
+    /// The deepest speculation observed on any request.
+    pub fn max_depth(&self) -> u32 {
+        self.histogram.last().map(|(d, _)| *d).unwrap_or(0)
+    }
+}
+
+/// Aggregate what-if speedup bound under zero-overhead speculation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WhatIf {
+    /// Sum of actual end-to-end latencies.
+    pub actual_total: SimDuration,
+    /// Sum of ideal latencies (longest execution span per request).
+    pub ideal_total: SimDuration,
+}
+
+impl WhatIf {
+    /// Upper bound on the speedup any speculation schedule could reach:
+    /// mean actual latency over mean ideal latency. `1.0` when no
+    /// request recorded an execution span.
+    pub fn speedup_bound(&self) -> f64 {
+        if self.ideal_total.is_zero() {
+            return 1.0;
+        }
+        self.actual_total / self.ideal_total
+    }
+}
+
+/// Everything the analyzer extracts from one recorded event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Per-request critical paths, in request-id order. Requests without
+    /// both an arrival and a terminal event are skipped.
+    pub requests: Vec<RequestPath>,
+    /// Squash attribution over the whole stream (including charges whose
+    /// request was already gone, so the total reconciles with the
+    /// ledger).
+    pub squash: SquashAttribution,
+    /// Speculation-depth waterfall.
+    pub depth: DepthStats,
+    /// What-if speedup bound over the analyzed requests.
+    pub what_if: WhatIf,
+}
+
+/// Index of a phase in [`Phase::ALL`] order.
+fn phase_index(p: Phase) -> usize {
+    Phase::ALL
+        .iter()
+        .position(|q| *q == p)
+        .expect("known phase")
+}
+
+/// Attribution precedence when spans overlap: actual execution wins,
+/// then cold-start phases, then platform/transfer hops, then backoff.
+const PRECEDENCE: [Phase; 6] = [
+    Phase::Execution,
+    Phase::ContainerCreation,
+    Phase::RuntimeSetup,
+    Phase::Platform,
+    Phase::Transfer,
+    Phase::RetryBackoff,
+];
+
+#[derive(Debug, Default)]
+struct ReqAcc {
+    arrived: Option<SimTime>,
+    terminal: Option<(SimTime, bool)>,
+    /// Recorded spans `(start, end, phase)` (unclipped).
+    spans: Vec<(SimTime, SimTime, Phase)>,
+    /// Live speculative slot ids (waterfall bookkeeping).
+    spec_live: BTreeSet<u64>,
+    max_depth: u32,
+}
+
+/// Analyzes one recorded event stream. See the module docs for the exact
+/// semantics of each output.
+pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
+    let mut reqs: BTreeMap<u64, ReqAcc> = BTreeMap::new();
+    let mut site_amt: BTreeMap<&'static str, (SimDuration, u64)> = BTreeMap::new();
+    let mut func_amt: BTreeMap<u32, SimDuration> = BTreeMap::new();
+    let mut cascade_amt: BTreeMap<u32, SimDuration> = BTreeMap::new();
+    let mut squash_total = SimDuration::ZERO;
+
+    for ev in events {
+        match &ev.kind {
+            TraceEventKind::RequestArrival { req } => {
+                let acc = reqs.entry(*req).or_default();
+                acc.arrived = Some(ev.at);
+            }
+            TraceEventKind::Terminal { req, completed } => {
+                if let Some(acc) = reqs.get_mut(req) {
+                    acc.terminal = Some((ev.at, *completed));
+                    acc.spec_live.clear();
+                }
+            }
+            // Teardowns of context-less instances label spans with
+            // u64::MAX; they belong to no analyzable request.
+            TraceEventKind::Span {
+                req, phase, end, ..
+            } if *req != u64::MAX => {
+                if let Some(acc) = reqs.get_mut(req) {
+                    acc.spans.push((ev.at, *end, *phase));
+                }
+            }
+            TraceEventKind::RetryBackoff { req, backoff, .. } => {
+                if let Some(acc) = reqs.get_mut(req) {
+                    acc.spans
+                        .push((ev.at, ev.at + *backoff, Phase::RetryBackoff));
+                }
+            }
+            TraceEventKind::SlotLaunch {
+                req,
+                slot,
+                speculative,
+                ..
+            } if *speculative => {
+                if let Some(acc) = reqs.get_mut(req) {
+                    acc.spec_live.insert(*slot);
+                    acc.max_depth = acc.max_depth.max(acc.spec_live.len() as u32);
+                }
+            }
+            TraceEventKind::Commit { req, slot, .. } => {
+                if let Some(acc) = reqs.get_mut(req) {
+                    acc.spec_live.remove(slot);
+                }
+            }
+            TraceEventKind::Squash {
+                req, slot, cascade, ..
+            } => {
+                if let Some(acc) = reqs.get_mut(req) {
+                    // The cascade kills `cascade` slots from `slot` to the
+                    // pipeline tail: drop the youngest live ids ≥ slot.
+                    let doomed: Vec<u64> = acc
+                        .spec_live
+                        .range(*slot..)
+                        .rev()
+                        .take(*cascade as usize)
+                        .copied()
+                        .collect();
+                    for s in doomed {
+                        acc.spec_live.remove(&s);
+                    }
+                }
+            }
+            TraceEventKind::SquashCharge {
+                func,
+                site,
+                cascade,
+                amount,
+                ..
+            } => {
+                squash_total += *amount;
+                let e = site_amt.entry(site).or_default();
+                e.0 += *amount;
+                e.1 += 1;
+                *func_amt.entry(*func).or_default() += *amount;
+                *cascade_amt.entry(*cascade).or_default() += *amount;
+            }
+            _ => {}
+        }
+    }
+
+    let mut requests = Vec::new();
+    let mut depth_hist: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut what_if = WhatIf::default();
+    for (req, acc) in &reqs {
+        let (Some(arrived), Some((terminal, completed))) = (acc.arrived, acc.terminal) else {
+            continue;
+        };
+        let breakdown = sweep(arrived, terminal, &acc.spans);
+        let ideal = acc
+            .spans
+            .iter()
+            .filter(|(_, _, p)| *p == Phase::Execution)
+            .map(|(s, e, _)| (*e).min(terminal).saturating_since((*s).max(arrived)))
+            .max()
+            .filter(|d| !d.is_zero())
+            .unwrap_or(terminal - arrived);
+        what_if.actual_total += terminal - arrived;
+        what_if.ideal_total += ideal;
+        *depth_hist.entry(acc.max_depth).or_default() += 1;
+        requests.push(RequestPath {
+            req: *req,
+            arrived,
+            terminal,
+            completed,
+            breakdown,
+            ideal,
+        });
+    }
+
+    let mut by_site: Vec<(String, SimDuration, u64)> = site_amt
+        .into_iter()
+        .map(|(s, (amt, n))| (s.to_string(), amt, n))
+        .collect();
+    by_site.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut by_func: Vec<(u32, SimDuration)> = func_amt.into_iter().collect();
+    by_func.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    TraceAnalysis {
+        requests,
+        squash: SquashAttribution {
+            total: squash_total,
+            by_site,
+            by_func,
+            by_cascade: cascade_amt.into_iter().collect(),
+        },
+        depth: DepthStats {
+            histogram: depth_hist.into_iter().collect(),
+        },
+        what_if,
+    }
+}
+
+/// Elementary-interval sweep: attributes every instant of
+/// `[arrived, terminal]` to the highest-precedence phase covering it (or
+/// the queue/other residual), so the buckets sum exactly.
+fn sweep(
+    arrived: SimTime,
+    terminal: SimTime,
+    spans: &[(SimTime, SimTime, Phase)],
+) -> PhaseBreakdown {
+    let mut cuts: BTreeSet<SimTime> = BTreeSet::new();
+    cuts.insert(arrived);
+    cuts.insert(terminal);
+    let mut clipped: Vec<(SimTime, SimTime, Phase)> = Vec::with_capacity(spans.len());
+    for (s, e, p) in spans {
+        let s = (*s).max(arrived).min(terminal);
+        let e = (*e).max(arrived).min(terminal);
+        if s < e {
+            cuts.insert(s);
+            cuts.insert(e);
+            clipped.push((s, e, *p));
+        }
+    }
+    let mut out = PhaseBreakdown::default();
+    let cuts: Vec<SimTime> = cuts.into_iter().collect();
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let len = b - a;
+        let winner = PRECEDENCE.iter().find(|p| {
+            clipped
+                .iter()
+                .any(|(s, e, q)| q == *p && *s <= a && *e >= b)
+        });
+        match winner {
+            Some(p) => out.phases[phase_index(*p)] += len,
+            None => out.queue_other += len,
+        }
+    }
+    out
+}
+
+/// Aggregate of many request paths (for the per-app report table).
+#[derive(Debug, Clone, Default)]
+pub struct PathAggregate {
+    /// Number of requests aggregated.
+    pub count: u64,
+    /// Summed phase buckets across all requests.
+    pub breakdown: PhaseBreakdown,
+    /// Summed end-to-end latency.
+    pub latency_total: SimDuration,
+}
+
+impl PathAggregate {
+    /// Aggregates a slice of request paths.
+    pub fn of(paths: &[RequestPath]) -> Self {
+        let mut agg = PathAggregate::default();
+        for p in paths {
+            agg.count += 1;
+            for (i, d) in p.breakdown.phases.iter().enumerate() {
+                agg.breakdown.phases[i] += *d;
+            }
+            agg.breakdown.queue_other += p.breakdown.queue_other;
+            agg.latency_total += p.latency();
+        }
+        agg
+    }
+
+    /// Mean time in one phase, in fractional milliseconds.
+    pub fn mean_phase_ms(&self, p: Phase) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.breakdown.phase(p).as_millis_f64() / self.count as f64
+    }
+
+    /// Mean unattributed (queue/other) time, in fractional milliseconds.
+    pub fn mean_queue_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.breakdown.queue_other.as_millis_f64() / self.count as f64
+    }
+
+    /// Mean end-to-end latency, in fractional milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.latency_total.as_millis_f64() / self.count as f64
+    }
+}
+
+/// Convenience for tests and the profile binary: per-request exactness of
+/// the decomposition. Returns the ids of requests whose buckets do *not*
+/// sum to their latency (always empty unless the sweep is broken).
+pub fn check_paths_exact(analysis: &TraceAnalysis) -> Vec<u64> {
+    analysis
+        .requests
+        .iter()
+        .filter(|p| p.breakdown.total() != p.latency())
+        .map(|p| p.req)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn arrival(at: u64, req: u64) -> TraceEvent {
+        TraceEvent {
+            at: t(at),
+            kind: TraceEventKind::RequestArrival { req },
+        }
+    }
+
+    fn terminal(at: u64, req: u64, completed: bool) -> TraceEvent {
+        TraceEvent {
+            at: t(at),
+            kind: TraceEventKind::Terminal { req, completed },
+        }
+    }
+
+    fn span(s: u64, e: u64, req: u64, phase: Phase) -> TraceEvent {
+        TraceEvent {
+            at: t(s),
+            kind: TraceEventKind::Span {
+                req,
+                func: 0,
+                node: 0,
+                phase,
+                end: t(e),
+            },
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_latency_with_overlap_and_gaps() {
+        let events = [
+            arrival(0, 1),
+            span(1, 5, 1, Phase::Platform),
+            // Execution overlaps platform: precedence gives it the overlap.
+            span(3, 8, 1, Phase::Execution),
+            span(20, 30, 1, Phase::Transfer), // clipped at terminal
+            terminal(25, 1, true),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.requests.len(), 1);
+        let p = &a.requests[0];
+        assert_eq!(p.latency(), SimDuration::from_millis(25));
+        assert_eq!(p.breakdown.total(), p.latency());
+        assert_eq!(
+            p.breakdown.phase(Phase::Execution),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            p.breakdown.phase(Phase::Platform),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(
+            p.breakdown.phase(Phase::Transfer),
+            SimDuration::from_millis(5)
+        );
+        // 0..1 gap + 8..20 gap = 13 ms unattributed.
+        assert_eq!(p.breakdown.queue_other, SimDuration::from_millis(13));
+        assert!(check_paths_exact(&a).is_empty());
+    }
+
+    #[test]
+    fn squash_attribution_groups_and_totals() {
+        let charge = |site: &'static str, func: u32, cascade: u32, ms: u64| TraceEvent {
+            at: t(1),
+            kind: TraceEventKind::SquashCharge {
+                req: 0,
+                func,
+                site,
+                cascade,
+                amount: SimDuration::from_millis(ms),
+            },
+        };
+        let events = [
+            charge("wrong_path", 2, 3, 10),
+            charge("wrong_path", 3, 3, 5),
+            charge("teardown", 2, 0, 1),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.squash.total, SimDuration::from_millis(16));
+        assert_eq!(a.squash.by_site[0].0, "wrong_path");
+        assert_eq!(a.squash.by_site[0].1, SimDuration::from_millis(15));
+        assert_eq!(a.squash.by_site[0].2, 2);
+        assert_eq!(a.squash.by_func[0], (2, SimDuration::from_millis(11)));
+        assert_eq!(
+            a.squash.by_cascade,
+            vec![
+                (0, SimDuration::from_millis(1)),
+                (3, SimDuration::from_millis(15))
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_waterfall_tracks_launch_commit_squash() {
+        let launch = |at: u64, slot: u64, speculative: bool| TraceEvent {
+            at: t(at),
+            kind: TraceEventKind::SlotLaunch {
+                req: 0,
+                slot,
+                func: 0,
+                speculative,
+            },
+        };
+        let commit = |at: u64, slot: u64| TraceEvent {
+            at: t(at),
+            kind: TraceEventKind::Commit {
+                req: 0,
+                slot,
+                func: 0,
+            },
+        };
+        let events = [
+            arrival(0, 0),
+            launch(1, 0, false),
+            launch(2, 1, true),
+            launch(3, 2, true), // depth 2
+            commit(4, 1),
+            commit(5, 2),
+            terminal(6, 0, true),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.depth.histogram, vec![(2, 1)]);
+        assert_eq!(a.depth.max_depth(), 2);
+    }
+
+    #[test]
+    fn what_if_bound_uses_longest_execution_span() {
+        let events = [
+            arrival(0, 0),
+            span(0, 4, 0, Phase::Execution),
+            span(4, 6, 0, Phase::Execution),
+            terminal(10, 0, true),
+        ];
+        let a = analyze(&events);
+        // actual 10 ms, ideal 4 ms → bound 2.5x.
+        assert!((a.what_if.speedup_bound() - 2.5).abs() < 1e-12);
+        assert_eq!(a.requests[0].ideal, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn unterminated_requests_are_skipped() {
+        let events = [arrival(0, 0), arrival(0, 1), terminal(5, 1, false)];
+        let a = analyze(&events);
+        assert_eq!(a.requests.len(), 1);
+        assert_eq!(a.requests[0].req, 1);
+        assert!(!a.requests[0].completed);
+    }
+}

@@ -22,14 +22,17 @@
 //!
 //! Two diagnostic binaries sit outside the paper's figure set:
 //!
-//! | Binary   | Purpose |
-//! |----------|---------|
-//! | `faults` | fault-injection ablation: fault-rate and retry-budget sweeps |
-//! | `trace`  | flight recorder: invariant-checked run, `--trace` exports Chrome-trace JSON |
+//! | Binary    | Purpose |
+//! |-----------|---------|
+//! | `faults`  | fault-injection ablation: fault-rate and retry-budget sweeps |
+//! | `trace`   | flight recorder: invariant-checked run, `--trace` exports Chrome-trace JSON |
+//! | `profile` | metrics registry + trace analytics: Prometheus/CSV export, critical paths, squash attribution |
 //!
 //! The library half provides the shared measurement protocol
-//! ([`runner`]) and plain-text table rendering ([`report`]).
+//! ([`runner`]), plain-text table rendering ([`report`]), and post-hoc
+//! trace analytics ([`analysis`]).
 
+pub mod analysis;
 pub mod microbench;
 pub mod report;
 pub mod runner;

@@ -44,7 +44,9 @@ impl Table {
             out.push('\n');
         };
         line(&mut out, &self.header);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        // `cols` can be zero (header-less table): saturate rather than
+        // underflow into a multi-gigabyte separator line.
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for r in &self.rows {
@@ -91,6 +93,18 @@ mod tests {
         // Columns aligned: "Speedup" starts at the same offset everywhere.
         let off = lines[0].find("Speedup").unwrap();
         assert_eq!(&lines[2][off..off + 5], "2.50x");
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_underflow() {
+        let t = Table::new(Vec::<String>::new());
+        let s = t.render();
+        // Header line + empty separator: no panic, no huge allocation.
+        assert_eq!(s, "\n\n");
+
+        let mut with_rows = Table::new(Vec::<String>::new());
+        with_rows.row(Vec::<String>::new());
+        assert_eq!(with_rows.render(), "\n\n\n");
     }
 
     #[test]

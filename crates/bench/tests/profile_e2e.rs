@@ -1,0 +1,196 @@
+//! End-to-end tests for the metrics registry and trace analytics
+//! (DESIGN.md, "Observability").
+//!
+//! For one representative application per suite these tests assert that
+//!
+//! * arming the metrics registry leaves `RunMetrics` bit-identical for
+//!   both engines (sampling never touches the RNG or the event queue),
+//! * two same-seed runs produce byte-identical Prometheus and CSV
+//!   exports,
+//! * the Prometheus exposition for a fixed app and seed matches a
+//!   checked-in golden file (re-bless with `BLESS_GOLDEN=1`),
+//! * squash attribution recovered from the trace reconciles exactly
+//!   with the engine's squashed-CPU ledger (Table IV), and
+//! * per-request critical-path phase buckets sum exactly to the
+//!   end-to-end latency.
+
+use specfaas_bench::analysis::{analyze, check_paths_exact};
+use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_core::SpecConfig;
+use specfaas_platform::RunMetrics;
+use specfaas_sim::timeseries::MetricsRegistry;
+use specfaas_sim::trace::Tracer;
+use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration};
+
+const SEED: u64 = 0x7ace;
+const TRAIN: u64 = 120;
+const REQUESTS: u64 = 80;
+
+fn plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_container_crash(0.02)
+        .with_kv_get(0.01)
+        .with_kv_set(0.01)
+        .with_hang(0.002)
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_max_attempts(8)
+        .with_timeout(SimDuration::from_secs(2))
+}
+
+/// One instrumented measurement pass. `engine` is `"spec"` or
+/// `"baseline"`; `record` arms the registry (a disabled registry is
+/// installed otherwise, which must be a no-op).
+fn instrumented_run(
+    bundle: &specfaas_apps::AppBundle,
+    engine: &str,
+    record: bool,
+) -> (Tracer, MetricsRegistry, RunMetrics) {
+    let registry = if record {
+        MetricsRegistry::recording()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    let gen = bundle.make_input.clone();
+    match engine {
+        "spec" => {
+            let mut e = prepared_spec(bundle, SpecConfig::full(), SEED, TRAIN);
+            e.enable_faults(plan(), policy());
+            e.set_tracer(Tracer::with_invariants());
+            e.set_registry(registry);
+            let m = e.run_closed(REQUESTS, move |r| gen(r));
+            (e.take_tracer(), e.take_registry(), m)
+        }
+        "baseline" => {
+            let mut e = prepared_baseline(bundle, SEED);
+            e.enable_faults(plan(), policy());
+            e.set_tracer(Tracer::with_invariants());
+            e.set_registry(registry);
+            let m = e.run_closed(REQUESTS, move |r| gen(r));
+            (e.take_tracer(), e.take_registry(), m)
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+fn assert_metrics_eq(a: &RunMetrics, b: &RunMetrics, label: &str) {
+    assert_eq!(a.completed, b.completed, "{label}: completed diverged");
+    assert_eq!(a.failed, b.failed, "{label}: failed diverged");
+    assert_eq!(
+        a.useful_core_time, b.useful_core_time,
+        "{label}: useful core-time diverged"
+    );
+    assert_eq!(
+        a.squashed_core_time, b.squashed_core_time,
+        "{label}: squashed core-time diverged"
+    );
+    assert_eq!(
+        a.latency.mean_ms(),
+        b.latency.mean_ms(),
+        "{label}: latency diverged"
+    );
+}
+
+#[test]
+fn registry_is_invisible_to_run_metrics_on_both_engines() {
+    for suite in specfaas_apps::all_suites() {
+        let bundle = &suite.apps[0];
+        for engine in ["spec", "baseline"] {
+            let label = format!("{}/{}/{engine}", suite.name, bundle.app.name);
+            let (_, _, plain) = instrumented_run(bundle, engine, false);
+            let (_, registry, recorded) = instrumented_run(bundle, engine, true);
+            assert!(registry.enabled(), "{label}: registry not armed");
+            assert_metrics_eq(&plain, &recorded, &label);
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_exports() {
+    for suite in specfaas_apps::all_suites() {
+        let bundle = &suite.apps[0];
+        let label = format!("{}/{}", suite.name, bundle.app.name);
+        let (_, ra, _) = instrumented_run(bundle, "spec", true);
+        let (_, rb, _) = instrumented_run(bundle, "spec", true);
+        assert_eq!(
+            ra.export_prometheus(),
+            rb.export_prometheus(),
+            "{label}: Prometheus exposition diverges"
+        );
+        assert_eq!(
+            ra.export_csv(),
+            rb.export_csv(),
+            "{label}: CSV time series diverges"
+        );
+    }
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_file() {
+    let bundle = specfaas_apps::faaschain::hotel_booking();
+    let (_, registry, _) = instrumented_run(&bundle, "spec", true);
+    let got = registry.export_prometheus();
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/hotel_booking_spec.prom"
+    );
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("failed to bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing; run with BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "Prometheus exposition drifted from the golden file; \
+         re-bless with BLESS_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn squash_attribution_reconciles_with_engine_ledger() {
+    let bundle = specfaas_apps::faaschain::hotel_booking();
+    for engine in ["spec", "baseline"] {
+        let (tracer, _, m) = instrumented_run(&bundle, engine, true);
+        assert!(tracer.violations().is_empty(), "{engine}: violations");
+        let a = analyze(tracer.events());
+        assert_eq!(
+            a.squash.total, m.squashed_core_time,
+            "{engine}: attributed squash total != Table-IV ledger"
+        );
+        let by_site: SimDuration = a.squash.by_site.iter().map(|(_, amt, _)| *amt).sum();
+        assert_eq!(
+            by_site, a.squash.total,
+            "{engine}: per-site attribution does not sum to the total"
+        );
+    }
+}
+
+#[test]
+fn critical_path_phases_sum_to_latency() {
+    for suite in specfaas_apps::all_suites() {
+        let bundle = &suite.apps[0];
+        for engine in ["spec", "baseline"] {
+            let label = format!("{}/{}/{engine}", suite.name, bundle.app.name);
+            let (tracer, _, m) = instrumented_run(bundle, engine, true);
+            let a = analyze(tracer.events());
+            assert!(
+                !a.requests.is_empty(),
+                "{label}: no request paths recovered"
+            );
+            assert_eq!(
+                a.requests.len() as u64,
+                m.completed + m.failed,
+                "{label}: path count != terminal requests"
+            );
+            let broken = check_paths_exact(&a);
+            assert!(
+                broken.is_empty(),
+                "{label}: phase buckets do not sum to latency for {broken:?}"
+            );
+        }
+    }
+}

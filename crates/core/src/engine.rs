@@ -11,7 +11,8 @@
 //! predictor, memoization tables, stall list) live across invocations and
 //! are only ever updated with committed, non-speculative data (§V-E).
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 use specfaas_platform::cluster::{Cluster, NodeId};
@@ -20,6 +21,7 @@ use specfaas_platform::exec::{FnInstance, InstanceId, InstanceState};
 use specfaas_platform::metrics::{InvocationRecord, RequestOutcome, RunMetrics};
 use specfaas_platform::overheads::OverheadModel;
 use specfaas_platform::workload::{RequestId, Workload};
+use specfaas_sim::timeseries::MetricsRegistry;
 use specfaas_sim::trace::{Phase, SquashCause, TraceEventKind, Tracer};
 use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
@@ -228,6 +230,18 @@ pub struct SpecEngine {
     squash_kill_busy: SimDuration,
     /// `squash_kill_busy` value at tracer install / last end-of-run check.
     kill_busy_base: SimDuration,
+    /// Time-series metrics (disabled by default; see
+    /// [`SpecEngine::set_registry`]). Sampling is strictly read-only on
+    /// engine state: it never draws RNG or schedules events.
+    registry: MetricsRegistry,
+    /// Live instances whose launch was speculative (registry-gated;
+    /// pruned lazily at sample time). Feeds the in-flight-speculation
+    /// gauge without touching the unconditional instance bookkeeping.
+    spec_live: HashSet<InstanceId>,
+    /// Completion instants of issued KV operations (registry-gated
+    /// min-heap). Entries at or before the sample instant are popped, so
+    /// the heap size at `now` is the outstanding-KV-ops gauge.
+    kv_pending: BinaryHeap<Reverse<SimTime>>,
     seqtable: SequenceTable,
     predictor: BranchPredictor,
     memos: MemoTables,
@@ -273,6 +287,9 @@ impl SpecEngine {
             attributed_base: (SimDuration::ZERO, SimDuration::ZERO),
             squash_kill_busy: SimDuration::ZERO,
             kill_busy_base: SimDuration::ZERO,
+            registry: MetricsRegistry::disabled(),
+            spec_live: HashSet::new(),
+            kv_pending: BinaryHeap::new(),
             seqtable,
             instances: HashMap::new(),
             meta: HashMap::new(),
@@ -360,6 +377,107 @@ impl SpecEngine {
         std::mem::take(&mut self.tracer)
     }
 
+    /// Installs a time-series metrics registry (pass
+    /// [`MetricsRegistry::recording`]). The engine then maintains
+    /// counters and samples occupancy gauges after every handled event.
+    /// Sampling only reads engine state — it never draws from the RNG or
+    /// schedules events — so an enabled registry leaves [`RunMetrics`]
+    /// bit-identical to a same-seed run without one.
+    pub fn set_registry(&mut self, registry: MetricsRegistry) {
+        self.registry = registry;
+    }
+
+    /// The installed metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Takes the metrics registry out of the engine, leaving a disabled one.
+    pub fn take_registry(&mut self) -> MetricsRegistry {
+        std::mem::take(&mut self.registry)
+    }
+
+    /// Samples every occupancy gauge at the current sim-time. Called after
+    /// each handled event; one branch when the registry is disabled. The
+    /// registry collapses consecutive duplicate values, so steady states
+    /// cost one stored sample regardless of event volume.
+    fn sample_gauges(&mut self) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let now = self.sim.now();
+        self.registry.sample(
+            now,
+            "specfaas_warm_pool_size",
+            self.cluster.warm_pool_total(),
+        );
+        for (i, busy, depth) in self.cluster.node_gauges(now).collect::<Vec<_>>() {
+            let label = i.to_string();
+            self.registry
+                .sample_labeled(now, "specfaas_busy_cores", "node", &label, busy);
+            self.registry.sample_labeled(
+                now,
+                "specfaas_controller_queue_depth",
+                "node",
+                &label,
+                depth as u64,
+            );
+        }
+        self.spec_live.retain(|id| self.instances.contains_key(id));
+        self.registry.sample(
+            now,
+            "specfaas_inflight_spec_slots",
+            self.spec_live.len() as u64,
+        );
+        self.registry.sample(
+            now,
+            "specfaas_memo_entries",
+            self.memos.total_entries() as u64,
+        );
+        while self.kv_pending.peek().is_some_and(|Reverse(t)| *t <= now) {
+            self.kv_pending.pop();
+        }
+        self.registry.sample(
+            now,
+            "specfaas_outstanding_kv_ops",
+            self.kv_pending.len() as u64,
+        );
+    }
+
+    /// Charges `amount` to the Table-IV squashed-CPU ledger and mirrors
+    /// the charge into the flight recorder ([`TraceEventKind::SquashCharge`])
+    /// and registry, so post-hoc attribution reconciles exactly with
+    /// [`RunMetrics::squashed_core_time`]. Zero-amount charges are
+    /// ledger no-ops and emit nothing.
+    fn charge_squashed(
+        &mut self,
+        req: RequestId,
+        func: FuncId,
+        site: &'static str,
+        cascade: u32,
+        amount: SimDuration,
+    ) {
+        if amount == SimDuration::ZERO {
+            return;
+        }
+        self.metrics.squashed_core_time += amount;
+        if self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::SquashCharge {
+                    req: req.0,
+                    func: func.0,
+                    site,
+                    cascade,
+                    amount,
+                },
+            );
+        }
+        self.registry
+            .inc_by("specfaas_squashed_core_us_total", amount.as_micros());
+    }
+
     /// End-of-driver invariant validation: every execution reached a
     /// terminal state and the core time the engine attributed (useful +
     /// squashed) exactly equals the cluster's integrated busy core-time
@@ -431,6 +549,7 @@ impl SpecEngine {
         }
         self.requests.insert(id, req);
         self.metrics.submitted += 1;
+        self.registry.inc("specfaas_requests_submitted_total");
         if self.tracer.enabled() {
             self.tracer
                 .emit(now, TraceEventKind::RequestArrival { req: id.0 });
@@ -596,6 +715,7 @@ impl SpecEngine {
                         .slot_mut(slot_id)
                         .expect("live")
                         .predicted_taken = Some(dir);
+                    self.registry.inc("specfaas_branch_predictions_total");
                     if self.tracer.enabled() {
                         let now = self.sim.now();
                         self.tracer.emit(
@@ -696,15 +816,18 @@ impl SpecEngine {
         } else {
             false
         };
-        if hit && self.tracer.enabled() {
-            let now = self.sim.now();
-            self.tracer.emit(
-                now,
-                TraceEventKind::MemoHit {
-                    req: req_id.0,
-                    func,
-                },
-            );
+        if hit {
+            self.registry.inc("specfaas_memo_hits_total");
+            if self.tracer.enabled() {
+                let now = self.sim.now();
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::MemoHit {
+                        req: req_id.0,
+                        func,
+                    },
+                );
+            }
         }
     }
 
@@ -806,6 +929,8 @@ impl SpecEngine {
             if !head && self.faults.roll(FaultSite::SlotDrop, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.slot_drops += 1;
+                self.registry
+                    .inc_labeled("specfaas_faults_injected_total", "site", "slot_drop");
                 if self.tracer.enabled() {
                     let func = self
                         .requests
@@ -842,12 +967,12 @@ impl SpecEngine {
             (req.ctrl, slot.func, slot.input.clone().expect("input"))
         };
         let annotations = self.app.registry.spec(func).annotations;
+        let speculative = self
+            .requests
+            .get(&req_id)
+            .map(|r| !r.pipeline.is_head(slot_id))
+            .unwrap_or(false);
         if self.tracer.enabled() {
-            let speculative = self
-                .requests
-                .get(&req_id)
-                .map(|r| !r.pipeline.is_head(slot_id))
-                .unwrap_or(false);
             self.tracer.emit(
                 now,
                 TraceEventKind::SlotLaunch {
@@ -871,6 +996,8 @@ impl SpecEngine {
                 slot.output = Some(output);
                 req.functions_run += 1;
                 self.metrics.functions_started += 1;
+                self.registry.inc("specfaas_functions_started_total");
+                self.registry.inc("specfaas_memo_hits_total");
                 if self.tracer.enabled() {
                     self.tracer.emit(
                         now,
@@ -911,6 +1038,10 @@ impl SpecEngine {
         req.slot_inst.insert(slot_id, id);
         req.functions_run += 1;
         self.metrics.functions_started += 1;
+        self.registry.inc("specfaas_functions_started_total");
+        if speculative && self.registry.enabled() {
+            self.spec_live.insert(id);
+        }
         self.sim.schedule_in(delay, Ev::Launch(id));
         // Invocation watchdog: the only recovery path for a hung handler.
         if let Some(t) = self.retry.invocation_timeout {
@@ -1021,6 +1152,7 @@ impl SpecEngine {
         let func = inst.func;
         match self.cluster.acquire_container(node, func, &self.model) {
             ContainerAcquire::Warm => {
+                self.registry.inc("specfaas_warm_starts_total");
                 if self.tracer.enabled() {
                     let now = self.sim.now();
                     self.tracer.emit(
@@ -1036,6 +1168,7 @@ impl SpecEngine {
                 self.try_start(id)
             }
             ContainerAcquire::Cold(d) => {
+                self.registry.inc("specfaas_cold_starts_total");
                 let inst = self.instances.get_mut(&id).expect("live");
                 inst.breakdown.container_creation = self.model.container_creation;
                 inst.breakdown.runtime_setup = self.model.runtime_setup;
@@ -1143,6 +1276,11 @@ impl SpecEngine {
             if self.faults.roll(FaultSite::ContainerCrash, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.crashes += 1;
+                self.registry.inc_labeled(
+                    "specfaas_faults_injected_total",
+                    "site",
+                    "container_crash",
+                );
                 if self.tracer.enabled() {
                     self.tracer.emit(
                         now,
@@ -1158,6 +1296,8 @@ impl SpecEngine {
             if self.faults.roll(FaultSite::Hang, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.hangs += 1;
+                self.registry
+                    .inc_labeled("specfaas_faults_injected_total", "site", "hang");
                 if self.tracer.enabled() {
                     self.tracer.emit(
                         now,
@@ -1299,16 +1439,18 @@ impl SpecEngine {
         }
         self.metrics.faults.injected += 1;
         self.metrics.faults.kv_errors += 1;
+        let fault_site = match &op {
+            KvOp::Get { .. } => "kv_get",
+            KvOp::Set { .. } => "kv_set",
+        };
+        self.registry
+            .inc_labeled("specfaas_faults_injected_total", "site", fault_site);
         if self.tracer.enabled() {
-            let site = match &op {
-                KvOp::Get { .. } => "kv_get",
-                KvOp::Set { .. } => "kv_set",
-            };
             self.tracer.emit(
                 now,
                 TraceEventKind::FaultInjected {
                     req: req_id.0,
-                    site,
+                    site: fault_site,
                 },
             );
         }
@@ -1398,6 +1540,10 @@ impl SpecEngine {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.breakdown.execution += lat;
         }
+        self.registry.inc("specfaas_kv_reads_total");
+        if self.registry.enabled() {
+            self.kv_pending.push(Reverse(self.sim.now() + lat));
+        }
         self.sim.schedule_in(lat, Ev::Resume(id, Some(value)));
     }
 
@@ -1445,6 +1591,10 @@ impl SpecEngine {
 
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.breakdown.execution += lat;
+        }
+        self.registry.inc("specfaas_kv_writes_total");
+        if self.registry.enabled() {
+            self.kv_pending.push(Reverse(self.sim.now() + lat));
         }
         self.sim.schedule_in(lat, Ev::Resume(id, None));
     }
@@ -1732,18 +1882,19 @@ impl SpecEngine {
             }
         }
 
-        let Some(req) = self.requests.get_mut(&req_id) else {
+        if !self.requests.contains_key(&req_id) {
             // Request already gone (defensive): the stint can no longer be
             // attributed to a slot, so count it as wasted work rather than
             // dropping it from the core-time conservation ledger.
-            self.metrics.squashed_core_time += core_time;
-            return;
-        };
-        if req.pipeline.slot(slot_id).is_none() {
-            // Slot squashed while its completion event was in flight.
-            self.metrics.squashed_core_time += core_time;
+            self.charge_squashed(req_id, inst.func, "late_completion", 0, core_time);
             return;
         }
+        if self.requests[&req_id].pipeline.slot(slot_id).is_none() {
+            // Slot squashed while its completion event was in flight.
+            self.charge_squashed(req_id, inst.func, "late_completion", 0, core_time);
+            return;
+        }
+        let req = self.requests.get_mut(&req_id).expect("live");
         req.slot_inst.remove(&slot_id);
         *req.slot_cpu.entry(slot_id).or_insert(SimDuration::ZERO) += core_time;
         {
@@ -1789,6 +1940,7 @@ impl SpecEngine {
                     .take(stop - start + 1)
                     .collect()
             };
+            let cascade = block.len() as u32;
             if self.tracer.enabled() {
                 let now = self.sim.now();
                 self.tracer.emit(
@@ -1797,12 +1949,12 @@ impl SpecEngine {
                         req: req_id.0,
                         slot: head.0,
                         cause: SquashCause::WrongPath,
-                        cascade: block.len() as u32,
+                        cascade,
                     },
                 );
             }
             for s in block {
-                self.squash_slot(req_id, s, false);
+                self.squash_slot(req_id, s, false, "unconsumed_callee", cascade);
             }
         }
         let Some(req) = self.requests.get_mut(&req_id) else {
@@ -1939,13 +2091,14 @@ impl SpecEngine {
             // callee is an orphan — drop it (buffered writes included).
             req.buffer.squash(callee_slot);
             req.waiting_args.remove(&caller_slot);
-            if req.pipeline.slot(callee_slot).is_some() {
+            if let Some(callee_func) = req.pipeline.slot(callee_slot).map(|s| s.func) {
                 req.pipeline.remove(callee_slot);
                 req.extended.remove(&callee_slot);
-                if let Some(t) = req.slot_cpu.remove(&callee_slot) {
-                    self.metrics.squashed_core_time += t;
-                }
+                let wasted = req.slot_cpu.remove(&callee_slot);
                 req.functions_squashed += 1;
+                if let Some(t) = wasted {
+                    self.charge_squashed(req_id, callee_func, "orphan_callee", 0, t);
+                }
             }
             return;
         };
@@ -2002,6 +2155,7 @@ impl SpecEngine {
         }
         let req = self.requests.get_mut(&req_id).expect("live");
         req.committed_sequence.push(slot.func.0);
+        self.registry.inc("specfaas_commits_total");
         if self.tracer.enabled() {
             let now = self.sim.now();
             self.tracer.emit(
@@ -2199,6 +2353,7 @@ impl SpecEngine {
             }
         }
         self.metrics.functions_squashed += u64::from(req.functions_squashed);
+        self.registry.inc("specfaas_requests_completed_total");
         if req.measured {
             self.metrics.record_completion(InvocationRecord {
                 arrived: req.arrived,
@@ -2235,13 +2390,14 @@ impl SpecEngine {
         let order: Vec<SlotId> = req.pipeline.iter_order().collect();
         let victims: Vec<SlotId> = order[pos..].to_vec();
 
+        let cause = match kind {
+            SquashKind::WrongPath => SquashCause::WrongPath,
+            SquashKind::WrongInput => SquashCause::WrongInput,
+            SquashKind::Violation => SquashCause::Violation,
+            SquashKind::Fault => SquashCause::Fault,
+        };
+        let cascade = victims.len() as u32;
         if self.tracer.enabled() {
-            let cause = match kind {
-                SquashKind::WrongPath => SquashCause::WrongPath,
-                SquashKind::WrongInput => SquashCause::WrongInput,
-                SquashKind::Violation => SquashCause::Violation,
-                SquashKind::Fault => SquashCause::Fault,
-            };
             let now = self.sim.now();
             self.tracer.emit(
                 now,
@@ -2249,10 +2405,12 @@ impl SpecEngine {
                     req: req_id.0,
                     slot: first.0,
                     cause,
-                    cascade: victims.len() as u32,
+                    cascade,
                 },
             );
         }
+        self.registry
+            .inc_labeled("specfaas_squashes_total", "cause", cause.name());
         // Dependents torn down because a committed-path execution
         // faulted (not because speculation was wrong).
         if kind == SquashKind::Fault {
@@ -2276,7 +2434,7 @@ impl SpecEngine {
                 Some(SlotRole::Entry { entry }) if fork_heads.contains(&entry)
             );
             let reset_in_place = (i == 0 && kind != SquashKind::WrongPath) || is_fork_head;
-            self.squash_slot(req_id, *v, reset_in_place);
+            self.squash_slot(req_id, *v, reset_in_place, cause.name(), cascade);
         }
         // Callers waiting on removed callees: their Call will be
         // re-issued when the caller (also squashed) re-executes, or the
@@ -2307,24 +2465,33 @@ impl SpecEngine {
         self.pump(req_id);
     }
 
-    fn squash_slot(&mut self, req_id: RequestId, slot_id: SlotId, reset_in_place: bool) {
+    fn squash_slot(
+        &mut self,
+        req_id: RequestId,
+        slot_id: SlotId,
+        reset_in_place: bool,
+        site: &'static str,
+        cascade: u32,
+    ) {
         let req = self.requests.get_mut(&req_id).expect("live");
-        if req.pipeline.slot(slot_id).is_none() {
+        let Some(func) = req.pipeline.slot(slot_id).map(|s| s.func) else {
             return;
-        }
+        };
         req.functions_squashed += 1;
         req.buffer.squash(slot_id);
         req.extended.remove(&slot_id);
         req.deferred_http.remove(&slot_id);
         req.call_state.remove(&slot_id);
         req.call_records.remove(&slot_id);
+        let wasted = req.slot_cpu.remove(&slot_id);
+        let inst = req.slot_inst.remove(&slot_id);
         // CPU spent on a now-squashed execution is wasted work.
-        if let Some(t) = req.slot_cpu.remove(&slot_id) {
-            self.metrics.squashed_core_time += t;
+        if let Some(t) = wasted {
+            self.charge_squashed(req_id, func, site, cascade, t);
         }
         // Kill the running instance per the configured mechanism.
-        if let Some(inst_id) = req.slot_inst.remove(&slot_id) {
-            self.kill_instance(inst_id);
+        if let Some(inst_id) = inst {
+            self.kill_instance(inst_id, req_id, site, cascade);
         }
         let req = self.requests.get_mut(&req_id).expect("live");
         if reset_in_place {
@@ -2342,7 +2509,14 @@ impl SpecEngine {
     }
 
     /// Applies the configured squash mechanism to a live instance.
-    fn kill_instance(&mut self, id: InstanceId) {
+    /// `site`/`cascade` label the squash for wasted-CPU attribution.
+    fn kill_instance(
+        &mut self,
+        id: InstanceId,
+        req_id: RequestId,
+        site: &'static str,
+        cascade: u32,
+    ) {
         let now = self.sim.now();
         let Some(inst) = self.instances.get(&id) else {
             return;
@@ -2375,9 +2549,7 @@ impl SpecEngine {
                     self.orphans.insert(id);
                 } else {
                     if inst_state == InstanceState::Blocked {
-                        if let Some(i) = self.instances.get(&id) {
-                            self.metrics.squashed_core_time += i.accumulated_core;
-                        }
+                        self.charge_squashed(req_id, inst_func, site, cascade, inst_acc);
                         if meta_acquired {
                             self.cluster
                                 .node_mut(inst_node)
@@ -2398,7 +2570,13 @@ impl SpecEngine {
                         // the kill-latency window itself goes into
                         // `squash_kill_busy` at SquashRelease.
                         if let Some(s) = inst_started {
-                            self.metrics.squashed_core_time += (now - s) + inst_acc;
+                            self.charge_squashed(
+                                req_id,
+                                inst_func,
+                                site,
+                                cascade,
+                                (now - s) + inst_acc,
+                            );
                         }
                         if self.tracer.enabled() {
                             if let (Some(s), Some(m)) = (inst_started, self.meta.get(&id)) {
@@ -2426,7 +2604,7 @@ impl SpecEngine {
                     InstanceState::WaitingCore => {
                         // Past blocked stints are wasted work even though
                         // the instance holds no core right now.
-                        self.metrics.squashed_core_time += inst_acc;
+                        self.charge_squashed(req_id, inst_func, site, cascade, inst_acc);
                         self.cluster
                             .node_mut(inst_node)
                             .cores
@@ -2443,9 +2621,7 @@ impl SpecEngine {
                     InstanceState::Blocked => {
                         // Holds no core; count its past stints as wasted
                         // and free the container after the kill latency.
-                        if let Some(i) = self.instances.get(&id) {
-                            self.metrics.squashed_core_time += i.accumulated_core;
-                        }
+                        self.charge_squashed(req_id, inst_func, site, cascade, inst_acc);
                         self.meta.remove(&id);
                         self.instances.remove(&id);
                         if meta_acquired {
@@ -2520,12 +2696,21 @@ impl SpecEngine {
             Effect::Get { key } => {
                 let v = self.kv.get(&key).cloned().unwrap_or(Value::Null);
                 self.instances.insert(id, inst);
+                self.registry.inc("specfaas_kv_reads_total");
+                if self.registry.enabled() {
+                    self.kv_pending.push(Reverse(now + self.kv.latency().read));
+                }
                 self.sim
                     .schedule_in(self.kv.latency().read, Ev::Resume(id, Some(v)));
             }
             Effect::Set { .. } => {
-                // Dropped: squashed state never propagates.
+                // Dropped: squashed state never propagates — but the
+                // handler still waits out the write latency.
                 self.instances.insert(id, inst);
+                self.registry.inc("specfaas_kv_writes_total");
+                if self.registry.enabled() {
+                    self.kv_pending.push(Reverse(now + self.kv.latency().write));
+                }
                 self.sim
                     .schedule_in(self.kv.latency().write, Ev::Resume(id, None));
             }
@@ -2553,12 +2738,14 @@ impl SpecEngine {
                 self.orphans.remove(&id);
                 // Everything this orphan ever ran was wasted: its final
                 // stint plus any stints accumulated while it was blocked
-                // before being squashed.
-                self.metrics.squashed_core_time += inst.accumulated_core
+                // before being squashed. The owning request is unknown by
+                // now (lazy squash drops the metadata at kill time).
+                let wasted = inst.accumulated_core
                     + inst
                         .started_at
                         .map(|s| now - s)
                         .unwrap_or(SimDuration::ZERO);
+                self.charge_squashed(RequestId(u64::MAX), inst.func, "orphan_done", 0, wasted);
                 self.release_instance_resources(&inst, true, now);
             }
         }
@@ -2583,13 +2770,15 @@ impl SpecEngine {
         let Some(inst) = self.instances.remove(&id) else {
             return;
         };
+        let charge_req = meta_req.unwrap_or(RequestId(u64::MAX));
         match inst.state {
             InstanceState::Running => {
-                self.metrics.squashed_core_time += inst.accumulated_core
+                let wasted = inst.accumulated_core
                     + inst
                         .started_at
                         .map(|s| now - s)
                         .unwrap_or(SimDuration::ZERO);
+                self.charge_squashed(charge_req, inst.func, "teardown", 0, wasted);
                 if self.tracer.enabled() {
                     if let (Some(s), Some(req)) = (inst.started_at, meta_req) {
                         self.tracer.emit(
@@ -2611,12 +2800,12 @@ impl SpecEngine {
                 }
             }
             InstanceState::Blocked => {
-                self.metrics.squashed_core_time += inst.accumulated_core;
+                self.charge_squashed(charge_req, inst.func, "teardown", 0, inst.accumulated_core);
             }
             InstanceState::WaitingCore => {
                 // Past blocked stints count as wasted work even though no
                 // core is held at teardown time.
-                self.metrics.squashed_core_time += inst.accumulated_core;
+                self.charge_squashed(charge_req, inst.func, "teardown", 0, inst.accumulated_core);
                 self.cluster
                     .node_mut(inst.node)
                     .cores
@@ -2731,6 +2920,8 @@ impl SpecEngine {
             }
             _ => {
                 self.metrics.faults.timeouts += 1;
+                self.registry
+                    .inc_labeled("specfaas_faults_injected_total", "site", "timeout");
                 if self.tracer.enabled() {
                     let now = self.sim.now();
                     self.tracer.emit(
@@ -2761,8 +2952,16 @@ impl SpecEngine {
         for id in victims {
             self.teardown_instance(id);
         }
-        for (_, t) in req.slot_cpu {
-            self.metrics.squashed_core_time += t;
+        let mut wasted: Vec<(SlotId, SimDuration)> =
+            req.slot_cpu.iter().map(|(s, t)| (*s, *t)).collect();
+        wasted.sort_by_key(|(s, _)| *s); // HashMap order is not deterministic
+        for (slot, t) in wasted {
+            let func = req
+                .pipeline
+                .slot(slot)
+                .map(|s| s.func)
+                .unwrap_or(FuncId(u32::MAX));
+            self.charge_squashed(req_id, func, "abort", 0, t);
         }
         if self.tracer.enabled() {
             self.tracer.emit(
@@ -2774,6 +2973,7 @@ impl SpecEngine {
             );
         }
         self.metrics.functions_squashed += u64::from(req.functions_squashed);
+        self.registry.inc("specfaas_requests_failed_total");
         if req.measured {
             self.metrics.record_failure(InvocationRecord {
                 arrived: req.arrived,
@@ -2825,6 +3025,9 @@ impl SpecEngine {
             Ev::RetrySlot(req, slot) => self.on_retry_slot(req, slot),
             Ev::Timeout(id) => self.on_timeout(id),
         }
+        // Gauges observe post-event state; a disabled registry makes this
+        // a single branch.
+        self.sample_gauges();
     }
 
     /// Re-issues a KV operation after its storage backoff. The

@@ -197,6 +197,11 @@ impl MemoTables {
     pub fn approx_size_bytes(&self) -> usize {
         self.tables.iter().map(MemoTable::approx_size_bytes).sum()
     }
+
+    /// Entries resident across all tables — the memo-occupancy gauge.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(MemoTable::len).sum()
+    }
 }
 
 #[cfg(test)]

@@ -15,9 +15,11 @@
 //! * Cold containers pay container creation + runtime setup; warm
 //!   containers fork a handler instantly.
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
+use specfaas_sim::timeseries::MetricsRegistry;
 use specfaas_sim::trace::{Phase, TraceEventKind, Tracer};
 use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
@@ -156,6 +158,12 @@ pub struct BaselineEngine {
     /// Closed-loop mode: each completion immediately submits the next
     /// request (bounded concurrency, like a fixed client pool).
     closed_loop: bool,
+    /// Time-series metrics registry (disabled by default; see
+    /// [`BaselineEngine::set_registry`]).
+    registry: MetricsRegistry,
+    /// Completion instants of in-flight KV operations (registry-gated;
+    /// min-heap popped lazily at sample time).
+    kv_pending: BinaryHeap<Reverse<SimTime>>,
 }
 
 impl BaselineEngine {
@@ -187,6 +195,8 @@ impl BaselineEngine {
             input_gen: None,
             measure_from: SimTime::ZERO,
             closed_loop: false,
+            registry: MetricsRegistry::disabled(),
+            kv_pending: BinaryHeap::new(),
         }
     }
 
@@ -241,6 +251,84 @@ impl BaselineEngine {
     /// a disabled one behind.
     pub fn take_tracer(&mut self) -> Tracer {
         std::mem::take(&mut self.tracer)
+    }
+
+    /// Installs a time-series metrics registry. Sampling is purely
+    /// observational: it never draws from the RNG or schedules events, so
+    /// an enabled registry leaves [`RunMetrics`] bit-identical to a
+    /// disabled one.
+    pub fn set_registry(&mut self, registry: MetricsRegistry) {
+        self.registry = registry;
+    }
+
+    /// The installed metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Takes the registry out of the engine (for export), leaving a
+    /// disabled one behind.
+    pub fn take_registry(&mut self) -> MetricsRegistry {
+        std::mem::take(&mut self.registry)
+    }
+
+    /// Samples every gauge at the current simulated time (post-event
+    /// state). A disabled registry makes this a single branch.
+    fn sample_gauges(&mut self) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let now = self.sim.now();
+        self.registry.sample(
+            now,
+            "specfaas_warm_pool_size",
+            self.cluster.warm_pool_total(),
+        );
+        for (i, busy, depth) in self.cluster.node_gauges(now).collect::<Vec<_>>() {
+            let label = i.to_string();
+            self.registry
+                .sample_labeled(now, "specfaas_busy_cores", "node", &label, busy);
+            self.registry.sample_labeled(
+                now,
+                "specfaas_controller_queue_depth",
+                "node",
+                &label,
+                depth as u64,
+            );
+        }
+        while self.kv_pending.peek().is_some_and(|Reverse(t)| *t <= now) {
+            self.kv_pending.pop();
+        }
+        self.registry.sample(
+            now,
+            "specfaas_outstanding_kv_ops",
+            self.kv_pending.len() as u64,
+        );
+    }
+
+    /// Adds `amount` to the squashed-CPU ledger, mirroring the charge in
+    /// the trace (as a [`TraceEventKind::SquashCharge`]) and the metrics
+    /// registry so both reconcile exactly with [`RunMetrics`].
+    fn charge_squashed(&mut self, req: u64, func: FuncId, site: &'static str, amount: SimDuration) {
+        if amount == SimDuration::ZERO {
+            return;
+        }
+        self.metrics.squashed_core_time += amount;
+        if self.tracer.enabled() {
+            let now = self.sim.now();
+            self.tracer.emit(
+                now,
+                TraceEventKind::SquashCharge {
+                    req,
+                    func: func.0,
+                    site,
+                    cascade: 0,
+                    amount,
+                },
+            );
+        }
+        self.registry
+            .inc_by("specfaas_squashed_core_us_total", amount.as_micros());
     }
 
     /// Runs the end-of-run invariants over the window since the tracer
@@ -298,6 +386,7 @@ impl BaselineEngine {
             },
         );
         self.metrics.submitted += 1;
+        self.registry.inc("specfaas_requests_submitted_total");
         if self.tracer.enabled() {
             self.tracer
                 .emit(now, TraceEventKind::RequestArrival { req: id.0 });
@@ -364,6 +453,7 @@ impl BaselineEngine {
         self.instances.insert(id, inst);
         self.ctxs.insert(id, ctx);
         self.metrics.functions_started += 1;
+        self.registry.inc("specfaas_functions_started_total");
         if let Some(r) = self.requests.get_mut(&req) {
             r.functions_run += 1;
         }
@@ -408,6 +498,7 @@ impl BaselineEngine {
         self.has_container.insert(id);
         match self.cluster.acquire_container(node, func, &self.model) {
             ContainerAcquire::Warm => {
+                self.registry.inc("specfaas_warm_starts_total");
                 if self.tracer.enabled() {
                     let now = self.sim.now();
                     let req = self.req_of(id);
@@ -424,6 +515,7 @@ impl BaselineEngine {
                 self.try_start(id)
             }
             ContainerAcquire::Cold(d) => {
+                self.registry.inc("specfaas_cold_starts_total");
                 let inst = self.instances.get_mut(&id).expect("live instance");
                 inst.breakdown.container_creation = self.model.container_creation;
                 inst.breakdown.runtime_setup = self.model.runtime_setup;
@@ -578,6 +670,11 @@ impl BaselineEngine {
             if self.faults.roll(FaultSite::ContainerCrash, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.crashes += 1;
+                self.registry.inc_labeled(
+                    "specfaas_faults_injected_total",
+                    "site",
+                    "container_crash",
+                );
                 if self.tracer.enabled() {
                     let req = self.req_of(id);
                     self.tracer.emit(
@@ -594,6 +691,8 @@ impl BaselineEngine {
             if self.faults.roll(FaultSite::Hang, now) {
                 self.metrics.faults.injected += 1;
                 self.metrics.faults.hangs += 1;
+                self.registry
+                    .inc_labeled("specfaas_faults_injected_total", "site", "hang");
                 if self.tracer.enabled() {
                     let req = self.req_of(id);
                     self.tracer
@@ -811,17 +910,19 @@ impl BaselineEngine {
         if self.faults.enabled() && self.faults.roll(site, now) {
             self.metrics.faults.injected += 1;
             self.metrics.faults.kv_errors += 1;
+            let fault_site = match &op {
+                KvOp::Get { .. } => "kv_get",
+                KvOp::Set { .. } => "kv_set",
+            };
+            self.registry
+                .inc_labeled("specfaas_faults_injected_total", "site", fault_site);
             if self.tracer.enabled() {
                 let req = self.req_of(id);
-                let trace_site = match &op {
-                    KvOp::Get { .. } => "kv_get",
-                    KvOp::Set { .. } => "kv_set",
-                };
                 self.tracer.emit(
                     now,
                     TraceEventKind::FaultInjected {
                         req,
-                        site: trace_site,
+                        site: fault_site,
                     },
                 );
             }
@@ -862,6 +963,10 @@ impl BaselineEngine {
                 if let Some(inst) = self.instances.get_mut(&id) {
                     inst.breakdown.execution += lat;
                 }
+                self.registry.inc("specfaas_kv_reads_total");
+                if self.registry.enabled() {
+                    self.kv_pending.push(Reverse(now + lat));
+                }
                 self.sim.schedule_in(lat, Ev::Resume(id, Some(val)));
             }
             KvOp::Set { key, value } => {
@@ -870,6 +975,10 @@ impl BaselineEngine {
                 if let Some(inst) = self.instances.get_mut(&id) {
                     inst.breakdown.execution += lat;
                     inst.externalized = true;
+                }
+                self.registry.inc("specfaas_kv_writes_total");
+                if self.registry.enabled() {
+                    self.kv_pending.push(Reverse(now + lat));
                 }
                 // Retrying a caller replays its whole call subtree, so a
                 // callee's write externalizes every transitive caller too.
@@ -893,13 +1002,15 @@ impl BaselineEngine {
     fn teardown_instance(&mut self, id: InstanceId) -> Option<FnInstance> {
         let now = self.sim.now();
         let inst = self.instances.remove(&id)?;
+        let charge_req = self.req_of(id);
         match inst.state {
             InstanceState::Running => {
-                self.metrics.squashed_core_time += inst.accumulated_core
+                let wasted = inst.accumulated_core
                     + inst
                         .started_at
                         .map(|s| now - s)
                         .unwrap_or(SimDuration::ZERO);
+                self.charge_squashed(charge_req, inst.func, "teardown", wasted);
                 if self.tracer.enabled() {
                     if let Some(s) = inst.started_at {
                         let req = self.req_of(id);
@@ -922,12 +1033,12 @@ impl BaselineEngine {
                 }
             }
             InstanceState::Blocked => {
-                self.metrics.squashed_core_time += inst.accumulated_core;
+                self.charge_squashed(charge_req, inst.func, "teardown", inst.accumulated_core);
             }
             InstanceState::WaitingCore => {
                 // Past blocked stints count as wasted work even though no
                 // core is held at teardown time.
-                self.metrics.squashed_core_time += inst.accumulated_core;
+                self.charge_squashed(charge_req, inst.func, "teardown", inst.accumulated_core);
                 self.cluster
                     .node_mut(inst.node)
                     .cores
@@ -1011,6 +1122,8 @@ impl BaselineEngine {
             }
             _ => {
                 self.metrics.faults.timeouts += 1;
+                self.registry
+                    .inc_labeled("specfaas_faults_injected_total", "site", "timeout");
                 if self.tracer.enabled() {
                     let now = self.sim.now();
                     let req = self.req_of(id);
@@ -1059,6 +1172,7 @@ impl BaselineEngine {
                 },
             );
         }
+        self.registry.inc("specfaas_requests_failed_total");
         if state.measured {
             self.metrics.record_failure(InvocationRecord {
                 arrived: state.arrived,
@@ -1108,6 +1222,7 @@ impl BaselineEngine {
                 },
             );
         }
+        self.registry.inc("specfaas_requests_completed_total");
         if state.measured {
             self.metrics.record_completion(InvocationRecord {
                 arrived: state.arrived,
@@ -1176,6 +1291,9 @@ impl BaselineEngine {
             Ev::Timeout(id) => self.on_timeout(id),
             Ev::Complete(req) => self.on_complete(req),
         }
+        // Gauges observe post-event state; a disabled registry makes this
+        // a single branch.
+        self.sample_gauges();
     }
 
     /// Runs a single request to completion (or terminal failure) with no

@@ -192,6 +192,26 @@ impl Cluster {
     pub fn cold_starts(&self) -> u64 {
         self.nodes.iter().map(|n| n.containers.cold_starts()).sum()
     }
+
+    /// Warm starts served across the cluster.
+    pub fn warm_starts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.containers.warm_starts()).sum()
+    }
+
+    /// Idle warm containers across the cluster — the warm-pool gauge.
+    pub fn warm_pool_total(&self) -> u64 {
+        self.nodes.iter().map(|n| n.containers.idle_total()).sum()
+    }
+
+    /// Per-node `(busy execution slots, controller queue depth at
+    /// `now`)`, in node-index order. Read-only, so metrics sampling can
+    /// call it without perturbing any pool or station state.
+    pub fn node_gauges(&self, now: SimTime) -> impl Iterator<Item = (usize, u64, usize)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(move |(i, n)| (i, n.cores.busy(), n.controller.queue_depth(now)))
+    }
 }
 
 #[cfg(test)]

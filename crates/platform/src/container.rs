@@ -108,6 +108,13 @@ impl ContainerPool {
         self.busy.get(&func).copied().unwrap_or(0)
     }
 
+    /// Warm idle containers across every function — the node's warm-pool
+    /// size gauge. Summing `u32` counts is order-independent, so the
+    /// result is deterministic despite the `HashMap` backing store.
+    pub fn idle_total(&self) -> u64 {
+        self.idle.values().map(|n| u64::from(*n)).sum()
+    }
+
     /// Total cold starts served.
     pub fn cold_starts(&self) -> u64 {
         self.cold_starts

@@ -42,10 +42,12 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::{EventId, Simulator};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use timeseries::MetricsRegistry;
 pub use trace::{TraceEvent, TraceEventKind, Tracer};

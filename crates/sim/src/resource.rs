@@ -178,6 +178,11 @@ pub struct ServiceStation {
     free_at: SimTime,
     jobs: u64,
     busy_time: SimDuration,
+    /// Completion instants of recent jobs, ascending (completion times are
+    /// monotone because service is FIFO). Entries at or before the latest
+    /// submission instant are pruned on every [`ServiceStation::submit`],
+    /// so the deque never outgrows the number of jobs in flight.
+    done_times: VecDeque<SimTime>,
 }
 
 impl ServiceStation {
@@ -194,7 +199,19 @@ impl ServiceStation {
         self.free_at = done;
         self.jobs += 1;
         self.busy_time += service;
+        while self.done_times.front().is_some_and(|t| *t <= now) {
+            self.done_times.pop_front();
+        }
+        self.done_times.push_back(done);
         done - now
+    }
+
+    /// Number of jobs queued or in service at `now`: submitted jobs whose
+    /// completion instant lies strictly in the future. Read-only — safe to
+    /// call from metrics sampling without perturbing the station.
+    pub fn queue_depth(&self, now: SimTime) -> usize {
+        let served = self.done_times.partition_point(|t| *t <= now);
+        self.done_times.len() - served
     }
 
     /// Number of jobs ever submitted.
@@ -310,6 +327,23 @@ mod tests {
         assert_eq!(a, SimDuration::from_millis(5));
         // Second job arrives at 2ms, waits until 5ms, finishes at 10ms.
         assert_eq!(b, SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn station_queue_depth_tracks_jobs_in_flight() {
+        let mut s = ServiceStation::new();
+        let t = SimTime::from_millis;
+        assert_eq!(s.queue_depth(SimTime::ZERO), 0);
+        s.submit(SimTime::ZERO, SimDuration::from_millis(5)); // done at 5
+        s.submit(t(1), SimDuration::from_millis(5)); // done at 10
+        s.submit(t(1), SimDuration::from_millis(5)); // done at 15
+        assert_eq!(s.queue_depth(t(1)), 3);
+        assert_eq!(s.queue_depth(t(5)), 2); // first job completed at 5
+        assert_eq!(s.queue_depth(t(12)), 1);
+        assert_eq!(s.queue_depth(t(15)), 0);
+        // Pruning on submit keeps the deque bounded by jobs in flight.
+        s.submit(t(20), SimDuration::from_millis(1));
+        assert_eq!(s.queue_depth(t(20)), 1);
     }
 
     #[test]

@@ -534,6 +534,60 @@ mod tests {
         assert_eq!(a.count(), all.count());
     }
 
+    /// Property test over seeded random partitions: merging per-chunk
+    /// accumulators must agree with recording every sample into one
+    /// accumulator, for any chunking. `OnlineStats` moments match to
+    /// floating-point tolerance; `LatencyRecorder` holds the same sample
+    /// multiset, so its percentiles match exactly.
+    #[test]
+    fn merge_equals_recording_together_for_random_partitions() {
+        use crate::rng::SimRng;
+
+        for seed in 0..20u64 {
+            let mut rng = SimRng::seed(0x57a7 ^ seed);
+            let n = rng.uniform_range(1, 400) as usize;
+            let xs: Vec<f64> = (0..n).map(|_| rng.uniform_f64() * 1e4).collect();
+
+            let mut together_stats = OnlineStats::new();
+            let mut together_lat = LatencyRecorder::new();
+            for &x in &xs {
+                together_stats.record(x);
+                together_lat.record_ms(x);
+            }
+
+            // Split into a random number of contiguous chunks, record each
+            // chunk into its own accumulator, then merge them all.
+            let chunks = rng.uniform_range(1, 8) as usize;
+            let mut merged_stats = OnlineStats::new();
+            let mut merged_lat = LatencyRecorder::new();
+            for c in xs.chunks(xs.len().div_ceil(chunks)) {
+                let mut s = OnlineStats::new();
+                let mut l = LatencyRecorder::new();
+                for &x in c {
+                    s.record(x);
+                    l.record_ms(x);
+                }
+                merged_stats.merge(&s);
+                merged_lat.merge(&l);
+            }
+
+            assert_eq!(merged_stats.count(), together_stats.count());
+            assert!((merged_stats.mean() - together_stats.mean()).abs() < 1e-7);
+            assert!((merged_stats.variance() - together_stats.variance()).abs() < 1e-6);
+            assert_eq!(merged_stats.min(), together_stats.min());
+            assert_eq!(merged_stats.max(), together_stats.max());
+
+            assert_eq!(merged_lat.count(), together_lat.count());
+            for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                assert_eq!(
+                    merged_lat.percentile_ms(p),
+                    together_lat.percentile_ms(p),
+                    "seed {seed}, percentile {p}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn latency_percentiles() {
         let mut r = LatencyRecorder::new();

@@ -1,0 +1,345 @@
+//! Deterministic time-series metrics: counters and event-driven sampled
+//! gauges with Prometheus text-exposition and CSV export.
+//!
+//! [`MetricsRegistry`] follows the same opt-in discipline as the flight
+//! recorder ([`crate::trace::Tracer`]): a disabled registry is a single
+//! `Option` check per call site, and an *enabled* registry only ever
+//! observes engine state — it never draws from the RNG and never touches
+//! the event queue — so enabling it leaves run metrics bit-identical to a
+//! same-seed run without it.
+//!
+//! Counters are monotone `u64` totals (requests, squashes, fault
+//! injections, ...). Gauges are event-driven samples: the engine pushes
+//! `(sim-time, value)` pairs at its own control-flow points (launches,
+//! completions, teardowns), and consecutive duplicate values are collapsed
+//! so a long steady state costs one sample. All values are integers, which
+//! keeps both export formats byte-stable across platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use specfaas_sim::timeseries::MetricsRegistry;
+//! use specfaas_sim::SimTime;
+//!
+//! let mut reg = MetricsRegistry::recording();
+//! reg.inc("specfaas_requests_submitted_total");
+//! reg.sample(SimTime::from_millis(2), "specfaas_warm_pool_size", 5);
+//! reg.sample_labeled(SimTime::from_millis(3), "specfaas_busy_cores", "node", "0", 12);
+//!
+//! let prom = reg.export_prometheus();
+//! assert!(prom.contains("specfaas_requests_submitted_total 1"));
+//! assert!(prom.contains("specfaas_busy_cores{node=\"0\"} 12"));
+//!
+//! let csv = reg.export_csv();
+//! assert!(csv.starts_with("time_us,metric,label,value\n"));
+//!
+//! // A disabled registry records nothing and costs one branch per call.
+//! let mut off = MetricsRegistry::disabled();
+//! off.inc("specfaas_requests_submitted_total");
+//! assert!(!off.enabled());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Metric identity: name plus at most one label pair. Unlabeled metrics
+/// use empty strings for both label fields. `BTreeMap` keying on this
+/// tuple gives a deterministic export order for free.
+type Key = (&'static str, &'static str, String);
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, Vec<(SimTime, u64)>>,
+}
+
+/// A deterministic metrics registry: counters plus event-driven sampled
+/// gauges, exportable as Prometheus text exposition or CSV.
+///
+/// See the [module documentation](self) for the determinism contract and a
+/// usage example.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Option<Box<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A registry that records nothing; every operation is a no-op behind
+    /// a single branch.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// A registry that records counters and gauge samples.
+    pub fn recording() -> Self {
+        MetricsRegistry {
+            inner: Some(Box::default()),
+        }
+    }
+
+    /// Whether this registry records anything. Engines consult this before
+    /// doing any sampling work.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increments the unlabeled counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.inc_by(name, 1);
+    }
+
+    /// Increments the unlabeled counter `name` by `by`.
+    pub fn inc_by(&mut self, name: &'static str, by: u64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            *inner.counters.entry((name, "", String::new())).or_insert(0) += by;
+        }
+    }
+
+    /// Increments the counter `name{label_key="label_value"}` by `by`.
+    pub fn inc_labeled(&mut self, name: &'static str, label_key: &'static str, label_value: &str) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            *inner
+                .counters
+                .entry((name, label_key, label_value.to_string()))
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Records a sample of the unlabeled gauge `name` at sim-time `now`.
+    ///
+    /// Samples at the same instant overwrite each other (the last write at
+    /// a timestamp wins) and consecutive duplicate values are collapsed.
+    pub fn sample(&mut self, now: SimTime, name: &'static str, value: u64) {
+        self.sample_labeled(now, name, "", "", value);
+    }
+
+    /// Records a sample of the gauge `name{label_key="label_value"}`.
+    pub fn sample_labeled(
+        &mut self,
+        now: SimTime,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+        value: u64,
+    ) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let series = inner
+            .gauges
+            .entry((name, label_key, label_value.to_string()))
+            .or_default();
+        match series.last_mut() {
+            Some((t, v)) if *t == now => *v = value,
+            Some((_, v)) if *v == value => {}
+            _ => series.push((now, value)),
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented). Unlabeled
+    /// counters use empty strings for both label fields.
+    pub fn counter(&self, name: &str, label_key: &str, label_value: &str) -> u64 {
+        self.inner
+            .as_deref()
+            .and_then(|i| {
+                i.counters
+                    .iter()
+                    .find(|((n, lk, lv), _)| *n == name && *lk == label_key && lv == label_value)
+                    .map(|(_, v)| *v)
+            })
+            .unwrap_or(0)
+    }
+
+    /// The recorded sample series of a gauge (empty if never sampled).
+    pub fn gauge_series(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> &[(SimTime, u64)] {
+        self.inner
+            .as_deref()
+            .and_then(|i| {
+                i.gauges
+                    .iter()
+                    .find(|((n, lk, lv), _)| *n == name && *lk == label_key && lv == label_value)
+                    .map(|(_, v)| v.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+
+    /// Renders the registry in Prometheus text exposition format (version
+    /// 0.0.4): `# HELP` / `# TYPE` headers per metric, counters as their
+    /// running totals, gauges as their most recent sampled value.
+    ///
+    /// Output is byte-deterministic: metrics sort by `(name, label)` and
+    /// all values are integers.
+    pub fn export_prometheus(&self) -> String {
+        let Some(inner) = self.inner.as_deref() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, lk, lv), value) in &inner.counters {
+            if *name != last_name {
+                header(&mut out, name, "counter");
+                last_name = name;
+            }
+            line(&mut out, name, lk, lv, *value);
+        }
+        last_name = "";
+        for ((name, lk, lv), series) in &inner.gauges {
+            if *name != last_name {
+                header(&mut out, name, "gauge");
+                last_name = name;
+            }
+            if let Some((_, v)) = series.last() {
+                line(&mut out, name, lk, lv, *v);
+            }
+        }
+        out
+    }
+
+    /// Renders every gauge sample as CSV with header
+    /// `time_us,metric,label,value`, rows sorted by `(time, metric,
+    /// label)`. Counters are totals, not series, and are exported via
+    /// [`MetricsRegistry::export_prometheus`] instead.
+    pub fn export_csv(&self) -> String {
+        let Some(inner) = self.inner.as_deref() else {
+            return String::new();
+        };
+        let mut rows: Vec<(SimTime, &str, &str, &str, u64)> = Vec::new();
+        for ((name, lk, lv), series) in &inner.gauges {
+            for (t, v) in series {
+                rows.push((*t, name, lk, lv, *v));
+            }
+        }
+        rows.sort();
+        let mut out = String::from("time_us,metric,label,value\n");
+        for (t, name, lk, lv, v) in rows {
+            if lk.is_empty() {
+                let _ = writeln!(out, "{},{},,{}", t.as_micros(), name, v);
+            } else {
+                let _ = writeln!(out, "{},{},{}={},{}", t.as_micros(), name, lk, lv, v);
+            }
+        }
+        out
+    }
+}
+
+fn header(out: &mut String, name: &str, kind: &str) {
+    let help = help_text(name);
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {help}");
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn line(out: &mut String, name: &str, lk: &str, lv: &str, value: u64) {
+    if lk.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{lk}=\"{lv}\"}} {value}");
+    }
+}
+
+/// `# HELP` strings for the metric names the engines emit. Unknown names
+/// export without a HELP line.
+fn help_text(name: &str) -> &'static str {
+    match name {
+        "specfaas_requests_submitted_total" => "Requests submitted to the engine.",
+        "specfaas_requests_completed_total" => "Requests that reached a successful terminal.",
+        "specfaas_requests_failed_total" => "Requests aborted after exhausting retries.",
+        "specfaas_functions_started_total" => "Function instances launched.",
+        "specfaas_commits_total" => "Pipeline slots committed in program order.",
+        "specfaas_squashes_total" => "Squash events by cause.",
+        "specfaas_memo_hits_total" => "Speculative launches satisfied from the memo table.",
+        "specfaas_branch_predictions_total" => "Branch predictions by outcome.",
+        "specfaas_faults_injected_total" => "Injected faults by site.",
+        "specfaas_cold_starts_total" => "Container acquisitions that paid a cold start.",
+        "specfaas_warm_starts_total" => "Container acquisitions served from the warm pool.",
+        "specfaas_kv_reads_total" => "Key-value store reads issued.",
+        "specfaas_kv_writes_total" => "Key-value store writes issued.",
+        "specfaas_squashed_core_us_total" => "Core-time wasted on squashed work, microseconds.",
+        "specfaas_warm_pool_size" => "Idle warm containers across the cluster.",
+        "specfaas_controller_queue_depth" => "Jobs queued or in service at each node controller.",
+        "specfaas_busy_cores" => "Occupied execution slots per node.",
+        "specfaas_inflight_spec_slots" => "Live function instances launched speculatively.",
+        "specfaas_memo_entries" => "Entries resident across all memo tables.",
+        "specfaas_outstanding_kv_ops" => "Key-value operations issued but not yet completed.",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let mut r = MetricsRegistry::disabled();
+        r.inc("x");
+        r.sample(SimTime::ZERO, "g", 1);
+        assert!(!r.enabled());
+        assert_eq!(r.counter("x", "", ""), 0);
+        assert!(r.export_prometheus().is_empty());
+        assert!(r.export_csv().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let mut r = MetricsRegistry::recording();
+        r.inc("specfaas_requests_submitted_total");
+        r.inc_by("specfaas_requests_submitted_total", 2);
+        r.inc_labeled("specfaas_squashes_total", "cause", "wrong_path");
+        assert_eq!(r.counter("specfaas_requests_submitted_total", "", ""), 3);
+        let prom = r.export_prometheus();
+        assert!(prom.contains("# TYPE specfaas_requests_submitted_total counter"));
+        assert!(prom.contains("specfaas_requests_submitted_total 3"));
+        assert!(prom.contains("specfaas_squashes_total{cause=\"wrong_path\"} 1"));
+    }
+
+    #[test]
+    fn gauge_dedupes_consecutive_values_and_overwrites_same_instant() {
+        let mut r = MetricsRegistry::recording();
+        let t = SimTime::from_millis;
+        r.sample(t(1), "g", 5);
+        r.sample(t(2), "g", 5); // duplicate value: collapsed
+        r.sample(t(3), "g", 7);
+        r.sample(t(3), "g", 8); // same instant: last write wins
+        assert_eq!(r.gauge_series("g", "", ""), &[(t(1), 5), (t(3), 8)]);
+    }
+
+    #[test]
+    fn csv_rows_sorted_by_time_then_metric() {
+        let mut r = MetricsRegistry::recording();
+        let t = SimTime::from_millis;
+        r.sample(t(2), "b", 1);
+        r.sample(t(1), "z", 9);
+        r.sample_labeled(t(2), "a", "node", "0", 4);
+        let csv = r.export_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "time_us,metric,label,value",
+                "1000,z,,9",
+                "2000,a,node=0,4",
+                "2000,b,,1",
+            ]
+        );
+    }
+
+    #[test]
+    fn prometheus_gauge_reports_last_sample() {
+        let mut r = MetricsRegistry::recording();
+        r.sample(SimTime::from_millis(1), "specfaas_warm_pool_size", 3);
+        r.sample(SimTime::from_millis(9), "specfaas_warm_pool_size", 11);
+        let prom = r.export_prometheus();
+        assert!(prom.contains("# TYPE specfaas_warm_pool_size gauge"));
+        assert!(prom.contains("specfaas_warm_pool_size 11"));
+        assert!(!prom.contains("specfaas_warm_pool_size 3"));
+    }
+}

@@ -54,6 +54,17 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in Fig. 3 presentation order. Useful for analyses that
+    /// bucket time by phase.
+    pub const ALL: [Phase; 6] = [
+        Phase::ContainerCreation,
+        Phase::RuntimeSetup,
+        Phase::Platform,
+        Phase::Transfer,
+        Phase::Execution,
+        Phase::RetryBackoff,
+    ];
+
     /// Stable name used in the exported JSON.
     pub fn name(self) -> &'static str {
         match self {
@@ -172,6 +183,27 @@ pub enum TraceEventKind {
         cause: SquashCause,
         /// Number of executions killed in the cascade (≥ 1).
         cascade: u32,
+    },
+    /// Core-time charged to the squashed-CPU ledger (Table IV).
+    ///
+    /// Every increment of `RunMetrics::squashed_core_time` emits exactly
+    /// one `SquashCharge` carrying the same amount, so summing the
+    /// amounts over a trace reconciles exactly with the engine's ledger
+    /// for the traced window. `site` names the charge point
+    /// (a [`SquashCause`] name for pipeline squashes, or an engine path
+    /// such as `"teardown"`, `"orphan_callee"`, `"abort"`).
+    SquashCharge {
+        /// Request id.
+        req: u64,
+        /// Function whose work was discarded.
+        func: u32,
+        /// Charge site: squash cause or engine teardown path.
+        site: &'static str,
+        /// Cascade size of the squash this charge belongs to (0 when the
+        /// charge did not come from a pipeline squash).
+        cascade: u32,
+        /// Core-time discarded.
+        amount: SimDuration,
     },
     /// A squashed slot was relaunched with corrected inputs.
     Replay {
@@ -598,6 +630,21 @@ fn export_chrome_json(events: &[TraceEvent]) -> String {
                 format!(
                     "\"req\":{req},\"slot\":{slot},\"cause\":\"{}\",\"cascade\":{cascade}",
                     cause.name()
+                ),
+            ),
+            TraceEventKind::SquashCharge {
+                req,
+                func,
+                site,
+                cascade,
+                amount,
+            } => (
+                "squash_charge",
+                ORCH_PID,
+                format!(
+                    "\"req\":{req},\"func\":{func},\"site\":\"{site}\",\"cascade\":{cascade},\
+                     \"amount_us\":{}",
+                    amount.as_micros()
                 ),
             ),
             TraceEventKind::Replay { req, slot } => {
