@@ -2,7 +2,11 @@
 //! applied cumulatively: branch prediction (with the Sequence-Table fast
 //! path), data memoization, and the squash optimization (process-kill
 //! instead of lazy squash).
+//!
+//! `--jobs N` runs the {app × config × load} grid on N worker threads;
+//! output is byte-identical to serial.
 
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{speedup, Table};
 use specfaas_bench::runner::{
     measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
@@ -11,27 +15,51 @@ use specfaas_core::SpecConfig;
 use specfaas_platform::Load;
 
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Fig. 12: speedup breakdown (cumulative, averaged over loads) ==\n");
     let configs: [(&str, SpecConfig); 3] = [
         ("BranchPred", SpecConfig::branch_prediction_only()),
         ("+Memoization", SpecConfig::without_squash_optimization()),
         ("+SquashOpt", SpecConfig::full()),
     ];
+    let suites = specfaas_apps::all_suites();
+
+    // One cell per {app × config × load}, submitted in the serial loop
+    // order so the per-load speedups reassemble deterministically.
+    let mut cells: Vec<ExperimentCell<f64>> = Vec::new();
+    for suite in &suites {
+        for bundle in &suite.apps {
+            for (name, cfg) in &configs {
+                for load in Load::all() {
+                    let cfg = cfg.clone();
+                    cells.push(ExperimentCell::new(
+                        format!("fig12/{}/{}/{:?}", bundle.name(), name, load),
+                        move || {
+                            let p = ExperimentParams::default().at_rps(load.rps());
+                            let base = measure_baseline_concurrent(bundle, p);
+                            let spec = measure_spec_concurrent(bundle, cfg, p);
+                            base.mean_response_ms() / spec.mean_response_ms()
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    let results = executor::run_cells(jobs, cells);
+
     let mut t = Table::new(["Suite", "App", "BranchPred", "+Memoization", "+SquashOpt"]);
-    for suite in specfaas_apps::all_suites() {
+    let mut it = results.into_iter();
+    for suite in &suites {
         let mut sums = [0.0f64; 3];
         for bundle in &suite.apps {
             let mut row = vec![suite.name.to_string(), bundle.name().to_string()];
-            for (ci, (_, cfg)) in configs.iter().enumerate() {
+            for sum in sums.iter_mut() {
                 let mut acc = 0.0;
-                for load in Load::all() {
-                    let p = ExperimentParams::default().at_rps(load.rps());
-                    let base = measure_baseline_concurrent(bundle, p);
-                    let spec = measure_spec_concurrent(bundle, cfg.clone(), p);
-                    acc += base.mean_response_ms() / spec.mean_response_ms();
+                for _ in Load::all() {
+                    acc += it.next().expect("one result per cell");
                 }
                 let s = acc / 3.0;
-                sums[ci] += s;
+                *sum += s;
                 row.push(speedup(s));
             }
             t.row(row);

@@ -1,6 +1,10 @@
 //! Fig. 13 — P99 tail latency of SpecFaaS normalized to the baseline,
 //! per suite and load level.
+//!
+//! `--jobs N` runs the {suite × load × app} grid on N worker threads;
+//! output is byte-identical to serial.
 
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f2, pct, Table};
 use specfaas_bench::runner::{
     measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
@@ -9,21 +13,43 @@ use specfaas_core::SpecConfig;
 use specfaas_platform::Load;
 
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Fig. 13: normalized P99 tail latency (SpecFaaS / baseline) ==\n");
+    let suites = specfaas_apps::all_suites();
+
+    // One cell per {suite × load × app}: returns that app's (baseline P99,
+    // SpecFaaS P99) pair, summed per load at assembly time.
+    let mut cells: Vec<ExperimentCell<(f64, f64)>> = Vec::new();
+    for suite in &suites {
+        for load in Load::all() {
+            for bundle in &suite.apps {
+                cells.push(ExperimentCell::new(
+                    format!("fig13/{}/{:?}/{}", suite.name, load, bundle.name()),
+                    move || {
+                        let p = ExperimentParams::default().at_rps(load.rps());
+                        let mut base = measure_baseline_concurrent(bundle, p);
+                        let mut spec = measure_spec_concurrent(bundle, SpecConfig::full(), p);
+                        (base.p99_response_ms(), spec.p99_response_ms())
+                    },
+                ));
+            }
+        }
+    }
+    let results = executor::run_cells(jobs, cells);
+
     let mut t = Table::new(["Suite", "Low", "Medium", "High", "AvgReduction"]);
     let mut all_red = Vec::new();
-    for suite in specfaas_apps::all_suites() {
+    let mut it = results.into_iter();
+    for suite in &suites {
         let mut row = vec![suite.name.to_string()];
         let mut ratios = Vec::new();
-        for load in Load::all() {
+        for _load in Load::all() {
             let mut b99 = 0.0;
             let mut s99 = 0.0;
-            for bundle in &suite.apps {
-                let p = ExperimentParams::default().at_rps(load.rps());
-                let mut base = measure_baseline_concurrent(bundle, p);
-                let mut spec = measure_spec_concurrent(bundle, SpecConfig::full(), p);
-                b99 += base.p99_response_ms();
-                s99 += spec.p99_response_ms();
+            for _ in &suite.apps {
+                let (b, s) = it.next().expect("one result per cell");
+                b99 += b;
+                s99 += s;
             }
             let ratio = s99 / b99;
             ratios.push(ratio);

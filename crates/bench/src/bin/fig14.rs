@@ -1,6 +1,10 @@
 //! Fig. 14 — sensitivity of FaaSChain speedups to the branch-prediction
 //! hit rate, using the forced-accuracy oracle at 100 / 90 / 70 / 50 %.
+//!
+//! `--jobs N` runs the {app × rate × load} grid on N worker threads;
+//! output is byte-identical to serial.
 
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{speedup, Table};
 use specfaas_bench::runner::{
     measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
@@ -9,25 +13,44 @@ use specfaas_core::SpecConfig;
 use specfaas_platform::Load;
 
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Fig. 14: speedup vs branch-prediction hit rate (FaaSChain) ==\n");
     let rates = [1.0, 0.9, 0.7, 0.5];
-    let suite = &specfaas_apps::all_suites()[0];
+    let suites = specfaas_apps::all_suites();
+    let suite = &suites[0];
+
+    let mut cells: Vec<ExperimentCell<f64>> = Vec::new();
+    for bundle in &suite.apps {
+        for rate in rates {
+            for load in Load::all() {
+                cells.push(ExperimentCell::new(
+                    format!("fig14/{}/{rate}/{:?}", bundle.name(), load),
+                    move || {
+                        let mut cfg = SpecConfig::full();
+                        cfg.forced_branch_accuracy = Some(rate);
+                        let p = ExperimentParams::default().at_rps(load.rps());
+                        let base = measure_baseline_concurrent(bundle, p);
+                        let spec = measure_spec_concurrent(bundle, cfg, p);
+                        base.mean_response_ms() / spec.mean_response_ms()
+                    },
+                ));
+            }
+        }
+    }
+    let results = executor::run_cells(jobs, cells);
+
     let mut t = Table::new(["App", "100%", "90%", "70%", "50%"]);
     let mut sums = [0.0f64; 4];
+    let mut it = results.into_iter();
     for bundle in &suite.apps {
         let mut row = vec![bundle.name().to_string()];
-        for (ri, rate) in rates.iter().enumerate() {
-            let mut cfg = SpecConfig::full();
-            cfg.forced_branch_accuracy = Some(*rate);
+        for sum in sums.iter_mut() {
             let mut acc = 0.0;
-            for load in Load::all() {
-                let p = ExperimentParams::default().at_rps(load.rps());
-                let base = measure_baseline_concurrent(bundle, p);
-                let spec = measure_spec_concurrent(bundle, cfg.clone(), p);
-                acc += base.mean_response_ms() / spec.mean_response_ms();
+            for _ in Load::all() {
+                acc += it.next().expect("one result per cell");
             }
             let s = acc / 3.0;
-            sums[ri] += s;
+            *sum += s;
             row.push(speedup(s));
         }
         t.row(row);

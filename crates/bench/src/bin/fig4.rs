@@ -1,20 +1,30 @@
 //! Fig. 4 — CDFs of P50–P90 per-node CPU utilization across the
 //! (synthetic) Alibaba cluster trace.
+//!
+//! Accepts `--jobs N` like every other experiment binary; the whole
+//! figure is a single cell (one trace generation pass), so the flag only
+//! matters when this binary runs inside `run_all`'s process pool.
 
 use specfaas_apps::alibaba::UtilizationTrace;
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f2, Table};
 use specfaas_sim::stats::Cdf;
 use specfaas_sim::SimRng;
 
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Fig. 4: P50-P90 CPU utilization CDFs (Alibaba nodes) ==\n");
-    let mut rng = SimRng::seed(0xA11BABA);
-    let trace = UtilizationTrace::generate(2_000, 400, &mut rng);
+    let cells = vec![ExperimentCell::new("fig4/trace", || {
+        let mut rng = SimRng::seed(0xA11BABA);
+        let trace = UtilizationTrace::generate(2_000, 400, &mut rng);
+        [50.0, 60.0, 70.0, 80.0, 90.0]
+            .iter()
+            .map(|p| Cdf::from_samples(trace.node_percentiles(*p)))
+            .collect::<Vec<Cdf>>()
+    })];
+    let cdfs = executor::run_cells(jobs, cells).remove(0);
+
     let mut t = Table::new(["Utilization", "P50", "P60", "P70", "P80", "P90"]);
-    let cdfs: Vec<Cdf> = [50.0, 60.0, 70.0, 80.0, 90.0]
-        .iter()
-        .map(|p| Cdf::from_samples(trace.node_percentiles(*p)))
-        .collect();
     for step in 0..=10 {
         let u = step as f64 / 10.0;
         let mut row = vec![format!("<= {:.1}", u)];

@@ -1,16 +1,33 @@
-//! Runs every experiment binary's logic in sequence — the full
-//! reproduction of the paper's evaluation section in one command:
+//! Runs every experiment binary's logic — the full reproduction of the
+//! paper's evaluation section in one command:
 //!
 //! ```text
-//! cargo run --release -p specfaas-bench --bin run_all
+//! cargo run --release -p specfaas-bench --bin run_all -- --jobs 4
 //! ```
 //!
-//! (Each artifact is also available as its own binary; see the crate
-//! docs.) Output is plain text, one section per table/figure.
+//! With `--jobs N`, up to N child binaries run concurrently (and each
+//! child also receives `--jobs N` for its own cell grid). Every child's
+//! stdout is captured and printed in the fixed serial order, so the
+//! combined report is **byte-identical** to `--jobs 1` — parallelism
+//! changes only the wall-clock time.
+//!
+//! `--only a,b,c` restricts the run to a comma-separated subset of
+//! binaries (used by CI smoke tests); `--quick` is forwarded to children
+//! that support it.
 
 use std::process::Command;
 
+use specfaas_bench::executor::{self, ExperimentCell};
+
+/// Binaries that understand `--quick`.
+const QUICK_AWARE: &[&str] = &["fig11"];
+
 fn main() {
+    let jobs = executor::jobs_from_args();
+    let quick = executor::has_flag("--quick");
+    let only: Option<Vec<String>> =
+        executor::arg_value("only").map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+
     let bins = [
         "table1",
         "fig3",
@@ -26,16 +43,55 @@ fn main() {
         "ablations",
     ];
     let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        let path = dir.join(bin);
-        println!("\n################ {bin} ################\n");
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+
+    let selected: Vec<&str> = bins
+        .into_iter()
+        .filter(|b| {
+            only.as_ref()
+                .map(|o| o.iter().any(|x| x == b))
+                .unwrap_or(true)
+        })
+        .collect();
+    if let Some(o) = &only {
+        for name in o {
+            assert!(
+                bins.contains(&name.as_str()),
+                "--only: unknown binary `{name}`"
+            );
         }
+    }
+
+    let cells: Vec<ExperimentCell<std::process::Output>> = selected
+        .iter()
+        .map(|&bin| {
+            let dir = dir.clone();
+            ExperimentCell::new(format!("run_all/{bin}"), move || {
+                let path = dir.join(bin);
+                let mut cmd = Command::new(&path);
+                cmd.arg("--jobs").arg(jobs.to_string());
+                if quick && QUICK_AWARE.contains(&bin) {
+                    cmd.arg("--quick");
+                }
+                cmd.output()
+                    .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"))
+            })
+        })
+        .collect();
+
+    let outputs = executor::run_cells(jobs, cells);
+
+    let mut failed = false;
+    for (bin, out) in selected.iter().zip(outputs) {
+        println!("\n################ {bin} ################\n");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        if !out.status.success() {
+            eprintln!("{bin} exited with {}", out.status);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -3,12 +3,27 @@
 //! Prints, per suite: workflow type, application count and per-application
 //! averages (functions, branches, data dependences, callees per calling
 //! function, max DAG depth, warmed-up execution time).
+//!
+//! `--jobs N` characterizes the suites on N worker threads.
 
 use specfaas_apps::{all_suites, characterize_suite};
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f1, Table};
 
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Table I: FaaS application suites considered ==\n");
+    let suites = all_suites();
+    let cells: Vec<ExperimentCell<_>> = suites
+        .iter()
+        .map(|suite| {
+            ExperimentCell::new(format!("table1/{}", suite.name), move || {
+                characterize_suite(suite, 1)
+            })
+        })
+        .collect();
+    let results = executor::run_cells(jobs, cells);
+
     let mut t = Table::new([
         "Suite",
         "Type",
@@ -20,8 +35,7 @@ fn main() {
         "MaxDAGDepth",
         "AvgExec(ms)",
     ]);
-    for suite in all_suites() {
-        let c = characterize_suite(&suite, 1);
+    for c in results {
         t.row([
             c.suite.clone(),
             c.workflow_type.clone(),

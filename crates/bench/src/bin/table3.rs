@@ -1,6 +1,11 @@
 //! Table III — effective throughput: the maximum request rate served
 //! without QoS violation (mean response ≤ 2× the unloaded response).
+//!
+//! `--jobs N` runs the {app × system} bisections on N worker threads;
+//! output is byte-identical to serial. The baseline and SpecFaaS
+//! bisections for one app are independent, so they are separate cells.
 
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f1, speedup, Table};
 use specfaas_bench::runner::{
     baseline_single_ms, effective_throughput, measure_baseline_open, measure_spec_open,
@@ -9,51 +14,75 @@ use specfaas_bench::runner::{
 use specfaas_core::SpecConfig;
 use specfaas_sim::SimDuration;
 
+/// A run that starves (few completions inside the window) is a QoS
+/// violation by definition.
+fn guarded(m: specfaas_platform::RunMetrics, rps: f64) -> f64 {
+    let min_done = (0.5 * rps * m.window.as_secs_f64()) as u64;
+    if m.completed < min_done.max(10) {
+        f64::INFINITY
+    } else {
+        m.mean_response_ms()
+    }
+}
+
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Table III: effective throughput (requests/second) ==\n");
+    let suites = specfaas_apps::all_suites();
+    let p = ExperimentParams {
+        duration: SimDuration::from_secs(3),
+        warmup: SimDuration::from_millis(300),
+        ..ExperimentParams::default()
+    };
+
+    // Two cells per app: the baseline bisection and the SpecFaaS
+    // bisection, each returning its effective throughput.
+    let mut cells: Vec<ExperimentCell<f64>> = Vec::new();
+    for suite in &suites {
+        for bundle in &suite.apps {
+            cells.push(ExperimentCell::new(
+                format!("table3/{}/baseline", bundle.name()),
+                move || {
+                    let bs = baseline_single_ms(bundle, p.seed, 5);
+                    effective_throughput(
+                        |rps| guarded(measure_baseline_open(bundle, p.at_rps(rps)), rps),
+                        bs,
+                        20.0,
+                        120.0,
+                    )
+                },
+            ));
+            cells.push(ExperimentCell::new(
+                format!("table3/{}/spec", bundle.name()),
+                move || {
+                    let ss = spec_single_ms(bundle, SpecConfig::full(), p.seed, 5);
+                    effective_throughput(
+                        |rps| {
+                            guarded(
+                                measure_spec_open(bundle, SpecConfig::full(), p.at_rps(rps)),
+                                rps,
+                            )
+                        },
+                        ss,
+                        50.0,
+                        400.0,
+                    )
+                },
+            ));
+        }
+    }
+    let results = executor::run_cells(jobs, cells);
+
     let mut t = Table::new(["Suite", "Baseline", "SpecFaaS", "Improvement"]);
     let mut base_avgs = Vec::new();
     let mut spec_avgs = Vec::new();
-    for suite in specfaas_apps::all_suites() {
+    let mut it = results.into_iter();
+    for suite in &suites {
         let mut base_sum = 0.0;
         let mut spec_sum = 0.0;
-        for bundle in &suite.apps {
-            let p = ExperimentParams {
-                duration: SimDuration::from_secs(3),
-                warmup: SimDuration::from_millis(300),
-                ..ExperimentParams::default()
-            };
-            // A run that starves (few completions inside the window) is
-            // a QoS violation by definition.
-            let guarded = |m: specfaas_platform::RunMetrics, rps: f64| {
-                let min_done = (0.5 * rps * m.window.as_secs_f64()) as u64;
-                if m.completed < min_done.max(10) {
-                    f64::INFINITY
-                } else {
-                    m.mean_response_ms()
-                }
-            };
-            let bs = baseline_single_ms(bundle, p.seed, 5);
-            let base_thr = effective_throughput(
-                |rps| guarded(measure_baseline_open(bundle, p.at_rps(rps)), rps),
-                bs,
-                20.0,
-                120.0,
-            );
-            let ss = spec_single_ms(bundle, SpecConfig::full(), p.seed, 5);
-            let spec_thr = effective_throughput(
-                |rps| {
-                    guarded(
-                        measure_spec_open(bundle, SpecConfig::full(), p.at_rps(rps)),
-                        rps,
-                    )
-                },
-                ss,
-                50.0,
-                400.0,
-            );
-            base_sum += base_thr;
-            spec_sum += spec_thr;
+        for _ in &suite.apps {
+            base_sum += it.next().expect("baseline cell");
+            spec_sum += it.next().expect("spec cell");
         }
         let n = suite.apps.len() as f64;
         let (b, s) = (base_sum / n, spec_sum / n);

@@ -6,7 +6,11 @@
 //! (useful + squashed work), normalized to the baseline — the same
 //! quantity the paper's normalized-utilization columns capture: how many
 //! extra cycles speculation costs per unit of served work.
+//!
+//! `--jobs N` runs the {rate × app × load} grid on N worker threads;
+//! output is byte-identical to serial.
 
+use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f2, speedup, Table};
 use specfaas_bench::runner::{
     measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
@@ -21,35 +25,63 @@ fn core_ms_per_request(m: &RunMetrics) -> f64 {
     (m.useful_core_time + m.squashed_core_time).as_millis_f64() / m.completed as f64
 }
 
+/// Per-cell contribution: (lazy/base CPU ratio, kill/base CPU ratio,
+/// SpecFaaS speedup).
+fn measure_cell(bundle: &specfaas_apps::AppBundle, rate: f64, load: Load) -> (f64, f64, f64) {
+    let p = ExperimentParams::default().at_rps(load.rps());
+    let base = measure_baseline_concurrent(bundle, p);
+    let base_cost = core_ms_per_request(&base);
+
+    let mut lazy_cfg = SpecConfig::full();
+    lazy_cfg.forced_branch_accuracy = Some(rate);
+    lazy_cfg.squash = SquashMechanism::Lazy;
+    lazy_cfg.stall_optimization = false;
+    let lazy = measure_spec_concurrent(bundle, lazy_cfg, p);
+
+    let mut kill_cfg = SpecConfig::full();
+    kill_cfg.forced_branch_accuracy = Some(rate);
+    let kill = measure_spec_concurrent(bundle, kill_cfg, p);
+
+    (
+        core_ms_per_request(&lazy) / base_cost,
+        core_ms_per_request(&kill) / base_cost,
+        base.mean_response_ms() / kill.mean_response_ms(),
+    )
+}
+
 fn main() {
+    let jobs = executor::jobs_from_args();
     println!("== Table IV: normalized CPU cost per request vs speculation hit rate ==\n");
     let rates = [1.0, 0.9, 0.7, 0.5];
-    let suite = &specfaas_apps::all_suites()[0]; // FaaSChain
+    let suites = specfaas_apps::all_suites();
+    let suite = &suites[0]; // FaaSChain
+
+    let mut cells: Vec<ExperimentCell<(f64, f64, f64)>> = Vec::new();
+    for rate in rates {
+        for bundle in &suite.apps {
+            for load in Load::all() {
+                cells.push(ExperimentCell::new(
+                    format!("table4/{rate}/{}/{:?}", bundle.name(), load),
+                    move || measure_cell(bundle, rate, load),
+                ));
+            }
+        }
+    }
+    let results = executor::run_cells(jobs, cells);
+
     let mut t = Table::new(["HitRate", "Baseline", "LazySquash", "SpecFaaS", "Speedup"]);
+    let mut it = results.into_iter();
     for rate in rates {
         let mut lazy_ratio = 0.0;
         let mut kill_ratio = 0.0;
         let mut sp = 0.0;
         let mut n = 0.0;
-        for bundle in &suite.apps {
-            for load in Load::all() {
-                let p = ExperimentParams::default().at_rps(load.rps());
-                let base = measure_baseline_concurrent(bundle, p);
-                let base_cost = core_ms_per_request(&base);
-
-                let mut lazy_cfg = SpecConfig::full();
-                lazy_cfg.forced_branch_accuracy = Some(rate);
-                lazy_cfg.squash = SquashMechanism::Lazy;
-                lazy_cfg.stall_optimization = false;
-                let lazy = measure_spec_concurrent(bundle, lazy_cfg, p);
-
-                let mut kill_cfg = SpecConfig::full();
-                kill_cfg.forced_branch_accuracy = Some(rate);
-                let kill = measure_spec_concurrent(bundle, kill_cfg, p);
-
-                lazy_ratio += core_ms_per_request(&lazy) / base_cost;
-                kill_ratio += core_ms_per_request(&kill) / base_cost;
-                sp += base.mean_response_ms() / kill.mean_response_ms();
+        for _ in &suite.apps {
+            for _ in Load::all() {
+                let (l, k, s) = it.next().expect("one result per cell");
+                lazy_ratio += l;
+                kill_ratio += k;
+                sp += s;
                 n += 1.0;
             }
         }

@@ -1,0 +1,290 @@
+//! Wall-clock benchmark harness — measures the *simulator's* speed, not
+//! the simulated systems. Three sections:
+//!
+//! 1. **Event queue**: schedule/step and schedule/cancel churn throughput
+//!    at 1k and 100k pending events. The slot/generation tombstone design
+//!    keeps cancel O(1) (amortized O(log n) with reaping), so throughput
+//!    must not collapse as the backlog grows 100x.
+//! 2. **fig11 row**: wall time to produce one warm speedup row (one app at
+//!    Low/Medium/High load) — the unit of work the experiment grid fans
+//!    out.
+//! 3. **jobs sweep**: wall time for a fixed 8-cell grid under the parallel
+//!    executor at `--jobs` 1/2/4.
+//!
+//! Every number is a median of K repeats. Results are printed as a table
+//! and written machine-readably to `BENCH_wallclock.json` (override with
+//! `--out PATH`; `--quick` skips the file unless `--out` is given).
+
+use std::time::Instant;
+
+use specfaas_bench::executor::{self, ExperimentCell};
+use specfaas_bench::report::{f1, Table};
+use specfaas_bench::runner::{
+    measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
+};
+use specfaas_core::SpecConfig;
+use specfaas_sim::{SimDuration, SimRng, Simulator};
+
+/// Median of the samples (in place).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `body` K times and returns the median wall time in seconds.
+fn timed<K: FnMut()>(repeats: usize, mut body: K) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            body();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(&mut samples)
+}
+
+struct QueueBench {
+    name: &'static str,
+    pending: usize,
+    ops: usize,
+    median_ns_per_op: f64,
+}
+
+impl QueueBench {
+    fn ops_per_sec(&self) -> f64 {
+        1e9 / self.median_ns_per_op
+    }
+}
+
+/// Prefills a simulator with `pending` events spread over the next second.
+fn prefill(pending: usize, rng: &mut SimRng) -> Simulator<u64> {
+    let mut sim = Simulator::new();
+    for i in 0..pending {
+        sim.schedule_in(
+            SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
+            i as u64,
+        );
+    }
+    sim
+}
+
+/// schedule+step churn: queue size stays at `pending`, every op is one
+/// heap push and one pop at that size.
+fn bench_schedule_step(pending: usize, ops: usize, repeats: usize) -> QueueBench {
+    let secs = timed(repeats, || {
+        let mut rng = SimRng::seed(0x5EED_0001);
+        let mut sim = prefill(pending, &mut rng);
+        for i in 0..ops {
+            sim.schedule_in(
+                SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
+                i as u64,
+            );
+            std::hint::black_box(sim.step());
+        }
+        assert_eq!(sim.pending(), pending);
+    });
+    QueueBench {
+        name: "schedule_step",
+        pending,
+        ops,
+        median_ns_per_op: secs * 1e9 / ops as f64,
+    }
+}
+
+/// schedule+cancel churn: every op schedules a fresh event and cancels the
+/// oldest outstanding one (almost never the head), then steps once per 8
+/// ops so tombstones also get reaped at pop. With an O(n) cancel this
+/// bench blows up ~100x between 1k and 100k pending.
+fn bench_schedule_cancel(pending: usize, ops: usize, repeats: usize) -> QueueBench {
+    let secs = timed(repeats, || {
+        let mut rng = SimRng::seed(0x5EED_0002);
+        let mut sim = Simulator::new();
+        let mut ids = std::collections::VecDeque::with_capacity(pending);
+        for i in 0..pending {
+            ids.push_back(sim.schedule_in(
+                SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
+                i as u64,
+            ));
+        }
+        for i in 0..ops {
+            ids.push_back(sim.schedule_in(
+                SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
+                i as u64,
+            ));
+            let victim = ids.pop_front().expect("queue nonempty");
+            std::hint::black_box(sim.cancel(victim));
+            if i % 8 == 0 {
+                if let Some(popped) = sim.step() {
+                    std::hint::black_box(popped);
+                }
+            }
+        }
+    });
+    QueueBench {
+        name: "schedule_cancel",
+        pending,
+        ops,
+        median_ns_per_op: secs * 1e9 / ops as f64,
+    }
+}
+
+/// One warm fig11 row: baseline + SpecFaaS at Low/Medium/High for one app.
+fn fig11_row_secs(quick: bool, repeats: usize) -> f64 {
+    let bundle = specfaas_apps::faaschain::apps().remove(0); // Login
+    timed(repeats, || {
+        for rps in [100.0, 250.0, 500.0] {
+            let mut p = ExperimentParams::default().at_rps(rps);
+            if quick {
+                p.duration = SimDuration::from_millis(800);
+                p.warmup = SimDuration::from_millis(100);
+                p.train_requests = 60;
+            }
+            let base = measure_baseline_concurrent(&bundle, p);
+            let spec = measure_spec_concurrent(&bundle, SpecConfig::full(), p);
+            std::hint::black_box(base.mean_response_ms() / spec.mean_response_ms());
+        }
+    })
+}
+
+/// Times a fixed 8-cell grid under the executor at the given job count.
+fn sweep_secs(jobs: usize, quick: bool, repeats: usize) -> f64 {
+    let bundle = specfaas_apps::faaschain::apps().remove(0);
+    timed(repeats, || {
+        let cells: Vec<ExperimentCell<f64>> = (0..8u64)
+            .map(|i| {
+                let bundle = &bundle;
+                ExperimentCell::new(format!("sweep/{i}"), move || {
+                    let mut p = ExperimentParams::default().at_rps(100.0 + 50.0 * i as f64);
+                    p.seed ^= i;
+                    p.duration = SimDuration::from_millis(if quick { 400 } else { 1_500 });
+                    p.warmup = SimDuration::from_millis(100);
+                    p.train_requests = if quick { 40 } else { 100 };
+                    measure_spec_concurrent(bundle, SpecConfig::full(), p).mean_response_ms()
+                })
+            })
+            .collect();
+        std::hint::black_box(executor::run_cells(jobs, cells));
+    })
+}
+
+/// Minimal JSON string escape (labels here are plain ASCII anyway).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let quick = executor::has_flag("--quick");
+    let out = executor::arg_value("out");
+    // The event-queue microbench is single-threaded by nature; --jobs is
+    // accepted (run_all forwards it) and applies to the sweep section.
+    let _ = executor::jobs_from_args();
+
+    let repeats = if quick { 3 } else { 5 };
+    let (small_ops, big_ops) = if quick {
+        (50_000, 50_000)
+    } else {
+        (400_000, 400_000)
+    };
+
+    println!("== Wall-clock: event-queue throughput ==\n");
+    let queue_benches = vec![
+        bench_schedule_step(1_000, small_ops, repeats),
+        bench_schedule_step(100_000, big_ops, repeats),
+        bench_schedule_cancel(1_000, small_ops, repeats),
+        bench_schedule_cancel(100_000, big_ops, repeats),
+    ];
+    let mut t = Table::new(["Bench", "Pending", "ns/op", "Mops/s"]);
+    for b in &queue_benches {
+        t.row([
+            b.name.to_string(),
+            b.pending.to_string(),
+            f1(b.median_ns_per_op),
+            format!("{:.2}", b.ops_per_sec() / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    let cancel_ratio = queue_benches[3].median_ns_per_op / queue_benches[2].median_ns_per_op;
+    println!(
+        "cancel ns/op ratio 100k/1k pending: {:.2}x (O(n) cancel would be ~100x)\n",
+        cancel_ratio
+    );
+
+    println!("== Wall-clock: one fig11 warm row (Login, 3 loads) ==\n");
+    let row_repeats = if quick { 1 } else { 3 };
+    let row_secs = fig11_row_secs(quick, row_repeats);
+    println!("median of {row_repeats}: {:.2} s\n", row_secs);
+
+    println!("== Wall-clock: executor sweep (8 cells) ==\n");
+    let sweep_jobs = [1usize, 2, 4];
+    let sweep: Vec<(usize, f64)> = sweep_jobs
+        .iter()
+        .map(|&j| (j, sweep_secs(j, quick, row_repeats)))
+        .collect();
+    let mut t = Table::new(["Jobs", "Median(s)", "Speedup"]);
+    for (j, s) in &sweep {
+        t.row([
+            j.to_string(),
+            format!("{s:.2}"),
+            format!("{:.2}x", sweep[0].1 / s),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(available parallelism on this host: {})",
+        executor::default_jobs()
+    );
+
+    // Machine-readable artifact.
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"specfaas-bench/wallclock/v1\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        executor::default_jobs()
+    ));
+    j.push_str(&format!("  \"repeats\": {repeats},\n"));
+    j.push_str("  \"event_queue\": [\n");
+    for (i, b) in queue_benches.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"pending\": {}, \"ops\": {}, \"median_ns_per_op\": {:.2}, \"ops_per_sec\": {:.0}}}{}\n",
+            esc(b.name),
+            b.pending,
+            b.ops,
+            b.median_ns_per_op,
+            b.ops_per_sec(),
+            if i + 1 < queue_benches.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"cancel_ns_ratio_100k_over_1k\": {:.3},\n",
+        cancel_ratio
+    ));
+    j.push_str(&format!(
+        "  \"fig11_row\": {{\"app\": \"Login\", \"loads_rps\": [100, 250, 500], \"repeats\": {row_repeats}, \"median_secs\": {:.3}}},\n",
+        row_secs
+    ));
+    j.push_str("  \"jobs_sweep\": [\n");
+    for (i, (jobs, secs)) in sweep.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"jobs\": {jobs}, \"cells\": 8, \"median_secs\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            secs,
+            sweep[0].1 / secs,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+
+    match (out, quick) {
+        (Some(path), _) => {
+            std::fs::write(&path, &j).expect("write wallclock json");
+            println!("\nwrote {path}");
+        }
+        (None, false) => {
+            std::fs::write("BENCH_wallclock.json", &j).expect("write wallclock json");
+            println!("\nwrote BENCH_wallclock.json");
+        }
+        (None, true) => {}
+    }
+}

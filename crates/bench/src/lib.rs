@@ -33,10 +33,12 @@
 //! trace analytics ([`analysis`]).
 
 pub mod analysis;
+pub mod executor;
 pub mod microbench;
 pub mod report;
 pub mod runner;
 
+pub use executor::{run_cells, ExperimentCell};
 pub use runner::{
     measure_baseline_open, measure_spec_open, prepared_baseline, prepared_spec, ExperimentParams,
 };

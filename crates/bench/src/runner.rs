@@ -167,26 +167,42 @@ pub fn measure_spec_concurrent(
 /// Finds the effective throughput (Table III): the highest request rate
 /// served with mean response ≤ 2× the unloaded single-request response,
 /// located by bisection over the arrival rate.
+///
+/// Every probe is a full open-loop measurement, so probes are memoized by
+/// rate: the expansion loop's final `hi` measurement is reused if the
+/// bisection (or a caller-supplied bracket) ever lands on the same rate
+/// again, cutting one full measurement per call.
 pub fn effective_throughput<F>(mut measure: F, single_ms: f64, lo: f64, hi: f64) -> f64
 where
     F: FnMut(f64) -> f64, // rps -> mean response ms
 {
     let qos = 2.0 * single_ms;
+    // Memoized probe: rates are derived from the same bracket by halving,
+    // so re-visited rates compare bit-exactly.
+    let mut probes: Vec<(f64, f64)> = Vec::new();
+    let mut probe = move |rps: f64| -> f64 {
+        if let Some(&(_, resp)) = probes.iter().find(|&&(r, _)| r == rps) {
+            return resp;
+        }
+        let resp = measure(rps);
+        probes.push((rps, resp));
+        resp
+    };
     let mut lo = lo;
     let mut hi = hi;
     // Expand hi until QoS violated (or cap).
-    let mut hi_resp = measure(hi);
+    let mut hi_resp = probe(hi);
     while hi_resp <= qos && hi < 4_000.0 {
         lo = hi;
         hi *= 2.0;
-        hi_resp = measure(hi);
+        hi_resp = probe(hi);
     }
     if hi_resp <= qos {
         return hi;
     }
     for _ in 0..7 {
         let mid = 0.5 * (lo + hi);
-        if measure(mid) <= qos {
+        if probe(mid) <= qos {
             lo = mid;
         } else {
             hi = mid;
@@ -221,6 +237,46 @@ mod tests {
             (195.0..=215.0).contains(&thr),
             "bisection found {thr}, expected ~210 (QoS 20ms)"
         );
+    }
+
+    #[test]
+    fn effective_throughput_probes_each_rate_once() {
+        use std::cell::RefCell;
+        // Count every probe and record the rates measured.
+        let seen = RefCell::new(Vec::<f64>::new());
+        let f = |rps: f64| {
+            seen.borrow_mut().push(rps);
+            if rps <= 200.0 {
+                10.0
+            } else {
+                10.0 + (rps - 200.0)
+            }
+        };
+        effective_throughput(f, 10.0, 50.0, 100.0);
+        let probes = seen.borrow();
+        // Expansion measures 100, 200, 400 (first violation), then 7
+        // bisection midpoints: exactly 10 probes, no rate re-measured.
+        assert_eq!(probes.len(), 3 + 7, "probe count: {probes:?}");
+        let mut uniq = probes.clone();
+        uniq.sort_by(f64::total_cmp);
+        uniq.dedup();
+        assert_eq!(uniq.len(), probes.len(), "no rate probed twice");
+    }
+
+    #[test]
+    fn effective_throughput_degenerate_bracket_probes_once() {
+        use std::cell::RefCell;
+        // lo == hi and the bracket already violates QoS: every bisection
+        // midpoint equals the bracket, so the memo must collapse the
+        // 1 + 7 probes of the uncached implementation down to one.
+        let count = RefCell::new(0u32);
+        let f = |_rps: f64| {
+            *count.borrow_mut() += 1;
+            1_000.0
+        };
+        let thr = effective_throughput(f, 10.0, 100.0, 100.0);
+        assert_eq!(*count.borrow(), 1, "memoized probe must be reused");
+        assert_eq!(thr, 100.0);
     }
 
     #[test]

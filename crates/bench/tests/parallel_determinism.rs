@@ -1,0 +1,44 @@
+//! Cross-thread determinism, end to end: running an experiment binary
+//! with `--jobs 4` must produce *byte-identical* stdout to the serial run.
+//! Parallelism lives only in the harness — every cell is an independent,
+//! seeded, single-threaded simulation — so any divergence here means a
+//! cell ordering or shared-state bug in the executor.
+
+use std::process::Command;
+
+fn stdout_of(bin: &str, args: &[&str]) -> Vec<u8> {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed: {}",
+        out.status
+    );
+    out.stdout
+}
+
+#[test]
+fn fig11_quick_parallel_output_is_byte_identical_to_serial() {
+    let bin = env!("CARGO_BIN_EXE_fig11");
+    let serial = stdout_of(bin, &["--quick", "--jobs", "1"]);
+    let parallel = stdout_of(bin, &["--quick", "--jobs", "4"]);
+    assert!(!serial.is_empty(), "fig11 produced no output");
+    assert_eq!(
+        serial,
+        parallel,
+        "fig11 --jobs 4 diverged from serial:\n--- serial ---\n{}\n--- jobs 4 ---\n{}",
+        String::from_utf8_lossy(&serial),
+        String::from_utf8_lossy(&parallel)
+    );
+}
+
+#[test]
+fn table1_parallel_output_is_byte_identical_to_serial() {
+    let bin = env!("CARGO_BIN_EXE_table1");
+    let serial = stdout_of(bin, &["--jobs", "1"]);
+    let parallel = stdout_of(bin, &["--jobs", "3"]);
+    assert!(!serial.is_empty(), "table1 produced no output");
+    assert_eq!(serial, parallel, "table1 --jobs 3 diverged from serial");
+}

@@ -12,7 +12,9 @@
 //! are only ever updated with committed, non-speculative data (§V-E).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
+
+use specfaas_sim::hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 use specfaas_platform::cluster::{Cluster, NodeId};
@@ -144,30 +146,30 @@ struct Req {
     measured: bool,
     pipeline: Pipeline,
     buffer: DataBuffer,
-    slot_inst: HashMap<SlotId, InstanceId>,
-    call_state: HashMap<SlotId, CallState>,
+    slot_inst: FxHashMap<SlotId, InstanceId>,
+    call_state: FxHashMap<SlotId, CallState>,
     /// Callee slot → caller slot blocked waiting for it.
-    waiting_callers: HashMap<SlotId, SlotId>,
+    waiting_callers: FxHashMap<SlotId, SlotId>,
     /// Caller slot → callee args it is waiting to consume (revalidated on
     /// callee completion).
-    waiting_args: HashMap<SlotId, Value>,
+    waiting_args: FxHashMap<SlotId, Value>,
     stalled_reads: Vec<StalledRead>,
     /// Slots whose HTTP request is deferred until they are head.
-    deferred_http: HashMap<SlotId, InstanceId>,
+    deferred_http: FxHashMap<SlotId, InstanceId>,
     /// Slots whose program-order successor has been created.
-    extended: HashSet<SlotId>,
+    extended: FxHashSet<SlotId>,
     /// Core-time consumed by completed-but-uncommitted slots.
-    slot_cpu: HashMap<SlotId, SimDuration>,
+    slot_cpu: FxHashMap<SlotId, SimDuration>,
     /// Fork-join contributions: join entry → (payloads by pipeline pos).
-    fork_joins: HashMap<usize, Vec<Value>>,
+    fork_joins: FxHashMap<usize, Vec<Value>>,
     /// Call observations per top-level entry slot, promoted at commit.
-    call_records: HashMap<SlotId, Vec<CallRecord>>,
+    call_records: FxHashMap<SlotId, Vec<CallRecord>>,
     /// Commit currently being processed.
     committing: Option<SlotId>,
     /// Failed attempts per slot (fault-injection retry accounting).
-    attempts: HashMap<SlotId, u32>,
+    attempts: FxHashMap<SlotId, u32>,
     /// Slots whose relaunch is held until their retry backoff elapses.
-    retry_hold: HashSet<SlotId>,
+    retry_hold: FxHashSet<SlotId>,
     learned: Vec<Learned>,
     committed_sequence: Vec<u32>,
     functions_run: u32,
@@ -237,7 +239,7 @@ pub struct SpecEngine {
     /// Live instances whose launch was speculative (registry-gated;
     /// pruned lazily at sample time). Feeds the in-flight-speculation
     /// gauge without touching the unconditional instance bookkeeping.
-    spec_live: HashSet<InstanceId>,
+    spec_live: FxHashSet<InstanceId>,
     /// Completion instants of issued KV operations (registry-gated
     /// min-heap). Entries at or before the sample instant are popped, so
     /// the heap size at `now` is the outstanding-KV-ops gauge.
@@ -246,11 +248,11 @@ pub struct SpecEngine {
     predictor: BranchPredictor,
     memos: MemoTables,
     stall_list: StallList,
-    instances: HashMap<InstanceId, FnInstance>,
-    meta: HashMap<InstanceId, InstMeta>,
+    instances: FxHashMap<InstanceId, FnInstance>,
+    meta: FxHashMap<InstanceId, InstMeta>,
     /// Lazily squashed instances still running in the background.
-    orphans: HashSet<InstanceId>,
-    requests: HashMap<RequestId, Req>,
+    orphans: FxHashSet<InstanceId>,
+    requests: FxHashMap<RequestId, Req>,
     next_inst: u64,
     next_req: u64,
     metrics: RunMetrics,
@@ -288,13 +290,13 @@ impl SpecEngine {
             squash_kill_busy: SimDuration::ZERO,
             kill_busy_base: SimDuration::ZERO,
             registry: MetricsRegistry::disabled(),
-            spec_live: HashSet::new(),
+            spec_live: FxHashSet::default(),
             kv_pending: BinaryHeap::new(),
             seqtable,
-            instances: HashMap::new(),
-            meta: HashMap::new(),
-            orphans: HashSet::new(),
-            requests: HashMap::new(),
+            instances: FxHashMap::default(),
+            meta: FxHashMap::default(),
+            orphans: FxHashSet::default(),
+            requests: FxHashMap::default(),
             next_inst: 0,
             next_req: 0,
             metrics: RunMetrics::new(),
@@ -517,19 +519,19 @@ impl SpecEngine {
             measured: now >= self.measure_from,
             pipeline: Pipeline::new(),
             buffer: DataBuffer::new(),
-            slot_inst: HashMap::new(),
-            call_state: HashMap::new(),
-            waiting_callers: HashMap::new(),
-            waiting_args: HashMap::new(),
+            slot_inst: FxHashMap::default(),
+            call_state: FxHashMap::default(),
+            waiting_callers: FxHashMap::default(),
+            waiting_args: FxHashMap::default(),
             stalled_reads: Vec::new(),
-            deferred_http: HashMap::new(),
-            extended: HashSet::new(),
-            slot_cpu: HashMap::new(),
-            fork_joins: HashMap::new(),
-            call_records: HashMap::new(),
+            deferred_http: FxHashMap::default(),
+            extended: FxHashSet::default(),
+            slot_cpu: FxHashMap::default(),
+            fork_joins: FxHashMap::default(),
+            call_records: FxHashMap::default(),
             committing: None,
-            attempts: HashMap::new(),
-            retry_hold: HashSet::new(),
+            attempts: FxHashMap::default(),
+            retry_hold: FxHashSet::default(),
             learned: Vec::new(),
             committed_sequence: Vec::new(),
             functions_run: 0,
@@ -595,7 +597,7 @@ impl SpecEngine {
     /// its最later callee-descendants), after which a program-order
     /// successor belongs.
     fn block_end(req: &Req, anchor: SlotId) -> SlotId {
-        let mut block: HashSet<SlotId> = HashSet::new();
+        let mut block: FxHashSet<SlotId> = FxHashSet::default();
         block.insert(anchor);
         let mut last = anchor;
         let order: Vec<SlotId> = req.pipeline.iter_order().collect();
@@ -867,7 +869,7 @@ impl SpecEngine {
     /// functionally against a snapshot view of committed storage.
     fn oracle_outcome(&mut self, entry: usize, func: FuncId, input: &Value) -> Option<bool> {
         let program: Program = self.app.registry.spec(func).program.clone();
-        let mut scratch: HashMap<String, Value> = HashMap::new();
+        let mut scratch: FxHashMap<String, Value> = FxHashMap::default();
         // Seed reads lazily by pre-copying every key the store holds is
         // wasteful; instead run with an empty scratch and fall back to
         // committed values by pre-populating on demand is not possible
@@ -2304,7 +2306,7 @@ impl SpecEngine {
         // updated with speculative data — the whole invocation validated).
         // Group memo knowledge by (func, input): the callee inputs come
         // from the commit record of the caller.
-        let mut memo_rows: HashMap<(u32, Value), (Value, Vec<Value>)> = HashMap::new();
+        let mut memo_rows: FxHashMap<(u32, Value), (Value, Vec<Value>)> = FxHashMap::default();
         for l in &req.learned {
             match l {
                 Learned::Memo {
@@ -2421,7 +2423,7 @@ impl SpecEngine {
         // suffix is a *parallel* sibling, not a dependent: removing it
         // would lose it forever and starve the join, so reset it in place
         // instead.
-        let mut fork_heads: HashSet<usize> = HashSet::new();
+        let mut fork_heads: FxHashSet<usize> = FxHashSet::default();
         for i in 0..self.seqtable.compiled().entries.len() {
             if let EntryKind::Fork { branches, .. } = self.seqtable.kind_at(i) {
                 fork_heads.extend(branches.iter().copied());

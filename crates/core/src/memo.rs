@@ -13,7 +13,7 @@
 //! reaches a 96 % average hit rate on TrainTicket, and that the combined
 //! tables of an application occupy only 1.5–30 KB.
 
-use std::collections::HashMap;
+use specfaas_sim::hash::FxHashMap;
 
 use specfaas_sim::stats::HitRate;
 use specfaas_storage::Value;
@@ -45,7 +45,7 @@ pub struct MemoEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemoTable {
-    entries: HashMap<Value, MemoEntry>,
+    entries: FxHashMap<Value, MemoEntry>,
     capacity: usize,
     tick: u64,
     stats: HitRate,
@@ -59,7 +59,7 @@ impl MemoTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "memo table capacity must be positive");
         MemoTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             capacity,
             tick: 0,
             stats: HitRate::new(),

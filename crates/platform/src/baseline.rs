@@ -16,7 +16,9 @@
 //!   containers fork a handler instantly.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
+
+use specfaas_sim::hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 use specfaas_sim::timeseries::MetricsRegistry;
@@ -94,7 +96,7 @@ struct ReqState {
     ctrl: NodeId,
     /// Number of workflow cursors in flight (forks add, joins subtract).
     cursors: u32,
-    joins: HashMap<usize, JoinState>,
+    joins: FxHashMap<usize, JoinState>,
     functions_run: u32,
     sequence: Vec<u32>,
     /// Output of the last cursor to finish (the response payload).
@@ -141,12 +143,12 @@ pub struct BaselineEngine {
     /// installed — excluded from the first conservation check.
     attributed_base: (SimDuration, SimDuration),
     /// Retry attempt the instance is executing (absent = first attempt).
-    attempt_of: HashMap<InstanceId, u32>,
+    attempt_of: FxHashMap<InstanceId, u32>,
     /// Instances that have acquired a container (released on teardown).
-    has_container: HashSet<InstanceId>,
-    instances: HashMap<InstanceId, FnInstance>,
-    ctxs: HashMap<InstanceId, InstCtx>,
-    requests: HashMap<RequestId, ReqState>,
+    has_container: FxHashSet<InstanceId>,
+    instances: FxHashMap<InstanceId, FnInstance>,
+    ctxs: FxHashMap<InstanceId, InstCtx>,
+    requests: FxHashMap<RequestId, ReqState>,
     next_inst: u64,
     next_req: u64,
     metrics: RunMetrics,
@@ -182,11 +184,11 @@ impl BaselineEngine {
             tracer: Tracer::disabled(),
             busy_snapshot: SimDuration::ZERO,
             attributed_base: (SimDuration::ZERO, SimDuration::ZERO),
-            attempt_of: HashMap::new(),
-            has_container: HashSet::new(),
-            instances: HashMap::new(),
-            ctxs: HashMap::new(),
-            requests: HashMap::new(),
+            attempt_of: FxHashMap::default(),
+            has_container: FxHashSet::default(),
+            instances: FxHashMap::default(),
+            ctxs: FxHashMap::default(),
+            requests: FxHashMap::default(),
             next_inst: 0,
             next_req: 0,
             metrics: RunMetrics::new(),
@@ -378,7 +380,7 @@ impl BaselineEngine {
                 arrived: now,
                 ctrl,
                 cursors: 1,
-                joins: HashMap::new(),
+                joins: FxHashMap::default(),
                 functions_run: 0,
                 sequence: Vec::new(),
                 last_output: Value::Null,

@@ -15,7 +15,7 @@
 //! * **lazy squash** — the handler keeps running to natural completion,
 //!   holding its container (and core) hostage until then.
 
-use std::collections::HashMap;
+use specfaas_sim::hash::FxHashMap;
 
 use specfaas_sim::SimDuration;
 use specfaas_workflow::FuncId;
@@ -40,8 +40,8 @@ pub enum ContainerAcquire {
 /// exhausts memory — but creation is never free.
 #[derive(Debug, Clone, Default)]
 pub struct ContainerPool {
-    idle: HashMap<FuncId, u32>,
-    busy: HashMap<FuncId, u32>,
+    idle: FxHashMap<FuncId, u32>,
+    busy: FxHashMap<FuncId, u32>,
     cold_starts: u64,
     warm_starts: u64,
 }

@@ -5,6 +5,17 @@
 //! built on top relies on stable ordering so that, e.g., a function-complete
 //! event scheduled before a request-arrival event at the same instant is
 //! always delivered first.
+//!
+//! # Cancellation
+//!
+//! Cancellation is O(1): every scheduled event owns a *slot* in a slab with
+//! a generation counter, and [`Simulator::cancel`] flips the slot state
+//! without touching the heap. Dead heap entries are reaped when they reach
+//! the top of the heap (at pop time, or eagerly when a cancel kills the
+//! current head), so the heap never accumulates an unbounded tombstone
+//! backlog and no operation ever scans the heap linearly. This keeps
+//! [`Simulator::pending`] and [`Simulator::peek_time`] exact *and* O(1):
+//! the head of the heap is always a live event.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -14,13 +25,37 @@ use crate::time::{SimDuration, SimTime};
 /// Identifier of a scheduled event, usable to cancel it before it fires.
 ///
 /// Returned by [`Simulator::schedule_at`] / [`Simulator::schedule_in`].
+/// Internally packs a slab slot index and a generation counter, so ids of
+/// events that already fired (whose slot has been recycled) are recognized
+/// as stale in O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+/// Lifecycle of a slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Scheduled and not cancelled; the heap holds a matching entry.
+    Live,
+    /// Cancelled but the heap entry has not yet been reaped.
+    Cancelled,
+    /// No event owns this slot (fired, or reaped after cancel).
+    Free,
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
 
 #[derive(Debug)]
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     payload: E,
 }
 
@@ -77,7 +112,9 @@ pub struct Simulator<E> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
     delivered: u64,
 }
 
@@ -94,7 +131,9 @@ impl<E> Simulator<E> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             delivered: 0,
         }
     }
@@ -109,14 +148,55 @@ impl<E> Simulator<E> {
         self.delivered
     }
 
-    /// Number of events still pending (including cancelled-but-unreaped).
+    /// Number of live (scheduled, not cancelled, not yet fired) events.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_idle(&self) -> bool {
-        self.pending() == 0
+        self.live == 0
+    }
+
+    /// Allocates a slab slot for a freshly scheduled event.
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let s = &mut self.slots[idx as usize];
+            debug_assert_eq!(s.state, SlotState::Free);
+            s.state = SlotState::Live;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Live,
+            });
+            idx
+        }
+    }
+
+    /// Returns a slot to the free list, bumping its generation so stale
+    /// [`EventId`]s can never alias the next occupant.
+    fn release_slot(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        s.state = SlotState::Free;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// Pops dead entries off the heap until the head is live (or the heap
+    /// is empty). Amortized O(log n): each dead entry is popped exactly
+    /// once over its lifetime.
+    fn reap_head(&mut self) {
+        while let Some(head) = self.queue.peek() {
+            if self.slots[head.slot as usize].state == SlotState::Cancelled {
+                let slot = head.slot;
+                self.queue.pop();
+                self.release_slot(slot);
+            } else {
+                return;
+            }
+        }
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -135,8 +215,16 @@ impl<E> Simulator<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { at, seq, payload });
-        EventId(seq)
+        let slot = self.alloc_slot();
+        let gen = self.slots[slot as usize].gen;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            slot,
+            payload,
+        });
+        self.live += 1;
+        EventId { slot, gen }
     }
 
     /// Schedules `payload` to fire `delay` after the current time.
@@ -150,27 +238,24 @@ impl<E> Simulator<E> {
         self.schedule_at(self.now, payload)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1) (amortized O(log n)
+    /// when the cancelled event was the queue head, which must be reaped
+    /// to keep [`Simulator::peek_time`] exact).
     ///
     /// Returns `true` if the event had not yet fired (and is now guaranteed
     /// not to fire), `false` if it already fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen && s.state == SlotState::Live => {
+                s.state = SlotState::Cancelled;
+                self.live -= 1;
+                // Keep the head-is-live invariant so peek_time()/step_until
+                // never see a dead head.
+                self.reap_head();
+                true
+            }
+            _ => false,
         }
-        // An event that already fired is not in the queue; inserting its id
-        // would leak, so check via the fired-watermark heuristic: we cannot
-        // know cheaply, so track precisely by only accepting ids still queued.
-        // The queue is a heap, so do a linear check only in debug; in release
-        // we accept the insert and reap lazily.
-        if self.cancelled.contains(&id.0) {
-            return false;
-        }
-        let live = self.queue.iter().any(|s| s.seq == id.0);
-        if live {
-            self.cancelled.insert(id.0);
-        }
-        live
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
@@ -179,12 +264,19 @@ impl<E> Simulator<E> {
     /// backwards.
     pub fn step(&mut self) -> Option<(SimTime, E)> {
         while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
+            let state = self.slots[ev.slot as usize].state;
+            self.release_slot(ev.slot);
+            if state == SlotState::Cancelled {
                 continue;
             }
+            debug_assert_eq!(state, SlotState::Live);
             debug_assert!(ev.at >= self.now);
             self.now = ev.at;
+            self.live -= 1;
             self.delivered += 1;
+            // Popping the live head can surface a tombstone as the new
+            // head; reap it so peek_time() stays exact.
+            self.reap_head();
             return Some((ev.at, ev.payload));
         }
         None
@@ -196,31 +288,25 @@ impl<E> Simulator<E> {
     /// `deadline` and `None` is returned. Useful for running a simulation
     /// for a fixed measurement window.
     pub fn step_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        // Peek past cancelled entries.
-        while let Some(head) = self.queue.peek() {
-            if self.cancelled.contains(&head.seq) {
-                let seq = head.seq;
-                self.queue.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            if head.at > deadline {
+        self.reap_head();
+        match self.queue.peek() {
+            Some(head) if head.at <= deadline => self.step(),
+            _ => {
                 self.now = self.now.max(deadline);
-                return None;
+                None
             }
-            return self.step();
         }
-        self.now = self.now.max(deadline);
-        None
     }
 
-    /// Timestamp of the next live event, if any.
+    /// Timestamp of the next live event, if any. O(1): the queue head is
+    /// always live (dead heads are reaped by `cancel`/`step`).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue
-            .iter()
-            .filter(|s| !self.cancelled.contains(&s.seq))
-            .map(|s| s.at)
-            .min()
+        debug_assert!(self
+            .queue
+            .peek()
+            .map(|h| self.slots[h.slot as usize].state == SlotState::Live)
+            .unwrap_or(true));
+        self.queue.peek().map(|s| s.at)
     }
 }
 
@@ -320,5 +406,100 @@ mod tests {
         }
         while sim.step().is_some() {}
         assert_eq!(sim.events_delivered(), 5);
+    }
+
+    /// Regression (ISSUE 4, satellite 1): a tombstone consumed by the
+    /// `step_until` peek loop must not corrupt the bookkeeping that a later
+    /// `cancel`/`step` relies on. The old lazy-HashSet implementation
+    /// removed the cancelled id inside the peek loop, so interleaving
+    /// cancel → step_until → cancel/step could mis-report liveness.
+    #[test]
+    fn cancel_step_until_step_interleaving() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_in(SimDuration::from_millis(1), "a");
+        let b = sim.schedule_in(SimDuration::from_millis(2), "b");
+        let c = sim.schedule_in(SimDuration::from_millis(3), "c");
+        assert!(sim.cancel(a));
+        // step_until with a deadline before any live event: reaps `a`'s
+        // heap entry while returning None.
+        assert!(sim.step_until(SimTime::from_millis(1)).is_none());
+        // `a` is gone for good: cancelling again must still report false,
+        // and stepping must never deliver it.
+        assert!(!sim.cancel(a), "reaped tombstone must stay cancelled");
+        assert_eq!(sim.pending(), 2);
+        // `b` is still live after the reap and cancellable exactly once.
+        assert!(sim.cancel(b), "live event must be cancellable after reap");
+        assert!(!sim.cancel(b));
+        assert_eq!(sim.step().unwrap().1, "c");
+        assert!(sim.step().is_none());
+        assert!(!sim.cancel(c), "fired event reports false");
+    }
+
+    /// Regression: cancelling the head, then the new head, then stepping —
+    /// the eager head reap in `cancel` must keep `peek_time` exact at
+    /// every point.
+    #[test]
+    fn cancel_head_keeps_peek_exact() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_in(SimDuration::from_millis(1), "a");
+        let b = sim.schedule_in(SimDuration::from_millis(2), "b");
+        sim.schedule_in(SimDuration::from_millis(3), "c");
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(1)));
+        assert!(sim.cancel(a));
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(2)));
+        assert!(sim.cancel(b));
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(sim.step().unwrap().1, "c");
+        assert_eq!(sim.peek_time(), None);
+    }
+
+    /// Regression (found by the reference-model property test): cancelling
+    /// a *buried* event leaves a tombstone deep in the heap; when a later
+    /// `step` pops the live head, that tombstone can surface as the new
+    /// head and `peek_time` must not report its (earlier) timestamp.
+    #[test]
+    fn step_past_buried_tombstone_keeps_peek_exact() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_millis(1), "a");
+        let x = sim.schedule_in(SimDuration::from_millis(2), "x");
+        sim.schedule_in(SimDuration::from_millis(3), "b");
+        // Head "a" is live, so this cancel reaps nothing.
+        assert!(sim.cancel(x));
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(1)));
+        // Popping "a" surfaces the tombstone; step must reap it.
+        assert_eq!(sim.step().unwrap().1, "a");
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.step().unwrap().1, "b");
+        assert!(sim.step().is_none());
+    }
+
+    /// A stale id whose slot has been recycled by a *new* event must not
+    /// cancel the new occupant.
+    #[test]
+    fn stale_id_does_not_alias_recycled_slot() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_in(SimDuration::from_millis(1), "a");
+        assert_eq!(sim.step().unwrap().1, "a");
+        // `b` reuses a's slot (single-slot slab) at a bumped generation.
+        let b = sim.schedule_in(SimDuration::from_millis(1), "b");
+        assert!(!sim.cancel(a), "stale id must not cancel the new event");
+        assert_eq!(sim.pending(), 1);
+        assert!(sim.cancel(b));
+        assert!(sim.step().is_none());
+    }
+
+    /// step_until must reap tombstones even when it hits the deadline, so
+    /// pending() and is_idle() stay exact for loop-termination checks.
+    #[test]
+    fn step_until_deadline_with_only_tombstones() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_in(SimDuration::from_millis(5), 1);
+        sim.cancel(a);
+        assert!(sim.is_idle());
+        assert!(sim.step_until(SimTime::from_millis(10)).is_none());
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        assert!(sim.is_idle());
+        assert_eq!(sim.peek_time(), None);
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod trace;
 
 pub use event::{EventId, Simulator};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use timeseries::MetricsRegistry;

@@ -1,0 +1,143 @@
+//! Property test: the slot/generation event queue against a brutally
+//! simple reference model (a Vec kept in delivery order) under long
+//! random sequences of schedule / cancel / step / step_until, including
+//! cancels of already-fired and already-cancelled ids. After every
+//! operation the exact `pending()` count and `peek_time()` must agree;
+//! every delivered event must match the model's next expected delivery.
+
+use specfaas_sim::{EventId, SimDuration, SimRng, SimTime, Simulator};
+
+/// Reference model: pending events in (time, seq) delivery order.
+struct Model {
+    /// (at, seq, payload) — kept sorted by (at, seq).
+    pending: Vec<(SimTime, u64, u64)>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            pending: Vec::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pos = self
+            .pending
+            .partition_point(|&(t, s, _)| (t, s) < (at, seq));
+        self.pending.insert(pos, (at, seq, payload));
+        seq
+    }
+
+    /// Cancels by seq; true if it was still pending.
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn step(&mut self) -> Option<(SimTime, u64)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let (at, _, payload) = self.pending.remove(0);
+        self.now = at;
+        Some((at, payload))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.pending.first().map(|&(t, _, _)| t)
+    }
+}
+
+#[test]
+fn random_schedule_cancel_step_matches_reference_model() {
+    let mut rng = SimRng::seed(0xE7E77);
+    for trial in 0..50u64 {
+        let mut sim: Simulator<u64> = Simulator::new();
+        let mut model = Model::new();
+        // All ids ever issued, live or not: (sim id, model seq).
+        let mut ids: Vec<(EventId, u64)> = Vec::new();
+        let mut payload = 0u64;
+
+        for op in 0..600 {
+            match rng.uniform_u64(10) {
+                // Schedule (weighted heaviest so queues grow).
+                0..=4 => {
+                    let at = sim.now() + SimDuration::from_micros(rng.uniform_u64(5_000));
+                    payload += 1;
+                    let id = sim.schedule_at(at, payload);
+                    let seq = model.schedule(at, payload);
+                    ids.push((id, seq));
+                }
+                // Cancel a random id ever issued (live, fired, cancelled,
+                // or recycled-slot stale — all must agree with the model).
+                5..=6 => {
+                    if !ids.is_empty() {
+                        let (id, seq) = ids[rng.uniform_u64(ids.len() as u64) as usize];
+                        let a = sim.cancel(id);
+                        let b = model.cancel(seq);
+                        assert_eq!(a, b, "trial {trial} op {op}: cancel disagreed");
+                    }
+                }
+                // Step once.
+                7..=8 => {
+                    let got = sim.step();
+                    let want = model.step();
+                    assert_eq!(got, want, "trial {trial} op {op}: step disagreed");
+                }
+                // step_until a random deadline.
+                _ => {
+                    let deadline = sim.now() + SimDuration::from_micros(rng.uniform_u64(2_000));
+                    loop {
+                        let fires = model.peek_time().is_some_and(|t| t <= deadline);
+                        let got = sim.step_until(deadline);
+                        if fires {
+                            assert_eq!(
+                                got,
+                                model.step(),
+                                "trial {trial} op {op}: step_until disagreed"
+                            );
+                        } else {
+                            assert_eq!(
+                                got, None,
+                                "trial {trial} op {op}: step_until fired past deadline"
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                sim.pending(),
+                model.pending.len(),
+                "trial {trial} op {op}: pending() diverged"
+            );
+            assert_eq!(
+                sim.peek_time(),
+                model.peek_time(),
+                "trial {trial} op {op}: peek_time() diverged"
+            );
+        }
+
+        // Drain both queues; delivery order must match exactly.
+        loop {
+            let got = sim.step();
+            let want = model.step();
+            assert_eq!(got, want, "trial {trial}: drain disagreed");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(sim.is_idle());
+    }
+}

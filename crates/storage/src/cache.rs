@@ -11,7 +11,7 @@
 //! private lines for many concurrently-running handler processes and
 //! invalidate exactly one owner's lines on squash.
 
-use std::collections::HashMap;
+use specfaas_sim::hash::FxHashMap;
 use std::hash::Hash;
 
 use crate::value::Value;
@@ -34,7 +34,7 @@ use crate::value::Value;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LocalCache<O: Eq + Hash + Copy> {
-    lines: HashMap<(O, String), Value>,
+    lines: FxHashMap<(O, String), Value>,
     hits: u64,
     misses: u64,
 }
@@ -49,7 +49,7 @@ impl<O: Eq + Hash + Copy> LocalCache<O> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         LocalCache {
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             hits: 0,
             misses: 0,
         }

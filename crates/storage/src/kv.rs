@@ -5,7 +5,7 @@
 //! characterization experiments use to measure update frequency
 //! (Observation 4).
 
-use std::collections::HashMap;
+use specfaas_sim::hash::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use specfaas_sim::SimDuration;
@@ -59,7 +59,7 @@ impl Default for StorageLatency {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct KvStore {
-    records: HashMap<String, (Value, Version)>,
+    records: FxHashMap<String, (Value, Version)>,
     latency: StorageLatency,
     reads: u64,
     writes: u64,

@@ -4,8 +4,8 @@
 //! function's input document. They have no side effects — all effects
 //! (storage, calls, compute time) are statements ([`crate::program::Stmt`]).
 
+use specfaas_sim::hash::FxHashMap;
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use specfaas_storage::Value;
@@ -125,7 +125,7 @@ impl Expr {
     /// # Errors
     /// Returns [`ProgError`] on type mismatches, unknown variables,
     /// out-of-range indexing, or division by zero.
-    pub fn eval(&self, input: &Value, env: &HashMap<String, Value>) -> Result<Value, ProgError> {
+    pub fn eval(&self, input: &Value, env: &FxHashMap<String, Value>) -> Result<Value, ProgError> {
         match self {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Input => Ok(input.clone()),
@@ -403,7 +403,7 @@ mod tests {
     use super::*;
 
     fn ev(e: &Expr) -> Value {
-        e.eval(&Value::Null, &HashMap::new()).unwrap()
+        e.eval(&Value::Null, &FxHashMap::default()).unwrap()
     }
 
     #[test]
@@ -424,7 +424,7 @@ mod tests {
     fn division_by_zero_errors() {
         let e = div(lit(1i64), lit(0i64));
         assert!(matches!(
-            e.eval(&Value::Null, &HashMap::new()),
+            e.eval(&Value::Null, &FxHashMap::default()),
             Err(ProgError::DivisionByZero)
         ));
     }
@@ -458,7 +458,7 @@ mod tests {
     #[test]
     fn field_access_returns_null_for_missing() {
         let doc = Value::map([("a", Value::Int(1))]);
-        let env = HashMap::new();
+        let env = FxHashMap::default();
         assert_eq!(field(input(), "a").eval(&doc, &env).unwrap(), Value::Int(1));
         assert_eq!(field(input(), "b").eval(&doc, &env).unwrap(), Value::Null);
     }
@@ -510,7 +510,7 @@ mod tests {
     #[test]
     fn unknown_var_errors() {
         assert!(matches!(
-            var("nope").eval(&Value::Null, &HashMap::new()),
+            var("nope").eval(&Value::Null, &FxHashMap::default()),
             Err(ProgError::UnknownVar(_))
         ));
     }
@@ -518,11 +518,11 @@ mod tests {
     #[test]
     fn type_errors_reported() {
         assert!(matches!(
-            len(lit(3i64)).eval(&Value::Null, &HashMap::new()),
+            len(lit(3i64)).eval(&Value::Null, &FxHashMap::default()),
             Err(ProgError::TypeError(_))
         ));
         assert!(matches!(
-            add(lit("s"), lit(1i64)).eval(&Value::Null, &HashMap::new()),
+            add(lit("s"), lit(1i64)).eval(&Value::Null, &FxHashMap::default()),
             Err(ProgError::TypeError(_))
         ));
     }

@@ -12,7 +12,7 @@
 //! visible control points where the speculation machinery (Data Buffer,
 //! side-effect deferral) can intervene.
 
-use std::collections::HashMap;
+use specfaas_sim::hash::FxHashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -156,7 +156,7 @@ struct Frame {
 #[derive(Debug)]
 pub struct Interp {
     input: Value,
-    env: HashMap<String, Value>,
+    env: FxHashMap<String, Value>,
     frames: Vec<Frame>,
     pending: Pending,
     finished: bool,
@@ -168,7 +168,7 @@ impl Interp {
     pub fn new(program: &Program, input: Value) -> Self {
         Interp {
             input,
-            env: HashMap::new(),
+            env: FxHashMap::default(),
             frames: vec![Frame {
                 block: Arc::clone(&program.body),
                 pc: 0,
@@ -276,53 +276,65 @@ impl Interp {
                 continue;
             }
 
-            let stmt = frame.block[frame.pc].clone();
+            // Borrow the statement through a cheap Arc bump of the block
+            // rather than deep-cloning the Stmt (strings + expression
+            // trees) on every interpreter step — this runs several times
+            // per simulated event.
+            let block = Arc::clone(&frame.block);
+            let pc = frame.pc;
             frame.pc += 1;
 
-            match stmt {
+            match &block[pc] {
                 Stmt::Compute(spec) => {
                     self.pending = Pending::Ack;
                     return Ok(Effect::Compute(spec.sample(rng)));
                 }
                 Stmt::Let { var, expr } => {
-                    let v = self.eval(&expr)?;
-                    self.env.insert(var, v);
+                    let v = self.eval(expr)?;
+                    self.env.insert(var.clone(), v);
                 }
                 Stmt::Get { key, var } => {
-                    let key = self.key_string(&key)?;
-                    self.pending = Pending::BindVar(var);
+                    let key = self.key_string(key)?;
+                    self.pending = Pending::BindVar(var.clone());
                     return Ok(Effect::Get { key });
                 }
                 Stmt::Set { key, value } => {
-                    let key = self.key_string(&key)?;
-                    let value = self.eval(&value)?;
+                    let key = self.key_string(key)?;
+                    let value = self.eval(value)?;
                     self.pending = Pending::Ack;
                     return Ok(Effect::Set { key, value });
                 }
                 Stmt::Call { func, args, var } => {
-                    let args = self.eval(&args)?;
-                    self.pending = Pending::BindVar(var);
-                    return Ok(Effect::Call { func, args });
+                    let args = self.eval(args)?;
+                    self.pending = Pending::BindVar(var.clone());
+                    return Ok(Effect::Call {
+                        func: func.clone(),
+                        args,
+                    });
                 }
                 Stmt::Http { url } => {
-                    let url = self.key_string(&url)?;
+                    let url = self.key_string(url)?;
                     self.pending = Pending::Ack;
                     return Ok(Effect::Http { url });
                 }
                 Stmt::FileWrite { name, data } => {
-                    let name = self.key_string(&name)?;
-                    let data = self.eval(&data)?;
+                    let name = self.key_string(name)?;
+                    let data = self.eval(data)?;
                     self.pending = Pending::Ack;
                     return Ok(Effect::FileWrite { name, data });
                 }
                 Stmt::FileRead { name, var } => {
-                    let name = self.key_string(&name)?;
-                    self.pending = Pending::BindVar(var);
+                    let name = self.key_string(name)?;
+                    self.pending = Pending::BindVar(var.clone());
                     return Ok(Effect::FileRead { name });
                 }
                 Stmt::If { cond, then, els } => {
-                    let c = self.eval(&cond)?;
-                    let block = if c.truthy() { then } else { els };
+                    let c = self.eval(cond)?;
+                    let block = if c.truthy() {
+                        Arc::clone(then)
+                    } else {
+                        Arc::clone(els)
+                    };
                     self.frames.push(Frame {
                         block,
                         pc: 0,
@@ -334,25 +346,25 @@ impl Interp {
                     body,
                     max_iters,
                 } => {
-                    let c = self.eval(&cond)?;
+                    let c = self.eval(cond)?;
                     if c.truthy() {
-                        if max_iters == 0 {
+                        if *max_iters == 0 {
                             self.finished = true;
                             return Err(ProgError::LoopLimit);
                         }
                         self.frames.push(Frame {
-                            block: Arc::clone(&body),
+                            block: Arc::clone(body),
                             pc: 0,
                             kind: FrameKind::Loop {
-                                cond,
-                                body,
+                                cond: cond.clone(),
+                                body: Arc::clone(body),
                                 remaining: max_iters - 1,
                             },
                         });
                     }
                 }
                 Stmt::Return(expr) => {
-                    let v = self.eval(&expr)?;
+                    let v = self.eval(expr)?;
                     self.finished = true;
                     return Ok(Effect::Done(v));
                 }
@@ -375,14 +387,19 @@ impl Interp {
     pub fn run_functional<C>(
         program: &Program,
         input: Value,
-        storage: &mut HashMap<String, Value>,
+        storage: &mut FxHashMap<String, Value>,
         call: &mut C,
         rng: &mut SimRng,
     ) -> Result<Value, ProgError>
     where
-        C: FnMut(&str, Value, &mut HashMap<String, Value>, &mut SimRng) -> Result<Value, ProgError>,
+        C: FnMut(
+            &str,
+            Value,
+            &mut FxHashMap<String, Value>,
+            &mut SimRng,
+        ) -> Result<Value, ProgError>,
     {
-        let mut files: HashMap<String, Value> = HashMap::new();
+        let mut files: FxHashMap<String, Value> = FxHashMap::default();
         let mut interp = Interp::new(program, input);
         let mut resume: Option<Value> = None;
         loop {
@@ -421,7 +438,7 @@ mod tests {
     }
 
     fn run(p: &Program, input: Value) -> Value {
-        let mut storage = HashMap::new();
+        let mut storage = FxHashMap::default();
         Interp::run_functional(
             p,
             input,
@@ -533,7 +550,7 @@ mod tests {
         let p = Program::builder()
             .while_(lit(true), vec![], 3)
             .ret(lit(0i64));
-        let mut storage = HashMap::new();
+        let mut storage = FxHashMap::default();
         let err = Interp::run_functional(
             &p,
             Value::Null,
@@ -573,7 +590,7 @@ mod tests {
         let caller = Program::builder()
             .call("inc", make_map([("x", lit(41i64))]), "r")
             .ret(var("r"));
-        let mut storage = HashMap::new();
+        let mut storage = FxHashMap::default();
         let out = Interp::run_functional(
             &caller,
             Value::Null,

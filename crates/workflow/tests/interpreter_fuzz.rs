@@ -6,11 +6,11 @@
 //! offline build environment cannot fetch `proptest`), so every case is
 //! reproducible from the loop seed printed in an assertion message.
 
+use specfaas_sim::hash::FxHashMap;
 use specfaas_sim::SimRng;
 use specfaas_storage::Value;
 use specfaas_workflow::expr::*;
 use specfaas_workflow::{Effect, Expr, Interp, Program, Stmt};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 const CASES: u64 = 200;
@@ -121,7 +121,7 @@ fn arb_program(rng: &mut SimRng) -> Program {
 }
 
 fn run_program(p: &Program, input: Value, seed: u64) -> Result<Value, String> {
-    let mut storage: HashMap<String, Value> = HashMap::new();
+    let mut storage: FxHashMap<String, Value> = FxHashMap::default();
     let mut rng = SimRng::seed(seed);
     Interp::run_functional(
         p,
