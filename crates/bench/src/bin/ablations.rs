@@ -12,38 +12,21 @@
 //! (speedups against the section's baseline) are computed at render time
 //! so the baseline is measured exactly once per section.
 
-use std::sync::Arc;
-
 use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f1, f2, pct, speedup, Table};
-use specfaas_bench::runner::prepared_spec;
+use specfaas_bench::runner::{closed_mean_ms, mean_record_ms, prepared_baseline, prepared_spec};
 use specfaas_core::SpecConfig;
-use specfaas_platform::BaselineEngine;
-use specfaas_sim::SimRng;
 
 fn single_spec_ms(bundle: &specfaas_apps::AppBundle, cfg: SpecConfig, n: u64) -> f64 {
     let mut e = prepared_spec(bundle, cfg, 0xAB1A, 300);
     let gen = bundle.make_input.clone();
-    let m = e.run_closed(n, move |r| gen(r));
-    m.records
-        .iter()
-        .map(|r| r.response_time().as_millis_f64())
-        .sum::<f64>()
-        / m.records.len().max(1) as f64
+    closed_mean_ms(&mut e, n, move |r| gen(r))
 }
 
 fn single_base_ms(bundle: &specfaas_apps::AppBundle, n: u64) -> f64 {
-    let mut e = BaselineEngine::new(Arc::clone(&bundle.app), 0xAB1A);
-    e.prewarm();
-    let mut rng = SimRng::seed(0xAB1A ^ 0x5eed);
-    (bundle.seed)(&mut e.kv, &mut rng);
+    let mut e = prepared_baseline(bundle, 0xAB1A);
     let gen = bundle.make_input.clone();
-    let m = e.run_closed(n, move |r| gen(r));
-    m.records
-        .iter()
-        .map(|r| r.response_time().as_millis_f64())
-        .sum::<f64>()
-        / m.records.len().max(1) as f64
+    closed_mean_ms(&mut e, n, move |r| gen(r))
 }
 
 /// Mean response of a fresh run under `cfg`, plus a probe read from the
@@ -60,12 +43,7 @@ where
     let mut e = prepared_spec(bundle, cfg, 0xAB1A, 300);
     let gen = bundle.make_input.clone();
     let m = e.run_closed(n, move |r| gen(r));
-    let mean = m
-        .records
-        .iter()
-        .map(|r| r.response_time().as_millis_f64())
-        .sum::<f64>()
-        / m.records.len().max(1) as f64;
+    let mean = mean_record_ms(&m, 0);
     let probed = probe(&e, &m);
     (mean, probed)
 }
@@ -116,12 +94,7 @@ fn d2_stall_list(jobs: usize) {
             let mut e = prepared_spec(bundle, cfg, 0xAB1A, 300);
             let gen = bundle.make_input.clone();
             let m = e.run_closed(100, move |r| gen(r));
-            let mean = m
-                .records
-                .iter()
-                .map(|r| r.response_time().as_millis_f64())
-                .sum::<f64>()
-                / m.records.len().max(1) as f64;
+            let mean = mean_record_ms(&m, 0);
             (
                 m.functions_squashed as f64,
                 e.stall_list().stalls_avoided() as f64,

@@ -13,7 +13,7 @@
 //!   falls as the retry budget grows.
 
 use specfaas_bench::report::{f1, pct, Table};
-use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_bench::runner::{faulted_closed, prepared_baseline, prepared_spec};
 use specfaas_core::SpecConfig;
 use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration};
 
@@ -48,10 +48,14 @@ fn fault_rate_sweep() {
         "MeanResp(ms)",
     ]);
     for p in [0.0f64, 0.005, 0.01, 0.02, 0.05] {
-        let mut base = prepared_baseline(&bundle, SEED);
-        base.enable_faults(plan_at(p), policy());
         let gen = bundle.make_input.clone();
-        let mb = base.run_closed(REQUESTS, move |r| gen(r));
+        let mb = faulted_closed(
+            &mut prepared_baseline(&bundle, SEED),
+            plan_at(p),
+            policy(),
+            REQUESTS,
+            move |r| gen(r),
+        );
         t.row([
             pct(p),
             "Baseline".to_string(),
@@ -63,10 +67,14 @@ fn fault_rate_sweep() {
             f1(mb.latency.mean_ms()),
         ]);
 
-        let mut spec = prepared_spec(&bundle, SpecConfig::full(), SEED, 300);
-        spec.enable_faults(plan_at(p), policy());
         let gen = bundle.make_input.clone();
-        let ms = spec.run_closed(REQUESTS, move |r| gen(r));
+        let ms = faulted_closed(
+            &mut prepared_spec(&bundle, SpecConfig::full(), SEED, 300),
+            plan_at(p),
+            policy(),
+            REQUESTS,
+            move |r| gen(r),
+        );
         t.row([
             pct(p),
             "SpecFaaS".to_string(),
@@ -87,15 +95,16 @@ fn retry_budget_sweep() {
     let bundle = specfaas_apps::trainticket::ticket_app();
     let mut t = Table::new(["MaxAttempts", "Done", "Failed", "Retried", "Aborted%"]);
     for attempts in [1u32, 2, 3, 5, 8] {
-        let mut spec = prepared_spec(&bundle, SpecConfig::full(), SEED, 300);
-        spec.enable_faults(
+        let gen = bundle.make_input.clone();
+        let m = faulted_closed(
+            &mut prepared_spec(&bundle, SpecConfig::full(), SEED, 300),
             plan_at(0.02),
             RetryPolicy::default()
                 .with_max_attempts(attempts)
                 .with_timeout(SimDuration::from_secs(2)),
+            REQUESTS,
+            move |r| gen(r),
         );
-        let gen = bundle.make_input.clone();
-        let m = spec.run_closed(REQUESTS, move |r| gen(r));
         let total = (m.completed + m.failed).max(1);
         t.row([
             attempts.to_string(),

@@ -22,10 +22,10 @@
 
 use specfaas_bench::analysis::{analyze, check_paths_exact, PathAggregate};
 use specfaas_bench::report::{f1, f2, pct, speedup, Table};
-use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_bench::runner::{instrumented_closed, prepared_baseline, prepared_spec};
 use specfaas_core::SpecConfig;
 use specfaas_sim::timeseries::MetricsRegistry;
-use specfaas_sim::trace::{Phase, Tracer};
+use specfaas_sim::trace::Phase;
 use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration};
 
 struct Args {
@@ -113,24 +113,25 @@ fn main() {
         .with_max_attempts(8)
         .with_timeout(SimDuration::from_secs(2));
 
+    // One generic instrumented body; the match arms only pick the engine.
     let gen = bundle.make_input.clone();
     let (tracer, registry, metrics) = match args.engine.as_str() {
-        "spec" => {
-            let mut e = prepared_spec(&bundle, SpecConfig::full(), args.seed, 300);
-            e.enable_faults(plan, policy);
-            e.set_tracer(Tracer::with_invariants());
-            e.set_registry(MetricsRegistry::recording());
-            let m = e.run_closed(args.requests, move |r| gen(r));
-            (e.take_tracer(), e.take_registry(), m)
-        }
-        "baseline" => {
-            let mut e = prepared_baseline(&bundle, args.seed);
-            e.enable_faults(plan, policy);
-            e.set_tracer(Tracer::with_invariants());
-            e.set_registry(MetricsRegistry::recording());
-            let m = e.run_closed(args.requests, move |r| gen(r));
-            (e.take_tracer(), e.take_registry(), m)
-        }
+        "spec" => instrumented_closed(
+            &mut prepared_spec(&bundle, SpecConfig::full(), args.seed, 300),
+            plan,
+            policy,
+            MetricsRegistry::recording(),
+            args.requests,
+            move |r| gen(r),
+        ),
+        "baseline" => instrumented_closed(
+            &mut prepared_baseline(&bundle, args.seed),
+            plan,
+            policy,
+            MetricsRegistry::recording(),
+            args.requests,
+            move |r| gen(r),
+        ),
         _ => usage(),
     };
 

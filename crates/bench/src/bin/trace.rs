@@ -14,9 +14,9 @@
 //! invariant checker always runs; any violation fails the process.
 //! Identical seeds produce byte-identical trace files.
 
-use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_bench::runner::{prepared_baseline, prepared_spec, traced_closed};
 use specfaas_core::SpecConfig;
-use specfaas_sim::trace::{validate_json, Tracer};
+use specfaas_sim::trace::validate_json;
 use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration};
 
 struct Args {
@@ -101,22 +101,23 @@ fn main() {
         .with_max_attempts(8)
         .with_timeout(SimDuration::from_secs(2));
 
+    // One generic traced body; the match arms only pick the engine.
     let gen = bundle.make_input.clone();
     let (tracer, metrics) = match args.engine.as_str() {
-        "spec" => {
-            let mut e = prepared_spec(&bundle, SpecConfig::full(), args.seed, 300);
-            e.enable_faults(plan, policy);
-            e.set_tracer(Tracer::with_invariants());
-            let m = e.run_closed(args.requests, move |r| gen(r));
-            (e.take_tracer(), m)
-        }
-        "baseline" => {
-            let mut e = prepared_baseline(&bundle, args.seed);
-            e.enable_faults(plan, policy);
-            e.set_tracer(Tracer::with_invariants());
-            let m = e.run_closed(args.requests, move |r| gen(r));
-            (e.take_tracer(), m)
-        }
+        "spec" => traced_closed(
+            &mut prepared_spec(&bundle, SpecConfig::full(), args.seed, 300),
+            plan,
+            policy,
+            args.requests,
+            move |r| gen(r),
+        ),
+        "baseline" => traced_closed(
+            &mut prepared_baseline(&bundle, args.seed),
+            plan,
+            policy,
+            args.requests,
+            move |r| gen(r),
+        ),
         _ => usage(),
     };
 

@@ -10,8 +10,11 @@ use std::sync::Arc;
 
 use specfaas_apps::AppBundle;
 use specfaas_core::{SpecConfig, SpecEngine};
-use specfaas_platform::{BaselineEngine, RunMetrics};
-use specfaas_sim::{SimDuration, SimRng};
+use specfaas_platform::{BaselineEngine, EngineCore, Harness, RunMetrics};
+use specfaas_sim::timeseries::MetricsRegistry;
+use specfaas_sim::trace::Tracer;
+use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration, SimRng};
+use specfaas_storage::Value;
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +77,74 @@ pub fn prepared_spec(
     e
 }
 
+/// Arms fault injection on any engine harness and measures a closed
+/// loop — the shared body of the per-engine bench match arms.
+pub fn faulted_closed<E: EngineCore>(
+    e: &mut Harness<E>,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    requests: u64,
+    input: impl FnMut(&mut SimRng) -> Value,
+) -> RunMetrics {
+    e.enable_faults(plan, policy);
+    e.run_closed(requests, input)
+}
+
+/// [`faulted_closed`] with the invariant-checking flight recorder armed;
+/// returns the recorder alongside the metrics.
+pub fn traced_closed<E: EngineCore>(
+    e: &mut Harness<E>,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    requests: u64,
+    input: impl FnMut(&mut SimRng) -> Value,
+) -> (Tracer, RunMetrics) {
+    e.enable_faults(plan, policy);
+    e.set_tracer(Tracer::with_invariants());
+    let m = e.run_closed(requests, input);
+    (e.take_tracer(), m)
+}
+
+/// Fully instrumented closed loop on any engine: fault injection, the
+/// invariant-checking flight recorder and the given metrics registry are
+/// attached (in that order, matching the bit-identity tests), then the
+/// instruments are taken back out and returned with the metrics.
+pub fn instrumented_closed<E: EngineCore>(
+    e: &mut Harness<E>,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    registry: MetricsRegistry,
+    requests: u64,
+    input: impl FnMut(&mut SimRng) -> Value,
+) -> (Tracer, MetricsRegistry, RunMetrics) {
+    e.enable_faults(plan, policy);
+    e.set_tracer(Tracer::with_invariants());
+    e.set_registry(registry);
+    let m = e.run_closed(requests, input);
+    (e.take_tracer(), e.take_registry(), m)
+}
+
+/// Mean completed-request response (ms) over `m.records`, skipping the
+/// first `skip` (container warm-up) records.
+pub fn mean_record_ms(m: &RunMetrics, skip: usize) -> f64 {
+    let later = &m.records[m.records.len().min(skip)..];
+    later
+        .iter()
+        .map(|r| r.response_time().as_millis_f64())
+        .sum::<f64>()
+        / later.len().max(1) as f64
+}
+
+/// Runs a closed loop on any prepared engine and returns the mean
+/// completed-request response in milliseconds (no warm-up skip).
+pub fn closed_mean_ms<E: EngineCore>(
+    e: &mut Harness<E>,
+    n: u64,
+    input: impl FnMut(&mut SimRng) -> Value,
+) -> f64 {
+    mean_record_ms(&e.run_closed(n, input), 0)
+}
+
 /// Measures the baseline under an open-loop load.
 pub fn measure_baseline_open(bundle: &AppBundle, p: ExperimentParams) -> RunMetrics {
     let mut e = prepared_baseline(bundle, p.seed);
@@ -105,24 +176,14 @@ pub fn baseline_single_ms(bundle: &AppBundle, seed: u64, n: u64) -> f64 {
     let gen = Arc::clone(&bundle.make_input);
     let m = e.run_closed(n.max(1) + 2, move |r| gen(r));
     // Skip the first two (container warm-up) records.
-    let later = &m.records[m.records.len().min(2)..];
-    later
-        .iter()
-        .map(|r| r.response_time().as_millis_f64())
-        .sum::<f64>()
-        / later.len().max(1) as f64
+    mean_record_ms(&m, 2)
 }
 
 /// Unloaded single-request mean response for a trained SpecFaaS engine.
 pub fn spec_single_ms(bundle: &AppBundle, config: SpecConfig, seed: u64, n: u64) -> f64 {
     let mut e = prepared_spec(bundle, config, seed, 200);
     let gen = Arc::clone(&bundle.make_input);
-    let m = e.run_closed(n.max(1), move |r| gen(r));
-    m.records
-        .iter()
-        .map(|r| r.response_time().as_millis_f64())
-        .sum::<f64>()
-        / m.records.len().max(1) as f64
+    closed_mean_ms(&mut e, n.max(1), move |r| gen(r))
 }
 
 /// Converts the paper's open-loop load level into a closed-loop client

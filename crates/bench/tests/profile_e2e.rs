@@ -15,7 +15,7 @@
 //!   end-to-end latency.
 
 use specfaas_bench::analysis::{analyze, check_paths_exact};
-use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_bench::runner::{instrumented_closed, prepared_baseline, prepared_spec};
 use specfaas_core::SpecConfig;
 use specfaas_platform::RunMetrics;
 use specfaas_sim::timeseries::MetricsRegistry;
@@ -55,22 +55,22 @@ fn instrumented_run(
     };
     let gen = bundle.make_input.clone();
     match engine {
-        "spec" => {
-            let mut e = prepared_spec(bundle, SpecConfig::full(), SEED, TRAIN);
-            e.enable_faults(plan(), policy());
-            e.set_tracer(Tracer::with_invariants());
-            e.set_registry(registry);
-            let m = e.run_closed(REQUESTS, move |r| gen(r));
-            (e.take_tracer(), e.take_registry(), m)
-        }
-        "baseline" => {
-            let mut e = prepared_baseline(bundle, SEED);
-            e.enable_faults(plan(), policy());
-            e.set_tracer(Tracer::with_invariants());
-            e.set_registry(registry);
-            let m = e.run_closed(REQUESTS, move |r| gen(r));
-            (e.take_tracer(), e.take_registry(), m)
-        }
+        "spec" => instrumented_closed(
+            &mut prepared_spec(bundle, SpecConfig::full(), SEED, TRAIN),
+            plan(),
+            policy(),
+            registry,
+            REQUESTS,
+            move |r| gen(r),
+        ),
+        "baseline" => instrumented_closed(
+            &mut prepared_baseline(bundle, SEED),
+            plan(),
+            policy(),
+            registry,
+            REQUESTS,
+            move |r| gen(r),
+        ),
         other => panic!("unknown engine {other}"),
     }
 }

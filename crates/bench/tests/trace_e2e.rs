@@ -10,7 +10,7 @@
 //! * two same-seed runs produce byte-identical traces, and
 //! * installing a disabled tracer leaves run metrics bit-identical.
 
-use specfaas_bench::runner::{prepared_baseline, prepared_spec};
+use specfaas_bench::runner::{prepared_baseline, prepared_spec, traced_closed};
 use specfaas_core::SpecConfig;
 use specfaas_platform::RunMetrics;
 use specfaas_sim::trace::{validate_json, Tracer};
@@ -37,12 +37,14 @@ fn policy() -> RetryPolicy {
 /// Runs one traced speculative measurement pass and returns the tracer
 /// (with any recorded violations) plus the run metrics.
 fn traced_spec_run(bundle: &specfaas_apps::AppBundle) -> (Tracer, RunMetrics) {
-    let mut spec = prepared_spec(bundle, SpecConfig::full(), SEED, TRAIN);
-    spec.enable_faults(plan(), policy());
-    spec.set_tracer(Tracer::with_invariants());
     let gen = bundle.make_input.clone();
-    let m = spec.run_closed(REQUESTS, move |r| gen(r));
-    (spec.take_tracer(), m)
+    traced_closed(
+        &mut prepared_spec(bundle, SpecConfig::full(), SEED, TRAIN),
+        plan(),
+        policy(),
+        REQUESTS,
+        move |r| gen(r),
+    )
 }
 
 fn assert_clean(tracer: &Tracer, label: &str) {
@@ -89,12 +91,15 @@ fn same_seed_runs_emit_byte_identical_traces() {
 #[test]
 fn baseline_engine_passes_invariants_under_faults() {
     let bundle = specfaas_apps::faaschain::hotel_booking();
-    let mut base = prepared_baseline(&bundle, SEED);
-    base.enable_faults(plan(), policy());
-    base.set_tracer(Tracer::with_invariants());
     let gen = bundle.make_input.clone();
-    let m = base.run_closed(REQUESTS, move |r| gen(r));
-    assert_clean(base.tracer(), "Baseline/HotelBooking");
+    let (tracer, m) = traced_closed(
+        &mut prepared_baseline(&bundle, SEED),
+        plan(),
+        policy(),
+        REQUESTS,
+        move |r| gen(r),
+    );
+    assert_clean(&tracer, "Baseline/HotelBooking");
     assert!(m.completed > 0);
 }
 

@@ -47,7 +47,7 @@ pub mod stall;
 
 pub use config::{RetryPolicy, SpecConfig, SquashMechanism};
 pub use databuffer::DataBuffer;
-pub use engine::SpecEngine;
+pub use engine::{SpecCore, SpecEngine};
 pub use memo::{MemoEntry, MemoTable};
 pub use pipeline::{Pipeline, SlotId, SlotState};
 pub use predictor::{BranchPredictor, PathHistory, Prediction};

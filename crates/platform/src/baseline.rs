@@ -16,28 +16,28 @@
 //!   containers fork a handler instantly.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use specfaas_sim::hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
-use specfaas_sim::timeseries::MetricsRegistry;
-use specfaas_sim::trace::{Phase, TraceEventKind, Tracer};
-use specfaas_sim::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
-use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
-use specfaas_storage::{KvStore, Value};
+use specfaas_sim::trace::{Phase, TraceEventKind};
+use specfaas_sim::FaultSite;
+use specfaas_sim::{SimDuration, SimTime};
+use specfaas_storage::Value;
 use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId};
 
-use crate::cluster::{Cluster, NodeId};
+use crate::cluster::NodeId;
 use crate::container::ContainerAcquire;
 use crate::exec::{FnInstance, InstanceId, InstanceState};
-use crate::metrics::{InvocationRecord, RequestOutcome, RunMetrics};
-use crate::overheads::OverheadModel;
-use crate::workload::{RequestId, Workload};
+use crate::harness::{self, EngineCore, Harness, Runtime};
+use crate::metrics::{InvocationRecord, RequestOutcome};
+use crate::workload::RequestId;
 
-/// Events of the baseline engine.
+/// Events of the baseline engine (exposed only as the [`EngineCore::Ev`]
+/// associated type).
+#[doc(hidden)]
 #[derive(Debug)]
-enum Ev {
+pub enum Ev {
     /// A new application request arrives (the generator re-arms itself).
     Arrival,
     /// Platform overhead paid; acquire container + core for the instance.
@@ -47,12 +47,22 @@ enum Ev {
     /// The instance's pending effect completed; step the interpreter.
     Resume(InstanceId, Option<Value>),
     /// Transfer overhead paid; launch workflow entry `entry` of `req` with
-    /// the given payload.
-    Transfer(RequestId, usize, Value),
+    /// the given payload. `from` is the entry that produced the payload:
+    /// parallel joins use it to merge branch outputs in declaration order
+    /// (compile order), not arrival order, so the merged document is
+    /// independent of branch timing — exactly like the speculative
+    /// engine's in-order pipeline commit.
+    Transfer {
+        req: RequestId,
+        from: usize,
+        entry: usize,
+        payload: Value,
+    },
     /// Backoff after a transient KV fault elapsed; retry the operation.
     KvRetry(InstanceId, KvOp, u32),
     /// Backoff after an instance fault elapsed; relaunch the function.
     Retry {
+        /// The request being retried.
         req: RequestId,
         ctx: InstCtx,
         func: FuncId,
@@ -65,19 +75,18 @@ enum Ev {
     Complete(RequestId),
 }
 
-/// Boxed request-input generator driven by the engine RNG.
-type InputGen = Box<dyn FnMut(&mut SimRng) -> Value>;
-
 /// A storage operation being retried across transient KV faults.
+#[doc(hidden)]
 #[derive(Debug, Clone)]
-enum KvOp {
+pub enum KvOp {
     Get { key: String },
     Set { key: String, value: Value },
 }
 
 /// Why an instance exists: a workflow-entry cursor or an implicit callee.
+#[doc(hidden)]
 #[derive(Debug, Clone)]
-enum InstCtx {
+pub enum InstCtx {
     /// Executes workflow entry `entry` of request `req`.
     Entry { req: RequestId, entry: usize },
     /// Executes a subroutine call on behalf of `caller`.
@@ -87,7 +96,9 @@ enum InstCtx {
 #[derive(Debug)]
 struct JoinState {
     need: u32,
-    outputs: Vec<Value>,
+    /// `(source entry, payload)` pairs; sorted by source entry at merge
+    /// time so the joined list follows branch declaration order.
+    outputs: Vec<(usize, Value)>,
 }
 
 #[derive(Debug)]
@@ -105,7 +116,8 @@ struct ReqState {
     measured: bool,
 }
 
-/// The baseline (conventional OpenWhisk) engine for one application.
+/// The baseline (conventional OpenWhisk) engine for one application: a
+/// [`Harness`] wrapped around a [`BaselineCore`].
 ///
 /// # Example
 ///
@@ -118,30 +130,40 @@ struct ReqState {
 /// println!("mean response: {:.1} ms", metrics.mean_response_ms());
 /// ```
 pub struct BaselineEngine {
+    harness: Harness<BaselineCore>,
+}
+
+impl BaselineEngine {
+    /// Creates an engine for `app` on the paper's 5-node testbed.
+    pub fn new(app: Arc<AppSpec>, seed: u64) -> Self {
+        BaselineEngine {
+            harness: Harness::new(BaselineCore::new(app, seed)),
+        }
+    }
+}
+
+impl std::ops::Deref for BaselineEngine {
+    type Target = Harness<BaselineCore>;
+    fn deref(&self) -> &Harness<BaselineCore> {
+        &self.harness
+    }
+}
+
+impl std::ops::DerefMut for BaselineEngine {
+    fn deref_mut(&mut self) -> &mut Harness<BaselineCore> {
+        &mut self.harness
+    }
+}
+
+/// The baseline engine core: strictly sequential function scheduling on
+/// top of the shared [`Runtime`]. Load drivers and instrument attachment
+/// live in the [`Harness`]; only baseline-specific policy state lives
+/// here.
+pub struct BaselineCore {
     app: Arc<AppSpec>,
-    /// The cluster (public for experiment instrumentation).
-    pub cluster: Cluster,
-    /// Global storage (public so experiments can seed it).
-    pub kv: KvStore,
-    /// Timing constants.
-    pub model: OverheadModel,
-    sim: Simulator<Ev>,
-    rng: SimRng,
-    /// Deterministic fault injector (disabled unless `enable_faults`).
-    faults: FaultInjector,
-    /// Retry/backoff/timeout policy applied when faults strike.
-    retry: RetryPolicy,
-    /// Seed the engine was built with (fault stream derivation).
-    seed: u64,
-    /// Flight recorder (disabled by default; see
-    /// [`BaselineEngine::set_tracer`]).
-    tracer: Tracer,
-    /// Cluster busy-core-time integral at tracer install / last end-of-run
-    /// check, so the conservation invariant compares per-window deltas.
-    busy_snapshot: SimDuration,
-    /// (useful, squashed) core time already attributed when the tracer was
-    /// installed — excluded from the first conservation check.
-    attributed_base: (SimDuration, SimDuration),
+    /// Engine-agnostic runtime state (clock, RNG, cluster, KV, faults,
+    /// tracer, registry, metrics, generation state).
+    rt: Runtime<Ev>,
     /// Retry attempt the instance is executing (absent = first attempt).
     attempt_of: FxHashMap<InstanceId, u32>,
     /// Instances that have acquired a container (released on teardown).
@@ -149,208 +171,138 @@ pub struct BaselineEngine {
     instances: FxHashMap<InstanceId, FnInstance>,
     ctxs: FxHashMap<InstanceId, InstCtx>,
     requests: FxHashMap<RequestId, ReqState>,
-    next_inst: u64,
-    next_req: u64,
-    metrics: RunMetrics,
-    // Open-loop generation state.
-    workload: Option<Workload>,
-    gen_deadline: SimTime,
-    input_gen: Option<InputGen>,
-    measure_from: SimTime,
-    /// Closed-loop mode: each completion immediately submits the next
-    /// request (bounded concurrency, like a fixed client pool).
-    closed_loop: bool,
-    /// Time-series metrics registry (disabled by default; see
-    /// [`BaselineEngine::set_registry`]).
-    registry: MetricsRegistry,
-    /// Completion instants of in-flight KV operations (registry-gated;
-    /// min-heap popped lazily at sample time).
-    kv_pending: BinaryHeap<Reverse<SimTime>>,
 }
 
-impl BaselineEngine {
-    /// Creates an engine for `app` on the paper's 5-node testbed.
+impl std::ops::Deref for BaselineCore {
+    type Target = Runtime<Ev>;
+    fn deref(&self) -> &Runtime<Ev> {
+        &self.rt
+    }
+}
+
+impl std::ops::DerefMut for BaselineCore {
+    fn deref_mut(&mut self) -> &mut Runtime<Ev> {
+        &mut self.rt
+    }
+}
+
+impl EngineCore for BaselineCore {
+    type Ev = Ev;
+
+    // Leftover events after the last closed-loop request are kept, as the
+    // historical baseline driver did (bit-identical refactor rule).
+    const DRAIN_ON_CLOSED: bool = false;
+
+    fn rt(&self) -> &Runtime<Ev> {
+        &self.rt
+    }
+
+    fn rt_mut(&mut self) -> &mut Runtime<Ev> {
+        &mut self.rt
+    }
+
+    fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    fn arrival() -> Ev {
+        Ev::Arrival
+    }
+
+    fn admit(&mut self, input: Value) -> RequestId {
+        self.submit_request(input)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        self.handle(ev);
+    }
+
+    fn request_live(&self, req: RequestId) -> bool {
+        self.requests.contains_key(&req)
+    }
+
+    fn live_requests(&self) -> Vec<RequestId> {
+        let mut stuck: Vec<RequestId> = self.requests.keys().copied().collect();
+        stuck.sort(); // HashMap order is not deterministic
+        stuck
+    }
+
+    fn abort(&mut self, req: RequestId) {
+        self.abort_request(req);
+    }
+
+    fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    fn stuck_requests(&self) -> Vec<String> {
+        let mut ids: Vec<RequestId> = self.requests.keys().copied().collect();
+        ids.sort(); // HashMap order is not deterministic
+        ids.into_iter()
+            .map(|rid| {
+                let req = &self.requests[&rid];
+                let mut insts: Vec<InstanceId> = self
+                    .ctxs
+                    .iter()
+                    .filter(|(_, c)| {
+                        matches!(
+                            c,
+                            InstCtx::Entry { req: r, .. } | InstCtx::Callee { req: r, .. }
+                                if *r == rid
+                        )
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                insts.sort();
+                let insts: Vec<String> = insts
+                    .into_iter()
+                    .map(|id| match self.instances.get(&id) {
+                        Some(i) => format!("{}:{:?}:{:?}", id.0, i.func, i.state),
+                        None => format!("{}:<pending>", id.0),
+                    })
+                    .collect();
+                format!(
+                    "req {}: cursors={} run={} joins={} insts=[{}]",
+                    rid.0,
+                    req.cursors,
+                    req.functions_run,
+                    req.joins.len(),
+                    insts.join(", "),
+                )
+            })
+            .collect()
+    }
+}
+
+impl BaselineCore {
+    /// Creates the baseline core for `app`, seeded with `seed`.
     pub fn new(app: Arc<AppSpec>, seed: u64) -> Self {
-        BaselineEngine {
+        BaselineCore {
             app,
-            cluster: Cluster::paper_testbed(),
-            kv: KvStore::new(),
-            model: OverheadModel::default(),
-            sim: Simulator::new(),
-            rng: SimRng::seed(seed),
-            faults: FaultInjector::disabled(),
-            retry: RetryPolicy::default(),
-            seed,
-            tracer: Tracer::disabled(),
-            busy_snapshot: SimDuration::ZERO,
-            attributed_base: (SimDuration::ZERO, SimDuration::ZERO),
+            rt: Runtime::new(seed),
             attempt_of: FxHashMap::default(),
             has_container: FxHashSet::default(),
             instances: FxHashMap::default(),
             ctxs: FxHashMap::default(),
             requests: FxHashMap::default(),
-            next_inst: 0,
-            next_req: 0,
-            metrics: RunMetrics::new(),
-            workload: None,
-            gen_deadline: SimTime::ZERO,
-            input_gen: None,
-            measure_from: SimTime::ZERO,
-            closed_loop: false,
-            registry: MetricsRegistry::disabled(),
-            kv_pending: BinaryHeap::new(),
         }
-    }
-
-    /// Pre-warms containers for every function of the app on every node
-    /// (the default warmed-up environment, §IV).
-    pub fn prewarm(&mut self) {
-        let funcs: Vec<FuncId> = self.app.registry.iter().map(|(id, _)| id).collect();
-        // §IV: the paper assumes function start-up overheads have been
-        // removed by prior cold-start work, so the warm pool must cover
-        // the offered concurrency even under speculative fan-out.
-        self.cluster.prewarm_all(funcs, 64);
-    }
-
-    /// The application under test.
-    pub fn app(&self) -> &AppSpec {
-        &self.app
-    }
-
-    /// Arms deterministic fault injection with the given plan and
-    /// retry/backoff policy. The injector draws from a dedicated RNG
-    /// stream derived from the engine seed, so enabling faults never
-    /// perturbs workload randomness — and [`FaultPlan::none`] leaves the
-    /// simulation bit-identical to a fault-free engine.
-    pub fn enable_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
-        self.faults = FaultInjector::new(plan, self.seed);
-        self.retry = retry;
-    }
-
-    /// The fault injector (per-site injection counts for reporting).
-    pub fn fault_injector(&self) -> &FaultInjector {
-        &self.faults
-    }
-
-    /// Installs a flight recorder. Call before the runs it should cover:
-    /// the conservation check windows start here.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        let now = self.sim.now();
-        self.busy_snapshot = self.cluster.busy_core_time_total(now);
-        self.attributed_base = (
-            self.metrics.useful_core_time,
-            self.metrics.squashed_core_time,
-        );
-        self.tracer = tracer;
-    }
-
-    /// The installed flight recorder.
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// Takes the flight recorder out of the engine (for export), leaving
-    /// a disabled one behind.
-    pub fn take_tracer(&mut self) -> Tracer {
-        std::mem::take(&mut self.tracer)
-    }
-
-    /// Installs a time-series metrics registry. Sampling is purely
-    /// observational: it never draws from the RNG or schedules events, so
-    /// an enabled registry leaves [`RunMetrics`] bit-identical to a
-    /// disabled one.
-    pub fn set_registry(&mut self, registry: MetricsRegistry) {
-        self.registry = registry;
-    }
-
-    /// The installed metrics registry.
-    pub fn registry(&self) -> &MetricsRegistry {
-        &self.registry
-    }
-
-    /// Takes the registry out of the engine (for export), leaving a
-    /// disabled one behind.
-    pub fn take_registry(&mut self) -> MetricsRegistry {
-        std::mem::take(&mut self.registry)
     }
 
     /// Samples every gauge at the current simulated time (post-event
     /// state). A disabled registry makes this a single branch.
     fn sample_gauges(&mut self) {
-        if !self.registry.enabled() {
+        if !self.rt.registry.enabled() {
             return;
         }
-        let now = self.sim.now();
-        self.registry.sample(
-            now,
-            "specfaas_warm_pool_size",
-            self.cluster.warm_pool_total(),
-        );
-        for (i, busy, depth) in self.cluster.node_gauges(now).collect::<Vec<_>>() {
-            let label = i.to_string();
-            self.registry
-                .sample_labeled(now, "specfaas_busy_cores", "node", &label, busy);
-            self.registry.sample_labeled(
-                now,
-                "specfaas_controller_queue_depth",
-                "node",
-                &label,
-                depth as u64,
-            );
-        }
-        while self.kv_pending.peek().is_some_and(|Reverse(t)| *t <= now) {
-            self.kv_pending.pop();
-        }
-        self.registry.sample(
-            now,
-            "specfaas_outstanding_kv_ops",
-            self.kv_pending.len() as u64,
-        );
+        let now = self.rt.sim.now();
+        self.rt.sample_cluster_gauges(now);
+        self.rt.sample_kv_gauge(now);
     }
 
-    /// Adds `amount` to the squashed-CPU ledger, mirroring the charge in
-    /// the trace (as a [`TraceEventKind::SquashCharge`]) and the metrics
-    /// registry so both reconcile exactly with [`RunMetrics`].
+    /// Adds `amount` to the shared squashed-CPU ledger (baseline charges
+    /// never cascade).
     fn charge_squashed(&mut self, req: u64, func: FuncId, site: &'static str, amount: SimDuration) {
-        if amount == SimDuration::ZERO {
-            return;
-        }
-        self.metrics.squashed_core_time += amount;
-        if self.tracer.enabled() {
-            let now = self.sim.now();
-            self.tracer.emit(
-                now,
-                TraceEventKind::SquashCharge {
-                    req,
-                    func: func.0,
-                    site,
-                    cascade: 0,
-                    amount,
-                },
-            );
-        }
-        self.registry
-            .inc_by("specfaas_squashed_core_us_total", amount.as_micros());
-    }
-
-    /// Runs the end-of-run invariants over the window since the tracer
-    /// was installed (or the previous check).
-    fn trace_end_of_run(&mut self) {
-        if !self.tracer.checking() {
-            return;
-        }
-        let now = self.sim.now();
-        let busy = self.cluster.busy_core_time_total(now);
-        let (base_u, base_s) = self.attributed_base;
-        self.tracer.check_end_of_run(
-            self.instances.len(),
-            self.metrics.useful_core_time - base_u,
-            self.metrics.squashed_core_time - base_s,
-            busy - self.busy_snapshot,
-        );
-        self.busy_snapshot = busy;
-        // The driver resets the metrics (mem::take) right after this.
-        self.attributed_base = (SimDuration::ZERO, SimDuration::ZERO);
+        self.rt.charge_squashed(req, func, site, 0, amount);
     }
 
     /// Request the instance works for, for trace labelling (`u64::MAX`
@@ -362,18 +314,11 @@ impl BaselineEngine {
         }
     }
 
-    fn alloc_inst(&mut self) -> InstanceId {
-        let id = InstanceId(self.next_inst);
-        self.next_inst += 1;
-        id
-    }
-
     /// Submits one request at the current simulated time.
     fn submit_request(&mut self, input: Value) -> RequestId {
-        let id = RequestId(self.next_req);
-        self.next_req += 1;
-        let ctrl = self.cluster.pick_controller();
-        let now = self.sim.now();
+        let id = self.rt.alloc_req();
+        let ctrl = self.rt.cluster.pick_controller();
+        let now = self.rt.sim.now();
         self.requests.insert(
             id,
             ReqState {
@@ -384,22 +329,25 @@ impl BaselineEngine {
                 functions_run: 0,
                 sequence: Vec::new(),
                 last_output: Value::Null,
-                measured: now >= self.measure_from,
+                measured: now >= self.rt.measure_from,
             },
         );
-        self.metrics.submitted += 1;
-        self.registry.inc("specfaas_requests_submitted_total");
-        if self.tracer.enabled() {
-            self.tracer
+        self.rt.metrics.submitted += 1;
+        self.rt.registry.inc("specfaas_requests_submitted_total");
+        if self.rt.tracer.enabled() {
+            self.rt
+                .tracer
                 .emit(now, TraceEventKind::RequestArrival { req: id.0 });
         }
         let start = self.app.compiled.start;
-        self.launch_entry(id, start, input);
+        // The workflow start is never a join target, so `from` is moot.
+        self.launch_entry(id, start, usize::MAX, input);
         id
     }
 
-    /// Starts the platform-overhead phase for a workflow entry.
-    fn launch_entry(&mut self, req: RequestId, entry: usize, payload: Value) {
+    /// Starts the platform-overhead phase for a workflow entry. `from` is
+    /// the entry whose output `payload` is (joins merge by it).
+    fn launch_entry(&mut self, req: RequestId, entry: usize, from: usize, payload: Value) {
         // Parallel join entries only run once all branches arrive.
         let arity = self.app.compiled.entries[entry].join_arity;
         if arity > 1 {
@@ -408,14 +356,18 @@ impl BaselineEngine {
                 need: arity,
                 outputs: Vec::new(),
             });
-            join.outputs.push(payload);
+            join.outputs.push((from, payload));
             if (join.outputs.len() as u32) < join.need {
                 // This cursor merges into the join.
                 state.cursors -= 1;
                 return;
             }
-            let outputs = state.joins.remove(&entry).expect("join present").outputs;
-            let merged = Value::List(outputs);
+            let mut outputs = state.joins.remove(&entry).expect("join present").outputs;
+            // Declaration order, not arrival order: branch entries are
+            // compiled in declaration order, so sorting by source entry
+            // makes the merge independent of branch completion timing.
+            outputs.sort_by_key(|(from, _)| *from);
+            let merged = Value::List(outputs.into_iter().map(|(_, v)| v).collect());
             // Earlier arrivals already merged their cursors; the final
             // arrival continues as the single join cursor.
             self.spawn_function(req, InstCtx::Entry { req, entry }, merged);
@@ -440,27 +392,28 @@ impl BaselineEngine {
         func: FuncId,
         input: Value,
     ) -> InstanceId {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let ctrl = self.requests[&req].ctrl;
-        let delay = self.model.platform_fixed
+        let delay = self.rt.model.platform_fixed
             + self
+                .rt
                 .cluster
-                .controller_delay(ctrl, now, self.model.controller_service);
+                .controller_delay(ctrl, now, self.rt.model.controller_service);
         let id = self.alloc_inst();
-        let node = self.cluster.pick_node();
+        let node = self.rt.cluster.pick_node();
         let program = self.app.registry.spec(func).program.clone();
-        let child_rng = self.rng.split();
+        let child_rng = self.rt.rng.split();
         let mut inst = FnInstance::new(id, func, node, &program, input, child_rng, now);
         inst.breakdown.platform = delay;
         self.instances.insert(id, inst);
         self.ctxs.insert(id, ctx);
-        self.metrics.functions_started += 1;
-        self.registry.inc("specfaas_functions_started_total");
+        self.rt.metrics.functions_started += 1;
+        self.rt.registry.inc("specfaas_functions_started_total");
         if let Some(r) = self.requests.get_mut(&req) {
             r.functions_run += 1;
         }
-        if self.tracer.enabled() {
-            self.tracer.emit(
+        if self.rt.tracer.enabled() {
+            self.rt.tracer.emit(
                 now,
                 TraceEventKind::SlotLaunch {
                     req: req.0,
@@ -469,7 +422,7 @@ impl BaselineEngine {
                     speculative: false,
                 },
             );
-            self.tracer.emit(
+            self.rt.tracer.emit(
                 now,
                 TraceEventKind::Span {
                     req: req.0,
@@ -480,10 +433,10 @@ impl BaselineEngine {
                 },
             );
         }
-        self.sim.schedule_in(delay, Ev::Launch(id));
+        self.rt.sim.schedule_in(delay, Ev::Launch(id));
         // Invocation watchdog: the only recovery path for a hung handler.
-        if let Some(t) = self.retry.invocation_timeout {
-            self.sim.schedule_in(t, Ev::Timeout(id));
+        if let Some(t) = self.rt.retry.invocation_timeout {
+            self.rt.sim.schedule_in(t, Ev::Timeout(id));
         }
         id
     }
@@ -498,13 +451,17 @@ impl BaselineEngine {
         let node = inst.node;
         let func = inst.func;
         self.has_container.insert(id);
-        match self.cluster.acquire_container(node, func, &self.model) {
+        match self
+            .rt
+            .cluster
+            .acquire_container(node, func, &self.rt.model)
+        {
             ContainerAcquire::Warm => {
-                self.registry.inc("specfaas_warm_starts_total");
-                if self.tracer.enabled() {
-                    let now = self.sim.now();
+                self.rt.registry.inc("specfaas_warm_starts_total");
+                if self.rt.tracer.enabled() {
+                    let now = self.rt.sim.now();
                     let req = self.req_of(id);
-                    self.tracer.emit(
+                    self.rt.tracer.emit(
                         now,
                         TraceEventKind::ContainerAcquire {
                             req,
@@ -517,15 +474,15 @@ impl BaselineEngine {
                 self.try_start(id)
             }
             ContainerAcquire::Cold(d) => {
-                self.registry.inc("specfaas_cold_starts_total");
+                self.rt.registry.inc("specfaas_cold_starts_total");
                 let inst = self.instances.get_mut(&id).expect("live instance");
-                inst.breakdown.container_creation = self.model.container_creation;
-                inst.breakdown.runtime_setup = self.model.runtime_setup;
+                inst.breakdown.container_creation = self.rt.model.container_creation;
+                inst.breakdown.runtime_setup = self.rt.model.runtime_setup;
                 inst.state = InstanceState::ColdStarting;
-                if self.tracer.enabled() {
-                    let now = self.sim.now();
+                if self.rt.tracer.enabled() {
+                    let now = self.rt.sim.now();
                     let req = self.req_of(id);
-                    self.tracer.emit(
+                    self.rt.tracer.emit(
                         now,
                         TraceEventKind::ContainerAcquire {
                             req,
@@ -534,12 +491,12 @@ impl BaselineEngine {
                             cold: true,
                         },
                     );
-                    let cc = if self.model.container_creation < d {
-                        self.model.container_creation
+                    let cc = if self.rt.model.container_creation < d {
+                        self.rt.model.container_creation
                     } else {
                         d
                     };
-                    self.tracer.emit(
+                    self.rt.tracer.emit(
                         now,
                         TraceEventKind::Span {
                             req,
@@ -550,7 +507,7 @@ impl BaselineEngine {
                         },
                     );
                     if cc < d {
-                        self.tracer.emit(
+                        self.rt.tracer.emit(
                             now + cc,
                             TraceEventKind::Span {
                                 req,
@@ -562,31 +519,31 @@ impl BaselineEngine {
                         );
                     }
                 }
-                self.sim.schedule_in(d, Ev::ContainerReady(id));
+                self.rt.sim.schedule_in(d, Ev::ContainerReady(id));
             }
         }
     }
 
     /// Acquires a core or queues for one.
     fn try_start(&mut self, id: InstanceId) {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let Some(inst) = self.instances.get_mut(&id) else {
             return;
         };
         let node = inst.node;
-        if self.cluster.node_mut(node).cores.try_acquire(now) {
+        if self.rt.cluster.node_mut(node).cores.try_acquire(now) {
             inst.state = InstanceState::Running;
             inst.started_at = Some(now);
-            self.sim.schedule_now(Ev::Resume(id, None));
+            self.rt.sim.schedule_now(Ev::Resume(id, None));
         } else {
             inst.state = InstanceState::WaitingCore;
-            self.cluster.node_mut(node).cores.enqueue(id);
+            self.rt.cluster.node_mut(node).cores.enqueue(id);
         }
     }
 
     /// Releases the caller's execution slot while it blocks.
     fn block_instance(&mut self, id: InstanceId) {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let Some(inst) = self.instances.get_mut(&id) else {
             return;
         };
@@ -595,9 +552,9 @@ impl BaselineEngine {
         }
         if let Some(start) = inst.started_at.take() {
             inst.accumulated_core += now - start;
-            if self.tracer.enabled() {
+            if self.rt.tracer.enabled() {
                 let (func, node) = (inst.func.0, inst.node.0 as u32);
-                self.tracer.emit(
+                self.rt.tracer.emit(
                     start,
                     TraceEventKind::Span {
                         req: match self.ctxs.get(&id) {
@@ -615,7 +572,7 @@ impl BaselineEngine {
         }
         inst.state = InstanceState::Blocked;
         let node = inst.node;
-        if let Some(next) = self.cluster.node_mut(node).cores.release(now) {
+        if let Some(next) = self.rt.cluster.node_mut(node).cores.release(now) {
             self.grant_core(next, now);
         }
     }
@@ -626,14 +583,14 @@ impl BaselineEngine {
             w.state = InstanceState::Running;
             w.started_at = Some(now);
             let resume = w.pending_resume.take().unwrap_or(None);
-            self.sim.schedule_now(Ev::Resume(next, resume));
+            self.rt.sim.schedule_now(Ev::Resume(next, resume));
         }
     }
 
     /// Steps the interpreter and schedules the effect's completion.
     fn on_resume(&mut self, id: InstanceId, resume: Option<Value>) {
         // A blocked instance must re-acquire an execution slot first.
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         if self
             .instances
             .get(&id)
@@ -642,7 +599,7 @@ impl BaselineEngine {
         {
             let inst = self.instances.get_mut(&id).expect("live");
             let node = inst.node;
-            if self.cluster.node_mut(node).cores.try_acquire(now) {
+            if self.rt.cluster.node_mut(node).cores.try_acquire(now) {
                 let inst = self.instances.get_mut(&id).expect("live");
                 inst.state = InstanceState::Running;
                 inst.started_at = Some(now);
@@ -651,7 +608,7 @@ impl BaselineEngine {
                 let inst = self.instances.get_mut(&id).expect("live");
                 inst.pending_resume = Some(resume);
                 inst.state = InstanceState::WaitingCore;
-                self.cluster.node_mut(node).cores.enqueue(id);
+                self.rt.cluster.node_mut(node).cores.enqueue(id);
                 return;
             }
         }
@@ -662,24 +619,24 @@ impl BaselineEngine {
         // handler would double-apply non-idempotent effects. We model
         // crashes as fail-stop before the point of no return (real
         // platforms demand idempotent handlers for at-least-once retry).
-        if self.faults.enabled()
+        if self.rt.faults.enabled()
             && self
                 .instances
                 .get(&id)
                 .map(|i| !i.externalized)
                 .unwrap_or(false)
         {
-            if self.faults.roll(FaultSite::ContainerCrash, now) {
-                self.metrics.faults.injected += 1;
-                self.metrics.faults.crashes += 1;
-                self.registry.inc_labeled(
+            if self.rt.faults.roll(FaultSite::ContainerCrash, now) {
+                self.rt.metrics.faults.injected += 1;
+                self.rt.metrics.faults.crashes += 1;
+                self.rt.registry.inc_labeled(
                     "specfaas_faults_injected_total",
                     "site",
                     "container_crash",
                 );
-                if self.tracer.enabled() {
+                if self.rt.tracer.enabled() {
                     let req = self.req_of(id);
-                    self.tracer.emit(
+                    self.rt.tracer.emit(
                         now,
                         TraceEventKind::FaultInjected {
                             req,
@@ -690,14 +647,16 @@ impl BaselineEngine {
                 self.fault_instance(id);
                 return;
             }
-            if self.faults.roll(FaultSite::Hang, now) {
-                self.metrics.faults.injected += 1;
-                self.metrics.faults.hangs += 1;
-                self.registry
+            if self.rt.faults.roll(FaultSite::Hang, now) {
+                self.rt.metrics.faults.injected += 1;
+                self.rt.metrics.faults.hangs += 1;
+                self.rt
+                    .registry
                     .inc_labeled("specfaas_faults_injected_total", "site", "hang");
-                if self.tracer.enabled() {
+                if self.rt.tracer.enabled() {
                     let req = self.req_of(id);
-                    self.tracer
+                    self.rt
+                        .tracer
                         .emit(now, TraceEventKind::FaultInjected { req, site: "hang" });
                 }
                 // The wedged handler keeps its core and container but
@@ -725,7 +684,7 @@ impl BaselineEngine {
             Effect::Compute(d) => {
                 inst.breakdown.execution += d;
                 self.instances.insert(id, inst);
-                self.sim.schedule_in(d, Ev::Resume(id, None));
+                self.rt.sim.schedule_in(d, Ev::Resume(id, None));
             }
             Effect::Get { key } => {
                 self.instances.insert(id, inst);
@@ -736,20 +695,20 @@ impl BaselineEngine {
                 self.kv_access(id, KvOp::Set { key, value }, 1);
             }
             Effect::Http { .. } => {
-                let lat = self.model.http_latency;
+                let lat = self.rt.model.http_latency;
                 inst.breakdown.execution += lat;
                 self.instances.insert(id, inst);
-                self.sim.schedule_in(lat, Ev::Resume(id, None));
+                self.rt.sim.schedule_in(lat, Ev::Resume(id, None));
             }
             Effect::FileWrite { name, data } => {
                 inst.files.insert(name, data);
                 self.instances.insert(id, inst);
-                self.sim.schedule_now(Ev::Resume(id, None));
+                self.rt.sim.schedule_now(Ev::Resume(id, None));
             }
             Effect::FileRead { name } => {
                 let v = inst.files.get(&name).cloned().unwrap_or(Value::Null);
                 self.instances.insert(id, inst);
-                self.sim.schedule_now(Ev::Resume(id, Some(v)));
+                self.rt.sim.schedule_now(Ev::Resume(id, Some(v)));
             }
             Effect::Call { func, args } => {
                 // Implicit workflow: spawn the callee; the caller blocks
@@ -767,8 +726,8 @@ impl BaselineEngine {
                     }
                     None => {
                         // Unknown callee: resolve to Null after an RPC hop.
-                        self.sim.schedule_in(
-                            self.model.transfer_fixed,
+                        self.rt.sim.schedule_in(
+                            self.rt.model.transfer_fixed,
                             Ev::Resume(id, Some(Value::Null)),
                         );
                     }
@@ -785,19 +744,19 @@ impl BaselineEngine {
 
     /// Releases resources and routes the output onward.
     fn finish_instance(&mut self, id: InstanceId, output: Value) {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let inst = self.instances.remove(&id).expect("live instance");
         let ctx = self.ctxs.remove(&id).expect("instance context");
         self.attempt_of.remove(&id);
         self.has_container.remove(&id);
         // Account useful core time and release the slot.
         if let Some(start) = inst.started_at {
-            self.metrics.useful_core_time += inst.accumulated_core + (now - start);
-            if self.tracer.enabled() {
+            self.rt.metrics.useful_core_time += inst.accumulated_core + (now - start);
+            if self.rt.tracer.enabled() {
                 let req = match &ctx {
                     InstCtx::Entry { req, .. } | InstCtx::Callee { req, .. } => req.0,
                 };
-                self.tracer.emit(
+                self.rt.tracer.emit(
                     start,
                     TraceEventKind::Span {
                         req,
@@ -808,15 +767,16 @@ impl BaselineEngine {
                     },
                 );
             }
-            if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
+            if let Some(next) = self.rt.cluster.node_mut(inst.node).cores.release(now) {
                 self.grant_core(next, now);
             }
         }
-        self.cluster
+        self.rt
+            .cluster
             .node_mut(inst.node)
             .containers
             .release(inst.func, true);
-        self.metrics.breakdowns.push(inst.breakdown);
+        self.rt.metrics.breakdowns.push(inst.breakdown);
 
         match ctx {
             InstCtx::Entry { req, entry } => {
@@ -827,15 +787,24 @@ impl BaselineEngine {
                 state.last_output = output.clone();
                 let ctrl = state.ctrl;
                 // Conductor / transfer overhead for the next transition.
-                let transfer = self.model.transfer_fixed
+                let transfer = self.rt.model.transfer_fixed
                     + self
+                        .rt
                         .cluster
-                        .controller_delay(ctrl, now, self.model.conductor_service);
+                        .controller_delay(ctrl, now, self.rt.model.conductor_service);
                 match self.app.compiled.entries[entry].kind.clone() {
                     EntryKind::Simple { next } => match next {
                         Some(n) => {
                             self.charge_transfer(id, transfer);
-                            self.sim.schedule_in(transfer, Ev::Transfer(req, n, output));
+                            self.rt.sim.schedule_in(
+                                transfer,
+                                Ev::Transfer {
+                                    req,
+                                    from: entry,
+                                    entry: n,
+                                    payload: output,
+                                },
+                            );
                         }
                         None => self.cursor_done(req),
                     },
@@ -857,8 +826,15 @@ impl BaselineEngine {
                                 // take the same input as the branch).
                                 let payload = inst.interp.input().clone();
                                 self.charge_transfer(id, transfer);
-                                self.sim
-                                    .schedule_in(transfer, Ev::Transfer(req, n, payload));
+                                self.rt.sim.schedule_in(
+                                    transfer,
+                                    Ev::Transfer {
+                                        req,
+                                        from: entry,
+                                        entry: n,
+                                        payload,
+                                    },
+                                );
                             }
                             None => self.cursor_done(req),
                         }
@@ -868,8 +844,15 @@ impl BaselineEngine {
                         state.cursors += branches.len() as u32 - 1;
                         self.charge_transfer(id, transfer);
                         for b in branches {
-                            self.sim
-                                .schedule_in(transfer, Ev::Transfer(req, b, output.clone()));
+                            self.rt.sim.schedule_in(
+                                transfer,
+                                Ev::Transfer {
+                                    req,
+                                    from: entry,
+                                    entry: b,
+                                    payload: output.clone(),
+                                },
+                            );
                         }
                     }
                 }
@@ -879,8 +862,10 @@ impl BaselineEngine {
                     state.sequence.push(inst.func.0);
                 }
                 // RPC return hop, then resume the blocked caller.
-                self.sim
-                    .schedule_in(self.model.transfer_fixed, Ev::Resume(caller, Some(output)));
+                self.rt.sim.schedule_in(
+                    self.rt.model.transfer_fixed,
+                    Ev::Resume(caller, Some(output)),
+                );
             }
         }
     }
@@ -888,7 +873,7 @@ impl BaselineEngine {
     fn charge_transfer(&mut self, _id: InstanceId, transfer: SimDuration) {
         // Transfer time is attributed at the request level via breakdowns
         // of subsequent launches; record it on the last pushed breakdown.
-        if let Some(b) = self.metrics.breakdowns.last_mut() {
+        if let Some(b) = self.rt.metrics.breakdowns.last_mut() {
             b.transfer += transfer;
         }
     }
@@ -904,23 +889,24 @@ impl BaselineEngine {
         if !self.instances.contains_key(&id) {
             return; // instance torn down while a retry was pending
         }
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let site = match &op {
             KvOp::Get { .. } => FaultSite::KvGet,
             KvOp::Set { .. } => FaultSite::KvSet,
         };
-        if self.faults.enabled() && self.faults.roll(site, now) {
-            self.metrics.faults.injected += 1;
-            self.metrics.faults.kv_errors += 1;
+        if self.rt.faults.enabled() && self.rt.faults.roll(site, now) {
+            self.rt.metrics.faults.injected += 1;
+            self.rt.metrics.faults.kv_errors += 1;
             let fault_site = match &op {
                 KvOp::Get { .. } => "kv_get",
                 KvOp::Set { .. } => "kv_set",
             };
-            self.registry
+            self.rt
+                .registry
                 .inc_labeled("specfaas_faults_injected_total", "site", fault_site);
-            if self.tracer.enabled() {
+            if self.rt.tracer.enabled() {
                 let req = self.req_of(id);
-                self.tracer.emit(
+                self.rt.tracer.emit(
                     now,
                     TraceEventKind::FaultInjected {
                         req,
@@ -928,22 +914,22 @@ impl BaselineEngine {
                     },
                 );
             }
-            if attempt >= self.retry.max_attempts {
+            if attempt >= self.rt.retry.max_attempts {
                 self.fault_instance(id);
                 return;
             }
-            let backoff = self.retry.backoff(attempt);
+            let backoff = self.rt.retry.backoff(attempt);
             if let Some(inst) = self.instances.get_mut(&id) {
                 inst.breakdown.retry_backoff += backoff;
             }
-            if self.tracer.enabled() {
+            if self.rt.tracer.enabled() {
                 let req = self.req_of(id);
                 let func = self
                     .instances
                     .get(&id)
                     .map(|i| i.func.0)
                     .unwrap_or(u32::MAX);
-                self.tracer.emit(
+                self.rt.tracer.emit(
                     now,
                     TraceEventKind::RetryBackoff {
                         req,
@@ -953,34 +939,35 @@ impl BaselineEngine {
                     },
                 );
             }
-            self.metrics.faults.retried += 1;
-            self.sim
+            self.rt.metrics.faults.retried += 1;
+            self.rt
+                .sim
                 .schedule_in(backoff, Ev::KvRetry(id, op, attempt + 1));
             return;
         }
         match op {
             KvOp::Get { key } => {
-                let lat = self.kv.latency().read;
-                let val = self.kv.get(&key).cloned().unwrap_or(Value::Null);
+                let lat = self.rt.kv.latency().read;
+                let val = self.rt.kv.get(&key).cloned().unwrap_or(Value::Null);
                 if let Some(inst) = self.instances.get_mut(&id) {
                     inst.breakdown.execution += lat;
                 }
-                self.registry.inc("specfaas_kv_reads_total");
-                if self.registry.enabled() {
-                    self.kv_pending.push(Reverse(now + lat));
+                self.rt.registry.inc("specfaas_kv_reads_total");
+                if self.rt.registry.enabled() {
+                    self.rt.kv_pending.push(Reverse(now + lat));
                 }
-                self.sim.schedule_in(lat, Ev::Resume(id, Some(val)));
+                self.rt.sim.schedule_in(lat, Ev::Resume(id, Some(val)));
             }
             KvOp::Set { key, value } => {
-                let lat = self.kv.latency().write;
-                self.kv.set(key, value);
+                let lat = self.rt.kv.latency().write;
+                self.rt.kv.set(key, value);
                 if let Some(inst) = self.instances.get_mut(&id) {
                     inst.breakdown.execution += lat;
                     inst.externalized = true;
                 }
-                self.registry.inc("specfaas_kv_writes_total");
-                if self.registry.enabled() {
-                    self.kv_pending.push(Reverse(now + lat));
+                self.rt.registry.inc("specfaas_kv_writes_total");
+                if self.rt.registry.enabled() {
+                    self.rt.kv_pending.push(Reverse(now + lat));
                 }
                 // Retrying a caller replays its whole call subtree, so a
                 // callee's write externalizes every transitive caller too.
@@ -992,7 +979,7 @@ impl BaselineEngine {
                     }
                     cur = caller;
                 }
-                self.sim.schedule_in(lat, Ev::Resume(id, None));
+                self.rt.sim.schedule_in(lat, Ev::Resume(id, None));
             }
         }
     }
@@ -1002,7 +989,7 @@ impl BaselineEngine {
     /// slot, queue position and container it holds. Its container is not
     /// reusable: the handler did not exit cleanly.
     fn teardown_instance(&mut self, id: InstanceId) -> Option<FnInstance> {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let inst = self.instances.remove(&id)?;
         let charge_req = self.req_of(id);
         match inst.state {
@@ -1013,10 +1000,10 @@ impl BaselineEngine {
                         .map(|s| now - s)
                         .unwrap_or(SimDuration::ZERO);
                 self.charge_squashed(charge_req, inst.func, "teardown", wasted);
-                if self.tracer.enabled() {
+                if self.rt.tracer.enabled() {
                     if let Some(s) = inst.started_at {
                         let req = self.req_of(id);
-                        self.tracer.emit(
+                        self.rt.tracer.emit(
                             s,
                             TraceEventKind::Span {
                                 req,
@@ -1029,7 +1016,7 @@ impl BaselineEngine {
                     }
                 }
                 if inst.started_at.is_some() {
-                    if let Some(next) = self.cluster.node_mut(inst.node).cores.release(now) {
+                    if let Some(next) = self.rt.cluster.node_mut(inst.node).cores.release(now) {
                         self.grant_core(next, now);
                     }
                 }
@@ -1041,7 +1028,8 @@ impl BaselineEngine {
                 // Past blocked stints count as wasted work even though no
                 // core is held at teardown time.
                 self.charge_squashed(charge_req, inst.func, "teardown", inst.accumulated_core);
-                self.cluster
+                self.rt
+                    .cluster
                     .node_mut(inst.node)
                     .cores
                     .remove_waiter(|w| *w == id);
@@ -1049,7 +1037,8 @@ impl BaselineEngine {
             _ => {}
         }
         if self.has_container.remove(&id) {
-            self.cluster
+            self.rt
+                .cluster
                 .node_mut(inst.node)
                 .containers
                 .release(inst.func, false);
@@ -1074,26 +1063,26 @@ impl BaselineEngine {
         if !self.requests.contains_key(&req) {
             return; // request already aborted
         }
-        if attempt >= self.retry.max_attempts {
+        if attempt >= self.rt.retry.max_attempts {
             self.abort_request(req);
             return;
         }
-        self.metrics.faults.retried += 1;
+        self.rt.metrics.faults.retried += 1;
         let input = inst.interp.input().clone();
-        if self.tracer.enabled() {
-            let now = self.sim.now();
-            self.tracer.emit(
+        if self.rt.tracer.enabled() {
+            let now = self.rt.sim.now();
+            self.rt.tracer.emit(
                 now,
                 TraceEventKind::RetryBackoff {
                     req: req.0,
                     func: inst.func.0,
                     attempt: attempt + 1,
-                    backoff: self.retry.backoff(attempt),
+                    backoff: self.rt.retry.backoff(attempt),
                 },
             );
         }
-        self.sim.schedule_in(
-            self.retry.backoff(attempt),
+        self.rt.sim.schedule_in(
+            self.rt.retry.backoff(attempt),
             Ev::Retry {
                 req,
                 ctx,
@@ -1118,18 +1107,19 @@ impl BaselineEngine {
         match inst.state {
             InstanceState::Done => {}
             InstanceState::Blocked => {
-                if let Some(t) = self.retry.invocation_timeout {
-                    self.sim.schedule_in(t, Ev::Timeout(id));
+                if let Some(t) = self.rt.retry.invocation_timeout {
+                    self.rt.sim.schedule_in(t, Ev::Timeout(id));
                 }
             }
             _ => {
-                self.metrics.faults.timeouts += 1;
-                self.registry
+                self.rt.metrics.faults.timeouts += 1;
+                self.rt
+                    .registry
                     .inc_labeled("specfaas_faults_injected_total", "site", "timeout");
-                if self.tracer.enabled() {
-                    let now = self.sim.now();
+                if self.rt.tracer.enabled() {
+                    let now = self.rt.sim.now();
                     let req = self.req_of(id);
-                    self.tracer.emit(
+                    self.rt.tracer.emit(
                         now,
                         TraceEventKind::FaultInjected {
                             req,
@@ -1146,7 +1136,7 @@ impl BaselineEngine {
     /// (or it wedged with no recovery path): tears down every instance
     /// still working for it and records a [`RequestOutcome::Failed`].
     fn abort_request(&mut self, req: RequestId) {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let Some(state) = self.requests.remove(&req) else {
             return;
         };
@@ -1165,8 +1155,8 @@ impl BaselineEngine {
             self.ctxs.remove(&id);
             self.attempt_of.remove(&id);
         }
-        if self.tracer.enabled() {
-            self.tracer.emit(
+        if self.rt.tracer.enabled() {
+            self.rt.tracer.emit(
                 now,
                 TraceEventKind::Terminal {
                     req: req.0,
@@ -1174,9 +1164,9 @@ impl BaselineEngine {
                 },
             );
         }
-        self.registry.inc("specfaas_requests_failed_total");
+        self.rt.registry.inc("specfaas_requests_failed_total");
         if state.measured {
-            self.metrics.record_failure(InvocationRecord {
+            self.rt.metrics.record_failure(InvocationRecord {
                 arrived: state.arrived,
                 completed: now,
                 functions_run: state.functions_run,
@@ -1185,17 +1175,11 @@ impl BaselineEngine {
                 outcome: RequestOutcome::Failed,
             });
         } else {
-            self.metrics.faults.aborted += 1;
+            self.rt.metrics.faults.aborted += 1;
         }
         // Closed loop: the client observes the failure and issues its
         // next request.
-        if self.closed_loop && now <= self.gen_deadline {
-            if let Some(mut g) = self.input_gen.take() {
-                let input = g(&mut self.rng);
-                self.input_gen = Some(g);
-                self.submit_request(input);
-            }
-        }
+        harness::closed_loop_resubmit(self);
     }
 
     /// One workflow cursor reached the end of the workflow.
@@ -1205,18 +1189,19 @@ impl BaselineEngine {
         };
         state.cursors -= 1;
         if state.cursors == 0 {
-            self.sim
-                .schedule_in(self.model.response_return, Ev::Complete(req));
+            self.rt
+                .sim
+                .schedule_in(self.rt.model.response_return, Ev::Complete(req));
         }
     }
 
     fn on_complete(&mut self, req: RequestId) {
-        let now = self.sim.now();
+        let now = self.rt.sim.now();
         let Some(state) = self.requests.remove(&req) else {
             return;
         };
-        if self.tracer.enabled() {
-            self.tracer.emit(
+        if self.rt.tracer.enabled() {
+            self.rt.tracer.emit(
                 now,
                 TraceEventKind::Terminal {
                     req: req.0,
@@ -1224,9 +1209,9 @@ impl BaselineEngine {
                 },
             );
         }
-        self.registry.inc("specfaas_requests_completed_total");
+        self.rt.registry.inc("specfaas_requests_completed_total");
         if state.measured {
-            self.metrics.record_completion(InvocationRecord {
+            self.rt.metrics.record_completion(InvocationRecord {
                 arrived: state.arrived,
                 completed: now,
                 functions_run: state.functions_run,
@@ -1236,35 +1221,23 @@ impl BaselineEngine {
             });
         }
         // Closed loop: this client immediately issues its next request.
-        if self.closed_loop && now <= self.gen_deadline {
-            if let Some(mut g) = self.input_gen.take() {
-                let input = g(&mut self.rng);
-                self.input_gen = Some(g);
-                self.submit_request(input);
-            }
-        }
+        harness::closed_loop_resubmit(self);
     }
 
     fn handle(&mut self, ev: Ev) {
         match ev {
-            Ev::Arrival => {
-                if let (Some(mut w), Some(mut g)) = (self.workload, self.input_gen.take()) {
-                    let input = g(&mut self.rng);
-                    self.input_gen = Some(g);
-                    self.submit_request(input);
-                    let gap = w.next_gap(&mut self.rng);
-                    self.workload = Some(w);
-                    if self.sim.now() + gap <= self.gen_deadline {
-                        self.sim.schedule_in(gap, Ev::Arrival);
-                    }
-                }
-            }
+            Ev::Arrival => harness::handle_arrival(self),
             Ev::Launch(id) => self.on_launch(id),
             Ev::ContainerReady(id) => self.try_start(id),
             Ev::Resume(id, v) => self.on_resume(id, v),
-            Ev::Transfer(req, entry, payload) => {
+            Ev::Transfer {
+                req,
+                from,
+                entry,
+                payload,
+            } => {
                 if self.requests.contains_key(&req) {
-                    self.launch_entry(req, entry, payload);
+                    self.launch_entry(req, entry, from, payload);
                 }
             }
             Ev::KvRetry(id, op, attempt) => self.kv_access(id, op, attempt),
@@ -1278,9 +1251,9 @@ impl BaselineEngine {
                 if self.requests.contains_key(&req) {
                     let id = self.spawn_named(req, ctx, func, input);
                     self.attempt_of.insert(id, attempt);
-                    if self.tracer.enabled() {
-                        let now = self.sim.now();
-                        self.tracer.emit(
+                    if self.rt.tracer.enabled() {
+                        let now = self.rt.sim.now();
+                        self.rt.tracer.emit(
                             now,
                             TraceEventKind::Replay {
                                 req: req.0,
@@ -1297,131 +1270,12 @@ impl BaselineEngine {
         // a single branch.
         self.sample_gauges();
     }
-
-    /// Runs a single request to completion (or terminal failure) with no
-    /// background load and returns its response time. Used for the QoS
-    /// reference point (Table III defines violation as >2× the
-    /// single-request response) and for the Fig. 3 breakdown.
-    pub fn run_single(&mut self, input: Value) -> SimDuration {
-        let req = self.submit_request(input);
-        let arrived = self.requests[&req].arrived;
-        while self.requests.contains_key(&req) {
-            let Some((_, ev)) = self.sim.step() else {
-                // Drained with the request still live — an unrecoverable
-                // wedge (e.g. an injected hang with no invocation
-                // timeout). Terminal failure, not a panic.
-                self.abort_request(req);
-                break;
-            };
-            self.handle(ev);
-        }
-        self.sim.now() - arrived
-    }
-
-    /// Drives the event loop until both the queue and the live-request
-    /// table are empty, aborting requests that wedge without any event
-    /// left to recover them (deterministic request order).
-    fn drain_all(&mut self) {
-        loop {
-            while let Some((_, ev)) = self.sim.step() {
-                self.handle(ev);
-            }
-            let mut stuck: Vec<RequestId> = self.requests.keys().copied().collect();
-            if stuck.is_empty() {
-                break;
-            }
-            stuck.sort();
-            for r in stuck {
-                self.abort_request(r);
-            }
-        }
-    }
-
-    /// Runs `n` requests submitted back-to-back (closed loop, one at a
-    /// time) — used to warm memoization/predictor state and for
-    /// characterization runs.
-    pub fn run_closed(
-        &mut self,
-        n: u64,
-        mut input: impl FnMut(&mut SimRng) -> Value,
-    ) -> RunMetrics {
-        for _ in 0..n {
-            let v = input(&mut self.rng);
-            self.run_single(v);
-        }
-        self.trace_end_of_run();
-        let mut m = std::mem::take(&mut self.metrics);
-        m.window = self.sim.now() - SimTime::ZERO;
-        m.cpu_utilization = self.cluster.utilization(self.sim.now());
-        m
-    }
-
-    /// Runs an open-loop Poisson workload at `rps` for `duration`
-    /// (measuring after `warmup`), then drains in-flight requests.
-    pub fn run_open(
-        &mut self,
-        rps: f64,
-        duration: SimDuration,
-        warmup: SimDuration,
-        input: impl FnMut(&mut SimRng) -> Value + 'static,
-    ) -> RunMetrics {
-        let start = self.sim.now();
-        self.workload = Some(Workload::poisson(rps));
-        self.input_gen = Some(Box::new(input));
-        self.gen_deadline = start + duration;
-        self.measure_from = start + warmup;
-        self.cluster.reset_utilization(start + warmup);
-        self.sim.schedule_now(Ev::Arrival);
-        // Drive generation + all in-flight work to completion.
-        self.drain_all();
-        self.trace_end_of_run();
-        let end = self.sim.now();
-        let mut m = std::mem::take(&mut self.metrics);
-        m.window = self.gen_deadline.saturating_since(self.measure_from);
-        m.cpu_utilization = self.cluster.utilization(end.min(self.gen_deadline));
-        m
-    }
-
-    /// Runs a closed-loop workload: `clients` concurrent clients, each
-    /// issuing its next request as soon as the previous one completes,
-    /// for `duration` (measuring after `warmup`). This is how saturating
-    /// load levels are driven without unbounded queue growth — offered
-    /// load self-throttles to the service rate, as a real load generator
-    /// with a fixed connection pool does.
-    pub fn run_concurrent(
-        &mut self,
-        clients: u32,
-        duration: SimDuration,
-        warmup: SimDuration,
-        input: impl FnMut(&mut SimRng) -> Value + 'static,
-    ) -> RunMetrics {
-        let start = self.sim.now();
-        self.closed_loop = true;
-        self.input_gen = Some(Box::new(input));
-        self.gen_deadline = start + duration;
-        self.measure_from = start + warmup;
-        self.cluster.reset_utilization(start + warmup);
-        for _ in 0..clients.max(1) {
-            if let Some(mut g) = self.input_gen.take() {
-                let v = g(&mut self.rng);
-                self.input_gen = Some(g);
-                self.submit_request(v);
-            }
-        }
-        self.drain_all();
-        self.trace_end_of_run();
-        self.closed_loop = false;
-        let end = self.sim.now();
-        let mut m = std::mem::take(&mut self.metrics);
-        m.window = self.gen_deadline.saturating_since(self.measure_from);
-        m.cpu_utilization = self.cluster.utilization(end.min(self.gen_deadline));
-        m
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specfaas_sim::{FaultPlan, RetryPolicy};
     use specfaas_workflow::expr::*;
     use specfaas_workflow::{FunctionRegistry, FunctionSpec, Program, Workflow};
 
@@ -1772,6 +1626,39 @@ mod tests {
         assert_eq!(m.completed, 1, "watchdog should rescue the hung request");
         assert!(m.faults.timeouts >= 1);
         assert!(m.faults.retried >= 1);
+    }
+
+    #[test]
+    fn stuck_report_names_hung_requests() {
+        let mut e = BaselineEngine::new(Arc::new(chain_app()), 1);
+        e.enable_faults(FaultPlan::none().with_hang(1.0), RetryPolicy::default());
+        e.prewarm();
+        assert!(e.stuck_report().is_empty(), "no requests in flight yet");
+        // Submit directly (bypassing the drivers' abort-on-drain) and
+        // step the simulation dry: the injected hang wedges the request
+        // with no event left to wake it.
+        let req = e.core.admit(Value::Null);
+        while let Some((_, ev)) = e.sim.step() {
+            e.core.dispatch(ev);
+        }
+        let report = e.stuck_report();
+        assert_eq!(report.len(), 1, "one wedged request: {report:?}");
+        assert!(
+            report[0].starts_with(&format!("req {}:", req.0)),
+            "report names the request: {}",
+            report[0]
+        );
+        assert!(
+            report[0].contains("insts=["),
+            "report lists instance states: {}",
+            report[0]
+        );
+        // Aborting the wedged request (what the drivers' drain does)
+        // records the failure and empties the report again.
+        e.core.abort(req);
+        assert!(e.stuck_report().is_empty());
+        let m = e.run_closed(0, |_| Value::Null);
+        assert_eq!(m.failed, 1);
     }
 
     #[test]

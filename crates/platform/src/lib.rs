@@ -21,8 +21,13 @@
 //!   (§VI, "Minimizing Squash Cost").
 //! * [`exec`] — function instances: a running interpreter bound to a node,
 //!   core slot, container and private temp-file namespace.
+//! * [`harness`] — the shared engine-runtime layer: a [`Runtime`] of
+//!   engine-agnostic state embedded in each engine core, the
+//!   [`EngineCore`] trait, and the generic [`Harness`] driver that owns
+//!   the load drivers and all instrument attachment.
 //! * [`baseline`] — the conventional OpenWhisk execution engine: strictly
-//!   sequential function scheduling through controller + conductor.
+//!   sequential function scheduling through controller + conductor,
+//!   expressed as an [`EngineCore`].
 //! * [`workload`] — Poisson arrival generation (§VII) and request-level
 //!   bookkeeping.
 //! * [`metrics`] — response times, per-component breakdowns, throughput
@@ -32,14 +37,16 @@ pub mod baseline;
 pub mod cluster;
 pub mod container;
 pub mod exec;
+pub mod harness;
 pub mod metrics;
 pub mod overheads;
 pub mod workload;
 
-pub use baseline::BaselineEngine;
+pub use baseline::{BaselineCore, BaselineEngine};
 pub use cluster::{Cluster, NodeId};
 pub use container::{ContainerAcquire, ContainerPool};
 pub use exec::{FnInstance, InstanceId, InstanceState};
+pub use harness::{EngineCore, Harness, Runtime};
 pub use metrics::{Breakdown, FaultStats, InvocationRecord, RequestOutcome, RunMetrics};
 pub use overheads::OverheadModel;
 pub use workload::{Load, RequestId, Workload};
