@@ -179,10 +179,17 @@ mod tests {
     use super::*;
     use crate::suite::all_suites;
 
+    fn by_name<'a>(suites: &'a [crate::Suite], name: &str) -> &'a crate::Suite {
+        suites
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("suite {name} not registered"))
+    }
+
     #[test]
     fn characterization_matches_paper_bands() {
         let suites = all_suites();
-        let faaschain = characterize_suite(&suites[0], 1);
+        let faaschain = characterize_suite(by_name(&suites, "FaaSChain"), 1);
         assert_eq!(faaschain.workflow_type, "Explicit");
         assert_eq!(faaschain.applications, 6);
         assert!((6.5..=9.0).contains(&faaschain.avg_functions));
@@ -196,7 +203,7 @@ mod tests {
             faaschain.avg_exec_time_ms
         );
 
-        let tt = characterize_suite(&suites[1], 1);
+        let tt = characterize_suite(by_name(&suites, "TrainTicket"), 1);
         assert_eq!(tt.workflow_type, "Implicit");
         assert!((10.0..=13.0).contains(&tt.avg_functions));
         assert!(tt.avg_callees_per_caller.unwrap() >= 2.0);
@@ -208,7 +215,7 @@ mod tests {
             tt.avg_exec_time_ms
         );
 
-        let ali = characterize_suite(&suites[2], 1);
+        let ali = characterize_suite(by_name(&suites, "Alibaba"), 1);
         assert!((14.0..=22.0).contains(&ali.avg_functions));
         assert!(ali.max_dag_depth >= 4, "depth {}", ali.max_dag_depth);
         // Paper: 387.2ms.
@@ -216,6 +223,35 @@ mod tests {
             (200.0..=700.0).contains(&ali.avg_exec_time_ms),
             "Alibaba exec {}ms",
             ali.avg_exec_time_ms
+        );
+    }
+
+    #[test]
+    fn dag_suite_characterization_is_wide_and_explicit() {
+        let suites = all_suites();
+        let dag = characterize_suite(by_name(&suites, "DAG"), 1);
+        assert_eq!(dag.workflow_type, "Explicit");
+        assert_eq!(dag.applications, 3);
+        // 11 + 11 + 12 functions across the three DAG apps.
+        assert!(
+            (10.0..=13.0).contains(&dag.avg_functions),
+            "avg functions {}",
+            dag.avg_functions
+        );
+        assert!(
+            dag.avg_branches.is_some(),
+            "explicit suite reports branches"
+        );
+        assert!(dag.avg_callees_per_caller.is_none());
+        assert!(
+            dag.avg_data_deps >= 4.0,
+            "wide fan-outs carry many data deps, got {}",
+            dag.avg_data_deps
+        );
+        assert!(
+            dag.avg_exec_time_ms > 20.0,
+            "DAG exec {}ms suspiciously fast",
+            dag.avg_exec_time_ms
         );
     }
 }

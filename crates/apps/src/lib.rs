@@ -16,6 +16,13 @@
 //!   the published statistics of Alibaba's production microservice traces
 //!   (17.6 functions/app, 3.4 callees per calling function, DAG depth 5),
 //!   plus the node-utilization trace generator behind Fig. 4.
+//! * [`dag`] — three DAG-heavy, data-parallel applications with wide
+//!   fork/join sections (MapReduce word count, ML inference pipeline,
+//!   FINRA-style trade validation) that stress the Data Buffer and
+//!   squash cascades across join boundaries.
+//! * [`topology`] — a seeded random DAG-topology generator (bounded
+//!   width and depth) used to fuzz the cross-engine equivalence tests
+//!   beyond the hand-built suites.
 //! * [`azure_blobs`] — a synthetic blob-access trace matched to the
 //!   Azure Functions statistics of Observation 4.
 //! * [`datasets`] — skewed input generators (user pools, ticket routes,
@@ -30,10 +37,12 @@
 pub mod alibaba;
 pub mod azure_blobs;
 pub mod characterize;
+pub mod dag;
 pub mod datasets;
 pub mod faaschain;
 pub mod suite;
+pub mod topology;
 pub mod trainticket;
 
 pub use characterize::{characterize_suite, SuiteCharacterization};
-pub use suite::{all_suites, AppBundle, Suite};
+pub use suite::{all_suites, find_app, suite_named, AppBundle, Suite, SuiteDef, SUITE_DEFS};

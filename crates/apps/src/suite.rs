@@ -1,5 +1,11 @@
 //! Application bundles: an [`AppSpec`] plus its input generator and
-//! storage seeder, grouped into the paper's three suites.
+//! storage seeder, grouped into suites.
+//!
+//! Suite registration is data-driven: [`SUITE_DEFS`] holds one
+//! [`SuiteDef`] row per suite (name, workflow-type expectation, branch
+//! provenance, builder), and every consumer — [`all_suites`],
+//! [`suite_named`], [`find_app`], the bench binaries — iterates that
+//! table. Adding a suite is one new row, not edits across match arms.
 
 use std::sync::Arc;
 
@@ -52,31 +58,101 @@ impl AppBundle {
     }
 }
 
-/// One of the paper's three application suites (Table II).
+/// One registry row: everything the harness needs to know about a suite
+/// besides its applications.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteDef {
+    /// Suite name.
+    pub name: &'static str,
+    /// True if the suite's workflows are explicit (Table-I "Type").
+    pub explicit: bool,
+    /// True if branch outcomes are synthetically biased (such suites are
+    /// omitted from trace-derived observations like Obs. 2).
+    pub synthetic_branches: bool,
+    /// Builds the suite's applications.
+    pub build: fn() -> Vec<AppBundle>,
+}
+
+/// The suite registry: the paper's three suites (Table II) plus the
+/// DAG-heavy data-parallel suite.
+pub const SUITE_DEFS: &[SuiteDef] = &[
+    SuiteDef {
+        name: "FaaSChain",
+        explicit: true,
+        synthetic_branches: true,
+        build: crate::faaschain::apps,
+    },
+    SuiteDef {
+        name: "TrainTicket",
+        explicit: false,
+        synthetic_branches: false,
+        build: crate::trainticket::apps,
+    },
+    SuiteDef {
+        name: "Alibaba",
+        explicit: false,
+        synthetic_branches: false,
+        build: crate::alibaba::apps,
+    },
+    SuiteDef {
+        name: "DAG",
+        explicit: true,
+        synthetic_branches: true,
+        build: crate::dag::apps,
+    },
+];
+
+/// A built suite: registry row plus its applications.
 #[derive(Debug, Clone)]
 pub struct Suite {
-    /// Suite name (`"FaaSChain"`, `"TrainTicket"`, `"Alibaba"`).
+    /// Suite name (`"FaaSChain"`, `"TrainTicket"`, `"Alibaba"`, `"DAG"`).
     pub name: &'static str,
+    /// True if the suite's workflows are explicit.
+    pub explicit: bool,
+    /// True if branch outcomes are synthetically biased.
+    pub synthetic_branches: bool,
     /// The applications.
     pub apps: Vec<AppBundle>,
 }
 
-/// Builds all three suites (16 applications total).
+impl Suite {
+    fn from_def(def: &SuiteDef) -> Suite {
+        Suite {
+            name: def.name,
+            explicit: def.explicit,
+            synthetic_branches: def.synthetic_branches,
+            apps: (def.build)(),
+        }
+    }
+}
+
+/// Builds every registered suite (19 applications total).
 pub fn all_suites() -> Vec<Suite> {
-    vec![
-        Suite {
-            name: "FaaSChain",
-            apps: crate::faaschain::apps(),
-        },
-        Suite {
-            name: "TrainTicket",
-            apps: crate::trainticket::apps(),
-        },
-        Suite {
-            name: "Alibaba",
-            apps: crate::alibaba::apps(),
-        },
-    ]
+    SUITE_DEFS.iter().map(Suite::from_def).collect()
+}
+
+/// Builds the suite called `name`.
+///
+/// # Panics
+/// Panics if no suite with that name is registered.
+pub fn suite_named(name: &str) -> Suite {
+    SUITE_DEFS
+        .iter()
+        .find(|d| d.name == name)
+        .map(Suite::from_def)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = SUITE_DEFS.iter().map(|d| d.name).collect();
+            panic!("unknown suite `{name}`; known suites: {known:?}")
+        })
+}
+
+/// Finds an application by name (case-insensitive) across every
+/// registered suite.
+pub fn find_app(name: &str) -> Option<AppBundle> {
+    all_suites()
+        .into_iter()
+        .flat_map(|s| s.apps)
+        .find(|b| b.app.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -84,27 +160,64 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sixteen_applications_as_in_the_paper() {
+    fn nineteen_applications_registered() {
         let suites = all_suites();
-        assert_eq!(suites.len(), 3);
+        assert_eq!(suites.len(), 4);
         let total: usize = suites.iter().map(|s| s.apps.len()).sum();
-        assert_eq!(total, 16, "paper evaluates 16 applications");
-        assert_eq!(suites[0].apps.len(), 6, "FaaSChain has 6 apps");
-        assert_eq!(suites[1].apps.len(), 5, "TrainTicket has 5 apps");
-        assert_eq!(suites[2].apps.len(), 5, "Alibaba has 5 apps");
+        assert_eq!(total, 19, "16 paper applications + 3 DAG applications");
+        let by_name = |n: &str| suites.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("FaaSChain").apps.len(), 6, "FaaSChain has 6 apps");
+        assert_eq!(
+            by_name("TrainTicket").apps.len(),
+            5,
+            "TrainTicket has 5 apps"
+        );
+        assert_eq!(by_name("Alibaba").apps.len(), 5, "Alibaba has 5 apps");
+        assert_eq!(by_name("DAG").apps.len(), 3, "DAG has 3 apps");
     }
 
     #[test]
-    fn workflow_types_match_table1() {
-        let suites = all_suites();
-        for app in &suites[0].apps {
-            assert!(!app.app.is_implicit(), "{} should be explicit", app.name());
-        }
-        for suite in &suites[1..] {
+    fn workflow_types_match_registry() {
+        for suite in all_suites() {
             for app in &suite.apps {
-                assert!(app.app.is_implicit(), "{} should be implicit", app.name());
+                assert_eq!(
+                    !app.app.is_implicit(),
+                    suite.explicit,
+                    "{}: workflow type disagrees with the registry row",
+                    app.name()
+                );
+                assert_eq!(
+                    app.app.suite,
+                    suite.name,
+                    "{} registered under the wrong suite",
+                    app.name()
+                );
             }
         }
+    }
+
+    #[test]
+    fn suite_named_finds_every_registered_suite() {
+        for def in SUITE_DEFS {
+            let s = suite_named(def.name);
+            assert_eq!(s.name, def.name);
+            assert!(!s.apps.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown suite")]
+    fn suite_named_rejects_unknown_names() {
+        suite_named("NoSuchSuite");
+    }
+
+    #[test]
+    fn find_app_spans_all_suites() {
+        for name in ["HotelBooking", "WordCount", "FinraValidate"] {
+            let b = find_app(name).unwrap_or_else(|| panic!("{name} not found"));
+            assert_eq!(b.app.name, name);
+        }
+        assert!(find_app("NoSuchApp").is_none());
     }
 
     #[test]

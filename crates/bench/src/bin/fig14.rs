@@ -16,8 +16,8 @@ fn main() {
     let jobs = executor::jobs_from_args();
     println!("== Fig. 14: speedup vs branch-prediction hit rate (FaaSChain) ==\n");
     let rates = [1.0, 0.9, 0.7, 0.5];
-    let suites = specfaas_apps::all_suites();
-    let suite = &suites[0];
+    let suite = specfaas_apps::suite_named("FaaSChain");
+    let suite = &suite;
 
     let mut cells: Vec<ExperimentCell<f64>> = Vec::new();
     for bundle in &suite.apps {

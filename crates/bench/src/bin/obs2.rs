@@ -10,8 +10,9 @@ fn main() {
     println!("== Observation 2: most-popular function sequence share ==\n");
     let mut t = Table::new(["Suite", "App", "DominantSeqShare"]);
     for suite in specfaas_apps::all_suites() {
-        if suite.name == "FaaSChain" {
-            // The paper omits FaaSChain here (synthetic branch outcomes).
+        if suite.synthetic_branches {
+            // The paper omits suites with synthetically biased branch
+            // outcomes here (FaaSChain and DAG).
             continue;
         }
         let mut shares = Vec::new();

@@ -86,12 +86,8 @@ fn parse<T: std::str::FromStr>(s: &str) -> T {
 }
 
 fn find_app(name: &str) -> specfaas_apps::AppBundle {
-    for suite in specfaas_apps::all_suites() {
-        for bundle in suite.apps {
-            if bundle.app.name.eq_ignore_ascii_case(name) {
-                return bundle;
-            }
-        }
+    if let Some(bundle) = specfaas_apps::find_app(name) {
+        return bundle;
     }
     eprintln!("unknown app `{name}`; available:");
     for suite in specfaas_apps::all_suites() {

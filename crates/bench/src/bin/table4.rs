@@ -53,8 +53,8 @@ fn main() {
     let jobs = executor::jobs_from_args();
     println!("== Table IV: normalized CPU cost per request vs speculation hit rate ==\n");
     let rates = [1.0, 0.9, 0.7, 0.5];
-    let suites = specfaas_apps::all_suites();
-    let suite = &suites[0]; // FaaSChain
+    let suite = specfaas_apps::suite_named("FaaSChain");
+    let suite = &suite;
 
     let mut cells: Vec<ExperimentCell<(f64, f64, f64)>> = Vec::new();
     for rate in rates {

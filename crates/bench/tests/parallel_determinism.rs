@@ -42,3 +42,31 @@ fn table1_parallel_output_is_byte_identical_to_serial() {
     assert!(!serial.is_empty(), "table1 produced no output");
     assert_eq!(serial, parallel, "table1 --jobs 3 diverged from serial");
 }
+
+/// The DAG suite rides the same determinism guarantee: two same-seed
+/// `trace` runs of the wide fork/join word-count app must export
+/// byte-identical Chrome-trace JSON.
+#[test]
+fn trace_export_for_dag_app_is_deterministic() {
+    let bin = env!("CARGO_BIN_EXE_trace");
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("specfaas_dag_trace_1.json");
+    let p2 = dir.join("specfaas_dag_trace_2.json");
+    for p in [&p1, &p2] {
+        stdout_of(
+            bin,
+            &[
+                "--app",
+                "WordCount",
+                "--requests",
+                "40",
+                "--trace",
+                p.to_str().unwrap(),
+            ],
+        );
+    }
+    let a = std::fs::read(&p1).expect("first trace file");
+    let b = std::fs::read(&p2).expect("second trace file");
+    assert!(!a.is_empty(), "trace export is empty");
+    assert_eq!(a, b, "same-seed trace exports differ for WordCount");
+}

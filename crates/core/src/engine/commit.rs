@@ -221,12 +221,20 @@ impl SpecCore {
                 let req = self.requests.get_mut(&req_id).expect("live");
                 req.pipeline.slot_mut(succ).expect("live").input_speculative = false;
             } else {
-                self.squash_from(req_id, succ, SquashKind::WrongInput);
-                let req = self.requests.get_mut(&req_id).expect("live");
-                if let Some(s) = req.pipeline.slot_mut(succ) {
-                    s.input = Some(expected);
-                    s.input_speculative = false;
+                // Correct the input BEFORE squashing: squash_from ends
+                // with a pump that may relaunch the reset slot on the
+                // spot, and that instance must capture the validated
+                // input — relaunching with the stale one would recompute
+                // the stale output, self-validate the stale speculation
+                // downstream, and learn a wrong memo row at commit.
+                {
+                    let req = self.requests.get_mut(&req_id).expect("live");
+                    if let Some(s) = req.pipeline.slot_mut(succ) {
+                        s.input = Some(expected);
+                        s.input_speculative = false;
+                    }
                 }
+                self.squash_from(req_id, succ, SquashKind::WrongInput);
                 self.refresh_prediction(req_id, succ);
             }
         }
@@ -412,8 +420,11 @@ impl SpecCore {
             req.end_committed = true;
         }
 
-        // Fork: spawn branch heads now, with actual outputs.
+        // Fork: spawn branch heads now, with actual outputs. Their inputs
+        // are real, so memo rows can immediately predict their outputs and
+        // let extension speculate down each branch.
         if let Some((branches, _join, payload)) = fork_spawn {
+            let mut spawned = Vec::new();
             for b in branches {
                 let func = self.seqtable.func_at(b);
                 let req = self.requests.get_mut(&req_id).expect("live");
@@ -424,6 +435,10 @@ impl SpecCore {
                 let s = req.pipeline.slot_mut(id).expect("fresh");
                 s.input = Some(payload.clone());
                 s.non_speculative = self.app.registry.spec(func).annotations.non_speculative;
+                spawned.push(id);
+            }
+            for id in spawned {
+                self.refresh_prediction(req_id, id);
             }
         }
         // Join contribution.
@@ -442,6 +457,9 @@ impl SpecCore {
                 let s = req.pipeline.slot_mut(id).expect("fresh");
                 s.input = Some(Value::List(inputs));
                 s.non_speculative = self.app.registry.spec(func).annotations.non_speculative;
+                // The join's input (all contributions) is real: a memo row
+                // for it lets extension speculate past the join barrier.
+                self.refresh_prediction(req_id, id);
             }
         }
 

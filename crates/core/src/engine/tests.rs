@@ -575,3 +575,214 @@ fn fault_timeline_is_deterministic_per_seed() {
     };
     assert_eq!(run(), run());
 }
+
+/// Wide fork/join: `src` fans out to `width` parallel branches whose
+/// outputs join into `join` (which also reads a KV probe key), followed
+/// by a two-function post-join chain — the shape the DAG suite stresses.
+fn wide_join_app(width: usize) -> AppSpec {
+    let mut reg = FunctionRegistry::new();
+    reg.register(FunctionSpec::new(
+        "src",
+        Program::builder()
+            .compute_ms(4)
+            .ret(make_map([("v", field(input(), "v"))])),
+    ));
+    let mut branches = Vec::new();
+    for i in 0..width {
+        let name = format!("b{i}");
+        reg.register(FunctionSpec::new(
+            &name,
+            Program::builder()
+                .compute_ms(4)
+                .set(lit(format!("part:{i}")), field(input(), "v"))
+                .ret(make_map([(
+                    "p",
+                    add(mul(field(input(), "v"), lit(10i64)), lit(i as i64)),
+                )])),
+        ));
+        branches.push(Workflow::task(name));
+    }
+    // The join's input is the Value::List of branch outputs in
+    // declaration order; it also reads global state ("probe").
+    let mut sum = lit(0i64);
+    for i in 0..width {
+        sum = add(sum, field(index(input(), lit(i as i64)), "p"));
+    }
+    reg.register(FunctionSpec::new(
+        "join",
+        Program::builder()
+            .get(lit("probe"), "g")
+            .compute_ms(4)
+            .ret(make_map([("sum", add(sum, var("g")))])),
+    ));
+    reg.register(FunctionSpec::new(
+        "t0",
+        Program::builder()
+            .compute_ms(4)
+            .ret(make_map([("sum", add(field(input(), "sum"), lit(1i64)))])),
+    ));
+    reg.register(FunctionSpec::new(
+        "t1",
+        Program::builder()
+            .compute_ms(4)
+            .set(lit("final"), field(input(), "sum"))
+            .ret(field(input(), "sum")),
+    ));
+    AppSpec::new(
+        "WideJoin",
+        "Test",
+        reg,
+        Workflow::sequence(vec![
+            Workflow::task("src"),
+            Workflow::parallel(branches),
+            Workflow::task("join"),
+            Workflow::task("t0"),
+            Workflow::task("t1"),
+        ]),
+    )
+}
+
+/// Expected value of the `final` KV key for input `v` and probe `g`:
+/// sum of branch products `10v+i`, plus the probe, plus t0's increment.
+fn wide_join_expected(width: usize, v: i64, g: i64) -> i64 {
+    (0..width as i64).map(|i| 10 * v + i).sum::<i64>() + g + 1
+}
+
+#[test]
+fn wide_join_commits_branches_in_declaration_order() {
+    let width = 6;
+    let app = Arc::new(wide_join_app(width));
+    let mut e = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 1);
+    e.prewarm();
+    e.kv.set("probe", Value::Int(100));
+    e.run_single(Value::map([("v", Value::Int(3))]));
+    let m = e.run_closed(0, fresh_input);
+    assert_eq!(m.completed, 1);
+    let ids: Vec<u32> = [
+        "src", "b0", "b1", "b2", "b3", "b4", "b5", "join", "t0", "t1",
+    ]
+    .iter()
+    .map(|n| app.registry.lookup(n).unwrap().0)
+    .collect();
+    assert_eq!(
+        m.records[0].sequence, ids,
+        "commit order must be declaration order: src, branches, join, tail"
+    );
+    assert_eq!(
+        e.kv.peek("final"),
+        Some(&Value::Int(wide_join_expected(width, 3, 100)))
+    );
+    for i in 0..width {
+        assert_eq!(
+            e.kv.peek(&format!("part:{i}")),
+            Some(&Value::Int(3)),
+            "branch {i}'s disjoint write must land"
+        );
+    }
+}
+
+#[test]
+fn wide_join_memo_rows_learned_at_commit_only() {
+    let app = Arc::new(wide_join_app(4));
+    let mut e = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 1);
+    e.prewarm();
+    e.kv.set("probe", Value::Int(1));
+    assert_eq!(e.memos().total_entries(), 0);
+    let cold = e.run_single(Value::map([("v", Value::Int(2))]));
+    // Every committed function — src, the four branches, the join, and
+    // both tail functions — earns exactly one memo row.
+    for name in ["src", "b0", "b1", "b2", "b3", "join", "t0", "t1"] {
+        let f = app.registry.lookup(name).unwrap().0;
+        assert_eq!(e.memos().table(f).len(), 1, "{name} should have a memo row");
+    }
+    // The warmed identical request overlaps the post-join chain.
+    let warm = e.run_single(Value::map([("v", Value::Int(2))]));
+    assert!(
+        warm < cold,
+        "warmed wide-join run {warm} should beat cold run {cold}"
+    );
+    let m = e.run_closed(0, fresh_input);
+    assert_eq!(m.records.last().unwrap().functions_squashed, 0);
+}
+
+#[test]
+fn stale_probe_invalidates_join_memo_and_cascades() {
+    let width = 4;
+    let app = Arc::new(wide_join_app(width));
+    let mut e = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 1);
+    e.prewarm();
+    e.kv.set("probe", Value::Int(1));
+    // Train: the join's memo row now predicts a sum that embeds probe=1.
+    for _ in 0..3 {
+        e.run_single(Value::map([("v", Value::Int(5))]));
+    }
+    let trained = e.run_closed(0, fresh_input);
+    assert_eq!(
+        trained.records.last().unwrap().functions_squashed,
+        0,
+        "training runs must be squash-free"
+    );
+    assert_eq!(trained.squashed_core_time, SimDuration::ZERO);
+
+    // Mutate the probe behind the engine's back: the join's memoized
+    // output is now stale, so the speculatively launched post-join
+    // chain (t0 → t1) runs on a wrong input and must be squashed.
+    e.kv.set("probe", Value::Int(41));
+    e.run_single(Value::map([("v", Value::Int(5))]));
+    let m = e.run_closed(0, fresh_input);
+    let last = m.records.last().unwrap();
+    assert!(
+        last.functions_squashed >= 2,
+        "stale join output should cascade through both tail functions, \
+         squashed only {}",
+        last.functions_squashed
+    );
+    assert!(
+        m.squashed_core_time > SimDuration::ZERO,
+        "squash cascade must charge the Table-IV wasted-CPU ledger"
+    );
+    // Recovery is exact: the re-executed chain saw the fresh probe.
+    assert_eq!(
+        e.kv.peek("final"),
+        Some(&Value::Int(wide_join_expected(width, 5, 41)))
+    );
+}
+
+#[test]
+fn wide_join_final_state_matches_baseline() {
+    let app = Arc::new(wide_join_app(5));
+    let inputs: Vec<Value> = (0..8).map(|v| Value::map([("v", Value::Int(v))])).collect();
+
+    let mut base = BaselineEngine::new(Arc::clone(&app), 7);
+    base.prewarm();
+    base.kv.set("probe", Value::Int(9));
+    for i in &inputs {
+        base.run_single(i.clone());
+    }
+    let mb = base.run_closed(0, fresh_input);
+
+    let mut spec = SpecEngine::new(Arc::clone(&app), SpecConfig::full(), 7);
+    spec.prewarm();
+    spec.kv.set("probe", Value::Int(9));
+    for i in &inputs {
+        spec.run_single(i.clone());
+    }
+    let ms = spec.run_closed(0, fresh_input);
+
+    assert_eq!(mb.completed, ms.completed);
+    let dump = |kv: &specfaas_storage::KvStore| {
+        let mut v: Vec<(String, String)> = kv
+            .iter()
+            .map(|(k, val)| (k.to_string(), format!("{val:?}")))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(dump(&base.kv), dump(&spec.kv));
+    for (rb, rs) in mb.records.iter().zip(&ms.records) {
+        let (mut sb, mut ss) = (rb.sequence.clone(), rs.sequence.clone());
+        sb.sort_unstable();
+        ss.sort_unstable();
+        assert_eq!(sb, ss);
+    }
+}
