@@ -2,26 +2,40 @@
 //! the simulated systems. Three sections:
 //!
 //! 1. **Event queue**: schedule/step and schedule/cancel churn throughput
-//!    at 1k and 100k pending events. The slot/generation tombstone design
-//!    keeps cancel O(1) (amortized O(log n) with reaping), so throughput
-//!    must not collapse as the backlog grows 100x.
+//!    at 1k and 100k pending events. The calendar-bucket queue keeps both
+//!    ops amortized O(1) at any backlog (cancel via slot/generation
+//!    tombstones, delivery via bucket scan), so throughput must stay
+//!    near-flat as the backlog grows 100x.
 //! 2. **fig11 row**: wall time to produce one warm speedup row (one app at
 //!    Low/Medium/High load) — the unit of work the experiment grid fans
-//!    out.
+//!    out. Client-pool sizing is hoisted out of the timed region, exactly
+//!    as the fig11 binary hoists it out of its cells.
 //! 3. **jobs sweep**: wall time for a fixed 8-cell grid under the parallel
-//!    executor at `--jobs` 1/2/4.
+//!    executor at `--jobs` 1/2/4, with per-seed sizing precomputed outside
+//!    the timed region so the sweep measures executor overhead + cell
+//!    work, not redundant setup.
 //!
 //! Every number is a median of K repeats. Results are printed as a table
 //! and written machine-readably to `BENCH_wallclock.json` (override with
-//! `--out PATH`; `--quick` skips the file unless `--out` is given).
+//! `--out PATH`; `--quick` skips the file unless `--out` is given). The
+//! artifact records both `host_parallelism` (what the OS advertises) and
+//! `measured_parallelism` (what a CPU-bound probe actually achieved at 2
+//! workers), so a jobs sweep is interpretable on throttled containers.
+//!
+//! `--guard PATH` compares this run against the committed artifact at
+//! PATH and exits non-zero if any regression clause fires (see
+//! [`specfaas_bench::wallclock_guard`]). CI runs
+//! `wallclock --quick --out wallclock.json --guard BENCH_wallclock.json`.
 
 use std::time::Instant;
 
 use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f1, Table};
 use specfaas_bench::runner::{
-    measure_baseline_concurrent, measure_spec_concurrent, ExperimentParams,
+    baseline_single_ms, measure_baseline_concurrent_sized, measure_spec_concurrent_sized,
+    ExperimentParams,
 };
+use specfaas_bench::wallclock_guard;
 use specfaas_core::SpecConfig;
 use specfaas_sim::{SimDuration, SimRng, Simulator};
 
@@ -69,16 +83,23 @@ fn prefill(pending: usize, rng: &mut SimRng) -> Simulator<u64> {
 }
 
 /// schedule+step churn: queue size stays at `pending`, every op is one
-/// heap push and one pop at that size.
+/// queue insert and one pop at that size.
+///
+/// The prefill (arena + bucket growth) happens *outside* the timed region:
+/// ns/op measures steady-state churn at the given backlog, not one-time
+/// allocation. Repeats continue on the same simulator — the queue is in
+/// steady state throughout, so every repeat measures the same regime.
 fn bench_schedule_step(pending: usize, ops: usize, repeats: usize) -> QueueBench {
+    let mut rng = SimRng::seed(0x5EED_0001);
+    let mut sim = prefill(pending, &mut rng);
+    let mut item = 0u64;
     let secs = timed(repeats, || {
-        let mut rng = SimRng::seed(0x5EED_0001);
-        let mut sim = prefill(pending, &mut rng);
-        for i in 0..ops {
+        for _ in 0..ops {
             sim.schedule_in(
                 SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
-                i as u64,
+                item,
             );
+            item += 1;
             std::hint::black_box(sim.step());
         }
         assert_eq!(sim.pending(), pending);
@@ -94,30 +115,35 @@ fn bench_schedule_step(pending: usize, ops: usize, repeats: usize) -> QueueBench
 /// schedule+cancel churn: every op schedules a fresh event and cancels the
 /// oldest outstanding one (almost never the head), then steps once per 8
 /// ops so tombstones also get reaped at pop. With an O(n) cancel this
-/// bench blows up ~100x between 1k and 100k pending.
+/// bench blows up ~100x between 1k and 100k pending; with tombstones that
+/// are never compacted it still degrades as buckets silt up.
 fn bench_schedule_cancel(pending: usize, ops: usize, repeats: usize) -> QueueBench {
+    let mut rng = SimRng::seed(0x5EED_0002);
+    let mut sim = Simulator::new();
+    let mut ids = std::collections::VecDeque::with_capacity(pending);
+    for i in 0..pending {
+        ids.push_back(sim.schedule_in(
+            SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
+            i as u64,
+        ));
+    }
+    let mut item = 0u64;
+    let mut step_gate = 0u64;
     let secs = timed(repeats, || {
-        let mut rng = SimRng::seed(0x5EED_0002);
-        let mut sim = Simulator::new();
-        let mut ids = std::collections::VecDeque::with_capacity(pending);
-        for i in 0..pending {
+        for _ in 0..ops {
             ids.push_back(sim.schedule_in(
                 SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
-                i as u64,
+                item,
             ));
-        }
-        for i in 0..ops {
-            ids.push_back(sim.schedule_in(
-                SimDuration::from_micros(rng.uniform_range(1, 1_000_000)),
-                i as u64,
-            ));
+            item += 1;
             let victim = ids.pop_front().expect("queue nonempty");
             std::hint::black_box(sim.cancel(victim));
-            if i % 8 == 0 {
+            if step_gate.is_multiple_of(8) {
                 if let Some(popped) = sim.step() {
                     std::hint::black_box(popped);
                 }
             }
+            step_gate += 1;
         }
     });
     QueueBench {
@@ -129,8 +155,11 @@ fn bench_schedule_cancel(pending: usize, ops: usize, repeats: usize) -> QueueBen
 }
 
 /// One warm fig11 row: baseline + SpecFaaS at Low/Medium/High for one app.
+/// Pool sizing is computed once, outside the timed region, mirroring the
+/// fig11 binary's hoisted sizing stage.
 fn fig11_row_secs(quick: bool, repeats: usize) -> f64 {
     let bundle = specfaas_apps::faaschain::apps().remove(0); // Login
+    let single = baseline_single_ms(&bundle, ExperimentParams::default().seed, 3);
     timed(repeats, || {
         for rps in [100.0, 250.0, 500.0] {
             let mut p = ExperimentParams::default().at_rps(rps);
@@ -139,27 +168,32 @@ fn fig11_row_secs(quick: bool, repeats: usize) -> f64 {
                 p.warmup = SimDuration::from_millis(100);
                 p.train_requests = 60;
             }
-            let base = measure_baseline_concurrent(&bundle, p);
-            let spec = measure_spec_concurrent(&bundle, SpecConfig::full(), p);
+            let base = measure_baseline_concurrent_sized(&bundle, p, single);
+            let spec = measure_spec_concurrent_sized(&bundle, SpecConfig::full(), p, single);
             std::hint::black_box(base.mean_response_ms() / spec.mean_response_ms());
         }
     })
 }
 
 /// Times a fixed 8-cell grid under the executor at the given job count.
-fn sweep_secs(jobs: usize, quick: bool, repeats: usize) -> f64 {
+/// `singles[i]` is the precomputed pool-sizing value for cell `i` — sizing
+/// is identical per (bundle, seed), so measuring it inside every cell at
+/// every job count would only add constant per-cell setup noise.
+fn sweep_secs(jobs: usize, quick: bool, repeats: usize, singles: &[f64]) -> f64 {
     let bundle = specfaas_apps::faaschain::apps().remove(0);
     timed(repeats, || {
         let cells: Vec<ExperimentCell<f64>> = (0..8u64)
             .map(|i| {
                 let bundle = &bundle;
+                let single = singles[i as usize];
                 ExperimentCell::new(format!("sweep/{i}"), move || {
                     let mut p = ExperimentParams::default().at_rps(100.0 + 50.0 * i as f64);
                     p.seed ^= i;
                     p.duration = SimDuration::from_millis(if quick { 400 } else { 1_500 });
                     p.warmup = SimDuration::from_millis(100);
                     p.train_requests = if quick { 40 } else { 100 };
-                    measure_spec_concurrent(bundle, SpecConfig::full(), p).mean_response_ms()
+                    measure_spec_concurrent_sized(bundle, SpecConfig::full(), p, single)
+                        .mean_response_ms()
                 })
             })
             .collect();
@@ -174,7 +208,10 @@ fn esc(s: &str) -> String {
 
 fn main() {
     let quick = executor::has_flag("--quick");
+    // Event-queue section only — for iterating on the queue itself.
+    let queue_only = executor::has_flag("--queue-only");
     let out = executor::arg_value("out");
+    let guard = executor::arg_value("guard");
     // The event-queue microbench is single-threaded by nature; --jobs is
     // accepted (run_all forwards it) and applies to the sweep section.
     let _ = executor::jobs_from_args();
@@ -185,6 +222,11 @@ fn main() {
     } else {
         (400_000, 400_000)
     };
+
+    // Probe the host before any timed section so the measurement noise of
+    // the probe itself cannot land inside a benchmark window.
+    let host_par = executor::host_parallelism();
+    let measured_par = executor::measured_parallelism(2);
 
     println!("== Wall-clock: event-queue throughput ==\n");
     let queue_benches = vec![
@@ -203,11 +245,20 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    let step_ratio = queue_benches[1].median_ns_per_op / queue_benches[0].median_ns_per_op;
     let cancel_ratio = queue_benches[3].median_ns_per_op / queue_benches[2].median_ns_per_op;
+    println!(
+        "schedule_step ns/op ratio 100k/1k pending: {:.2}x (guard limit {}x)",
+        step_ratio,
+        wallclock_guard::FLATNESS_LIMIT
+    );
     println!(
         "cancel ns/op ratio 100k/1k pending: {:.2}x (O(n) cancel would be ~100x)\n",
         cancel_ratio
     );
+    if queue_only {
+        return;
+    }
 
     println!("== Wall-clock: one fig11 warm row (Login, 3 loads) ==\n");
     let row_repeats = if quick { 1 } else { 3 };
@@ -215,10 +266,16 @@ fn main() {
     println!("median of {row_repeats}: {:.2} s\n", row_secs);
 
     println!("== Wall-clock: executor sweep (8 cells) ==\n");
+    // Sizing for the 8 sweep cells, hoisted out of all timed regions.
+    let base_seed = ExperimentParams::default().seed;
+    let sweep_bundle = specfaas_apps::faaschain::apps().remove(0);
+    let singles: Vec<f64> = (0..8u64)
+        .map(|i| baseline_single_ms(&sweep_bundle, base_seed ^ i, 3))
+        .collect();
     let sweep_jobs = [1usize, 2, 4];
     let sweep: Vec<(usize, f64)> = sweep_jobs
         .iter()
-        .map(|&j| (j, sweep_secs(j, quick, row_repeats)))
+        .map(|&j| (j, sweep_secs(j, quick, row_repeats, &singles)))
         .collect();
     let mut t = Table::new(["Jobs", "Median(s)", "Speedup"]);
     for (j, s) in &sweep {
@@ -229,20 +286,15 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!(
-        "(available parallelism on this host: {})",
-        executor::default_jobs()
-    );
+    println!("(host parallelism: {host_par}, measured 2-worker speedup: {measured_par:.2}x)");
 
     // Machine-readable artifact.
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"specfaas-bench/wallclock/v1\",\n");
+    j.push_str("  \"schema\": \"specfaas-bench/wallclock/v2\",\n");
     j.push_str(&format!("  \"quick\": {quick},\n"));
-    j.push_str(&format!(
-        "  \"host_parallelism\": {},\n",
-        executor::default_jobs()
-    ));
+    j.push_str(&format!("  \"host_parallelism\": {host_par},\n"));
+    j.push_str(&format!("  \"measured_parallelism\": {measured_par:.3},\n"));
     j.push_str(&format!("  \"repeats\": {repeats},\n"));
     j.push_str("  \"event_queue\": [\n");
     for (i, b) in queue_benches.iter().enumerate() {
@@ -257,6 +309,10 @@ fn main() {
         ));
     }
     j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"step_ns_ratio_100k_over_1k\": {:.3},\n",
+        step_ratio
+    ));
     j.push_str(&format!(
         "  \"cancel_ns_ratio_100k_over_1k\": {:.3},\n",
         cancel_ratio
@@ -286,5 +342,24 @@ fn main() {
             println!("\nwrote BENCH_wallclock.json");
         }
         (None, true) => {}
+    }
+
+    // Regression guard: compare this run against the committed blessing.
+    if let Some(path) = guard {
+        let committed_json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read committed artifact {path}: {e}"));
+        let committed = wallclock_guard::parse_artifact(&committed_json)
+            .unwrap_or_else(|e| panic!("parse committed artifact {path}: {e}"));
+        let current = wallclock_guard::parse_artifact(&j).expect("parse current artifact");
+        let violations = wallclock_guard::check(&current, &committed);
+        if violations.is_empty() {
+            println!("\nguard vs {path}: PASS");
+        } else {
+            eprintln!("\nguard vs {path}: FAIL");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

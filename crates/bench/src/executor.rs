@@ -13,17 +13,30 @@
 //!    count or scheduling interleaving.
 //!
 //! Parallelism lives *only* here, in the harness: each DES run stays
-//! single-threaded and deterministic (see DESIGN.md). Workers pull cells
-//! from a shared queue (work-stealing in the degenerate one-queue sense:
-//! whichever worker is free next takes the next cell), which load-balances
-//! grids whose cells differ wildly in cost — a saturated High-load cell
-//! can take 10× a Low-load one.
+//! single-threaded and deterministic (see DESIGN.md). Workers claim the
+//! next unstarted cell by bumping one atomic counter (work-stealing in the
+//! degenerate one-queue sense: whichever worker is free next takes the
+//! next cell), which load-balances grids whose cells differ wildly in
+//! cost — a saturated High-load cell can take 10× a Low-load one.
 //!
-//! Dependency-free by construction: `std::thread::scope` + a mutex-guarded
-//! queue + a channel. No rayon.
+//! Per-cell harness overhead is deliberately minimal: claiming a cell is
+//! one `fetch_add`, and each result is written straight into its
+//! submission-indexed slot — no shared queue mutex, no channel, no
+//! per-result allocation. The worker pool is sized
+//! `min(jobs, cells)`, and the *default* job count comes from the
+//! host's measured parallelism ([`default_jobs`]); asking for more
+//! workers than the host can run (e.g. `--jobs 4` on a single core) is
+//! honored — the determinism tests rely on exercising the parallel path
+//! everywhere — but cannot speed anything up, which is why
+//! [`measured_parallelism`] is recorded in `BENCH_wallclock.json` next to
+//! the jobs sweep it explains.
+//!
+//! Dependency-free by construction: `std::thread::scope` + atomics +
+//! per-slot mutexes. No rayon.
 
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// One independent unit of experiment work, producing a `T`.
 ///
@@ -70,18 +83,27 @@ pub fn run_cells<T: Send>(jobs: usize, cells: Vec<ExperimentCell<'_, T>>) -> Vec
     }
 
     let n = cells.len();
-    let queue: Mutex<Vec<(usize, ExperimentCell<T>)>> =
-        Mutex::new(cells.into_iter().enumerate().rev().collect());
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    // Each cell is taken exactly once (claimed by atomic index, so the
+    // per-slot locks are never contended) and its result lands in the
+    // matching submission-indexed slot.
+    let work: Vec<Mutex<Option<ExperimentCell<T>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
         for _ in 0..jobs.min(n) {
-            let tx = tx.clone();
-            let queue = &queue;
+            let (work, results, next) = (&work, &results, &next);
             s.spawn(move || loop {
-                let Some((idx, cell)) = queue.lock().unwrap().pop() else {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
                     return;
-                };
+                }
+                let cell = work[idx]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("cell claimed exactly once");
                 let label = cell.label;
                 let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(cell.run))
                 {
@@ -91,23 +113,78 @@ pub fn run_cells<T: Send>(jobs: usize, cells: Vec<ExperimentCell<'_, T>>) -> Vec
                         std::panic::resume_unwind(payload);
                     }
                 };
-                if tx.send((idx, result)).is_err() {
-                    return;
-                }
+                *results[idx].lock().unwrap() = Some(result);
             });
         }
-        drop(tx);
+    });
 
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for (idx, result) in rx {
-            slots[idx] = Some(result);
-        }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} produced no result")))
-            .collect()
-    })
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.into_inner()
+                .unwrap()
+                .unwrap_or_else(|| panic!("cell {i} produced no result"))
+        })
+        .collect()
+}
+
+/// The host's logical parallelism as reported by the OS (respects cgroup
+/// and affinity limits on Linux).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// *Measured* parallel speedup of this host at `jobs` worker threads,
+/// obtained by timing a fixed CPU-bound grid through [`run_cells`] at one
+/// worker and at `jobs` workers. ≈1.0 on a single effective core whatever
+/// the nominal CPU count (containers!), ≈`jobs` on an unloaded
+/// multi-core. Recorded in `BENCH_wallclock.json` so a jobs sweep is
+/// interpretable: a sweep cannot beat the hardware it ran on.
+///
+/// The probe is wall-clock based and deliberately cheap (~tens of ms);
+/// memoized per job count for the life of the process.
+pub fn measured_parallelism(jobs: usize) -> f64 {
+    static CACHE: OnceLock<Mutex<Vec<(usize, f64)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Some(&(_, s)) = cache.lock().unwrap().iter().find(|&&(j, _)| j == jobs) {
+        return s;
+    }
+
+    fn spin_grid(jobs: usize, cells: usize, iters: u64) -> f64 {
+        let grid: Vec<ExperimentCell<u64>> = (0..cells)
+            .map(|i| {
+                ExperimentCell::new(format!("spin/{i}"), move || {
+                    // Data-dependent integer mix the optimizer cannot fold.
+                    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ i as u64;
+                    for _ in 0..iters {
+                        x = x.wrapping_mul(0xD134_2543_DE82_EF95).rotate_left(17);
+                    }
+                    x
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        std::hint::black_box(run_cells(jobs, grid));
+        t0.elapsed().as_secs_f64()
+    }
+
+    let cells = jobs.max(2) * 4;
+    let iters = 2_000_000;
+    // Warm-up pass so thread spawn / frequency ramp-up noise lands outside
+    // the measurement, then best-of-3 per job count.
+    spin_grid(jobs, cells, iters / 10);
+    let serial = (0..3)
+        .map(|_| spin_grid(1, cells, iters))
+        .fold(f64::INFINITY, f64::min);
+    let parallel = (0..3)
+        .map(|_| spin_grid(jobs, cells, iters))
+        .fold(f64::INFINITY, f64::min);
+    let speedup = serial / parallel.max(1e-9);
+    cache.lock().unwrap().push((jobs, speedup));
+    speedup
 }
 
 /// Parses `--jobs N` / `--jobs=N` from the process arguments.
@@ -119,11 +196,10 @@ pub fn jobs_from_args() -> usize {
     parse_jobs(std::env::args().skip(1)).unwrap_or_else(default_jobs)
 }
 
-/// The default job count: available hardware parallelism.
+/// The default job count: the host's parallelism ([`host_parallelism`]),
+/// so the pool is sized to the hardware unless `--jobs` overrides it.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    host_parallelism()
 }
 
 /// Extracts the `--jobs` value from an argument list, if present.

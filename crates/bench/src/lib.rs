@@ -37,6 +37,7 @@ pub mod executor;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod wallclock_guard;
 
 pub use executor::{run_cells, ExperimentCell};
 pub use runner::{

@@ -199,7 +199,21 @@ pub fn clients_for(rps: f64, baseline_single_ms: f64) -> u32 {
 /// requested load level.
 pub fn measure_baseline_concurrent(bundle: &AppBundle, p: ExperimentParams) -> RunMetrics {
     let single = baseline_single_ms(bundle, p.seed, 3);
-    let clients = clients_for(p.rps, single);
+    measure_baseline_concurrent_sized(bundle, p, single)
+}
+
+/// [`measure_baseline_concurrent`] with the unloaded single-request
+/// response precomputed by the caller. The sizing run (a full prepared
+/// baseline engine) depends only on `(bundle, seed)`, so grid drivers
+/// that fan one bundle out over many loads hoist it and compute it once
+/// instead of once per cell — the measured result is bit-identical
+/// because the sizing value is.
+pub fn measure_baseline_concurrent_sized(
+    bundle: &AppBundle,
+    p: ExperimentParams,
+    single_ms: f64,
+) -> RunMetrics {
+    let clients = clients_for(p.rps, single_ms);
     let mut e = prepared_baseline(bundle, p.seed);
     let gen = Arc::clone(&bundle.make_input);
     e.run_closed(30, {
@@ -219,7 +233,19 @@ pub fn measure_spec_concurrent(
     p: ExperimentParams,
 ) -> RunMetrics {
     let single = baseline_single_ms(bundle, p.seed, 3);
-    let clients = clients_for(p.rps, single);
+    measure_spec_concurrent_sized(bundle, config, p, single)
+}
+
+/// [`measure_spec_concurrent`] with the unloaded *baseline*
+/// single-request response precomputed by the caller (see
+/// [`measure_baseline_concurrent_sized`] for why grids hoist it).
+pub fn measure_spec_concurrent_sized(
+    bundle: &AppBundle,
+    config: SpecConfig,
+    p: ExperimentParams,
+    single_ms: f64,
+) -> RunMetrics {
+    let clients = clients_for(p.rps, single_ms);
     let mut e = prepared_spec(bundle, config, p.seed, p.train_requests);
     let gen = Arc::clone(&bundle.make_input);
     e.run_concurrent(clients, p.duration, p.warmup, move |r| gen(r))

@@ -1,9 +1,17 @@
-//! Property test: the slot/generation event queue against a brutally
-//! simple reference model (a Vec kept in delivery order) under long
-//! random sequences of schedule / cancel / step / step_until, including
-//! cancels of already-fired and already-cancelled ids. After every
-//! operation the exact `pending()` count and `peek_time()` must agree;
-//! every delivered event must match the model's next expected delivery.
+//! Property tests: the calendar-bucket event queue against reference
+//! models under long random sequences of schedule / cancel / step /
+//! step_until, including cancels of already-fired and already-cancelled
+//! ids. After every operation the exact `pending()` count and
+//! `peek_time()` must agree; every delivered event must match the model's
+//! next expected delivery.
+//!
+//! Two models are used: a brutally simple sorted `Vec` for short
+//! interleavings, and a `BTreeMap` keyed by `(time, seq)` for the scaled
+//! runs at 1k / 10k / 100k pending events (the Vec model's O(n) inserts
+//! would dominate at those sizes). The scaled runs mix delay magnitudes
+//! from "this instant" to tens of simulated seconds, so events cross the
+//! wheel horizon in both directions and exercise the overflow heap,
+//! bucket-width rebuilds, and tombstone compaction.
 
 use specfaas_sim::{EventId, SimDuration, SimRng, SimTime, Simulator};
 
@@ -140,4 +148,227 @@ fn random_schedule_cancel_step_matches_reference_model() {
         }
         assert!(sim.is_idle());
     }
+}
+
+/// Reference model for the scaled runs: `(at, seq) -> payload` in a
+/// BTreeMap (delivery order is the key order), with a seq-indexed side map
+/// so cancels by id stay O(log n).
+struct BigModel {
+    pending: std::collections::BTreeMap<(SimTime, u64), u64>,
+    by_seq: std::collections::HashMap<u64, SimTime>,
+    next_seq: u64,
+}
+
+impl BigModel {
+    fn new() -> Self {
+        BigModel {
+            pending: std::collections::BTreeMap::new(),
+            by_seq: std::collections::HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert((at, seq), payload);
+        self.by_seq.insert(seq, at);
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.by_seq.remove(&seq) {
+            Some(at) => {
+                self.pending.remove(&(at, seq));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn step(&mut self) -> Option<(SimTime, u64)> {
+        let (&(at, seq), &payload) = self.pending.iter().next()?;
+        self.pending.remove(&(at, seq));
+        self.by_seq.remove(&seq);
+        Some((at, payload))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.pending.keys().next().map(|&(t, _)| t)
+    }
+}
+
+/// Random delay spanning five magnitudes: same-instant, microseconds,
+/// milliseconds, seconds (within the initial wheel horizon), and tens of
+/// seconds (beyond it, forcing overflow-heap traffic and width rebuilds).
+fn random_delay(rng: &mut SimRng) -> SimDuration {
+    match rng.uniform_u64(5) {
+        0 => SimDuration::from_micros(0),
+        1 => SimDuration::from_micros(rng.uniform_u64(1_000)),
+        2 => SimDuration::from_micros(rng.uniform_u64(100_000)),
+        3 => SimDuration::from_micros(rng.uniform_u64(2_000_000)),
+        _ => SimDuration::from_micros(rng.uniform_u64(30_000_000)),
+    }
+}
+
+/// Drives `ops` random schedule/cancel/step/step_until operations around a
+/// steady-state backlog of `scale` pending events, checking exactness
+/// after every operation.
+fn run_scaled_trial(scale: usize, ops: usize, seed: u64) {
+    let mut rng = SimRng::seed(seed);
+    let mut sim: Simulator<u64> = Simulator::new();
+    let mut model = BigModel::new();
+    let mut ids: Vec<(EventId, u64)> = Vec::new();
+    let mut payload = 0u64;
+
+    let schedule = |sim: &mut Simulator<u64>,
+                    model: &mut BigModel,
+                    ids: &mut Vec<(EventId, u64)>,
+                    payload: &mut u64,
+                    rng: &mut SimRng| {
+        let at = sim.now() + random_delay(rng);
+        *payload += 1;
+        let id = sim.schedule_at(at, *payload);
+        let seq = model.schedule(at, *payload);
+        ids.push((id, seq));
+    };
+
+    // Build the backlog, including bursts at identical timestamps so the
+    // scaled runs also cover same-instant FIFO ordering.
+    while sim.pending() < scale {
+        if rng.uniform_u64(10) == 0 {
+            let at = sim.now() + random_delay(&mut rng);
+            for _ in 0..rng.uniform_u64(8) + 2 {
+                payload += 1;
+                let id = sim.schedule_at(at, payload);
+                let seq = model.schedule(at, payload);
+                ids.push((id, seq));
+            }
+        } else {
+            schedule(&mut sim, &mut model, &mut ids, &mut payload, &mut rng);
+        }
+    }
+
+    for op in 0..ops {
+        match rng.uniform_u64(10) {
+            0..=3 => schedule(&mut sim, &mut model, &mut ids, &mut payload, &mut rng),
+            // Cancel a random id ever issued — live, fired, cancelled, or
+            // recycled-slot stale; cancelling the head must keep
+            // peek_time() exact (checked below every op).
+            4..=6 => {
+                if !ids.is_empty() {
+                    let (id, seq) = ids[rng.uniform_u64(ids.len() as u64) as usize];
+                    assert_eq!(
+                        sim.cancel(id),
+                        model.cancel(seq),
+                        "scale {scale} op {op}: cancel disagreed"
+                    );
+                }
+            }
+            7..=8 => {
+                assert_eq!(
+                    sim.step(),
+                    model.step(),
+                    "scale {scale} op {op}: step disagreed"
+                );
+            }
+            _ => {
+                let deadline = sim.now() + random_delay(&mut rng);
+                loop {
+                    let fires = model.peek_time().is_some_and(|t| t <= deadline);
+                    let got = sim.step_until(deadline);
+                    if fires {
+                        assert_eq!(
+                            got,
+                            model.step(),
+                            "scale {scale} op {op}: step_until disagreed"
+                        );
+                    } else {
+                        assert_eq!(got, None, "scale {scale} op {op}: fired past deadline");
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            sim.pending(),
+            model.pending.len(),
+            "scale {scale} op {op}: pending() diverged"
+        );
+        assert_eq!(
+            sim.peek_time(),
+            model.peek_time(),
+            "scale {scale} op {op}: peek_time() diverged"
+        );
+    }
+
+    // Partial drain: delivery order must match exactly (full drain at 100k
+    // would dominate the test's runtime without adding coverage).
+    for _ in 0..(scale / 2).max(100) {
+        let got = sim.step();
+        assert_eq!(got, model.step(), "scale {scale}: drain disagreed");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert_eq!(sim.pending(), model.pending.len());
+}
+
+#[test]
+fn scaled_model_equivalence_1k_pending() {
+    run_scaled_trial(1_000, 4_000, 0xCA1E_0001);
+}
+
+#[test]
+fn scaled_model_equivalence_10k_pending() {
+    run_scaled_trial(10_000, 4_000, 0xCA1E_0010);
+}
+
+#[test]
+fn scaled_model_equivalence_100k_pending() {
+    run_scaled_trial(100_000, 4_000, 0xCA1E_0100);
+}
+
+/// Same-timestamp FIFO ordering must hold for a wide burst even when the
+/// burst is buried under a large backlog and interleaved with head
+/// cancels (which force cached-minimum refreshes through the burst's
+/// bucket).
+#[test]
+fn same_timestamp_fifo_under_backlog_and_head_cancels() {
+    let mut rng = SimRng::seed(0xF1F0);
+    let mut sim: Simulator<u64> = Simulator::new();
+    // Backlog spread over 1 s.
+    for i in 0..20_000u64 {
+        sim.schedule_in(SimDuration::from_micros(rng.uniform_u64(1_000_000) + 1), i);
+    }
+    // A 512-wide burst at one instant, tagged so deliveries are
+    // recognizable, plus head-adjacent victims to cancel.
+    let burst_at = sim.now() + SimDuration::from_micros(500_000);
+    let tags: Vec<u64> = (0..512).map(|i| 1_000_000 + i).collect();
+    for &t in &tags {
+        sim.schedule_at(burst_at, t);
+    }
+    // Repeatedly cancel the current head event (via a fresh earliest
+    // probe) and verify peek_time() snaps back exactly to the pre-probe
+    // head after the cancel.
+    for probe in 0..64u64 {
+        let before = sim.peek_time();
+        let at = sim.now() + SimDuration::from_micros(probe + 1);
+        if before.is_some_and(|t| t < at) {
+            continue; // probe would not be the head; nothing to exercise
+        }
+        let id = sim.schedule_at(at, u64::MAX);
+        assert_eq!(sim.peek_time(), Some(at), "probe must be the head");
+        assert!(sim.cancel(id));
+        assert_eq!(sim.peek_time(), before, "head cancel must restore peek");
+    }
+    // Drain; the burst tags must come out in insertion order.
+    let mut seen = Vec::new();
+    while let Some((t, v)) = sim.step() {
+        if v >= 1_000_000 && v != u64::MAX {
+            assert_eq!(t, burst_at);
+            seen.push(v);
+        }
+    }
+    assert_eq!(seen, tags, "same-instant burst must deliver FIFO");
 }
