@@ -27,8 +27,8 @@ fn main() {
                     format!("fig13/{}/{:?}/{}", suite.name, load, bundle.name()),
                     move || {
                         let p = ExperimentParams::default().at_rps(load.rps());
-                        let mut base = measure_baseline_concurrent(bundle, p);
-                        let mut spec = measure_spec_concurrent(bundle, SpecConfig::full(), p);
+                        let base = measure_baseline_concurrent(bundle, p);
+                        let spec = measure_spec_concurrent(bundle, SpecConfig::full(), p);
                         (base.p99_response_ms(), spec.p99_response_ms())
                     },
                 ));

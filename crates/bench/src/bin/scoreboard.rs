@@ -1,0 +1,207 @@
+//! Speculation-health scoreboard over every registered suite
+//! (DESIGN.md, "Streaming observability").
+//!
+//! ```text
+//! cargo run --release --bin scoreboard -- [--suite NAME] [--engine spec|baseline]
+//!     [--requests N] [--train N] [--seed N] [--jobs N]
+//!     [--out PATH] [--snapshots PATH] [--window-ms N]
+//! ```
+//!
+//! Runs every application of the selected suites (default: all of
+//! `SUITE_DEFS`) through a closed loop with the streaming observability
+//! instruments armed, and prints one scoreboard row per app: speculation
+//! accuracy, memo hit rate, streaming p50/p99/p99.9 latency, the
+//! squash-depth histogram, wasted-vs-useful core time and warm-pool
+//! effectiveness — followed by the fleet-wide top-K wasted-core-time
+//! functions and the merged latency distribution. Everything is computed
+//! in constant memory per run (log-linear histograms + Space-Saving
+//! sketches), so the same binary scales to 10⁶⁺-request runs.
+//!
+//! With `--out PATH` the rows are written as JSONL; with
+//! `--snapshots PATH` the windowed registry snapshots of every run are
+//! written as JSONL (one stream, each line tagged with its app). Cells
+//! fan out over `--jobs` worker threads; output is byte-identical at any
+//! job count.
+
+use specfaas_apps::{all_suites, suite_named, Suite};
+use specfaas_bench::executor::{default_jobs, run_cells, ExperimentCell};
+use specfaas_bench::runner::{prepared_baseline, prepared_spec, scoreboard_closed};
+use specfaas_core::SpecConfig;
+use specfaas_platform::scoreboard::{render_table, ScoreboardRow};
+use specfaas_sim::{LogHistogram, SimDuration, SpaceSaving};
+
+struct Args {
+    suite: Option<String>,
+    engine: String,
+    requests: u64,
+    train: u64,
+    seed: u64,
+    jobs: usize,
+    out: Option<String>,
+    snapshots: Option<String>,
+    window_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scoreboard [--suite NAME] [--engine spec|baseline] [--requests N] \
+         [--train N] [--seed N] [--jobs N] [--out PATH] [--snapshots PATH] [--window-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn usage_missing(flag: &str) -> ! {
+    eprintln!("missing value for {flag}");
+    usage();
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument: {s}");
+        usage();
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        suite: None,
+        engine: "spec".to_string(),
+        requests: 60,
+        train: 120,
+        seed: 0x5c0e,
+        jobs: default_jobs(),
+        out: None,
+        snapshots: None,
+        window_ms: 250,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| it.next().unwrap_or_else(|| usage_missing(flag));
+        match flag.as_str() {
+            "--suite" => args.suite = Some(val("--suite")),
+            "--engine" => args.engine = val("--engine"),
+            "--requests" => args.requests = parse(&val("--requests")),
+            "--train" => args.train = parse(&val("--train")),
+            "--seed" => args.seed = parse(&val("--seed")),
+            "--jobs" => args.jobs = parse(&val("--jobs")),
+            "--out" => args.out = Some(val("--out")),
+            "--snapshots" => args.snapshots = Some(val("--snapshots")),
+            "--window-ms" => args.window_ms = parse(&val("--window-ms")),
+            _ => usage(),
+        }
+    }
+    if args.engine != "spec" && args.engine != "baseline" {
+        usage();
+    }
+    args
+}
+
+/// One cell's result: the scoreboard row, the run's latency histogram
+/// (for the fleet-wide merge) and the app-tagged snapshot lines.
+struct CellResult {
+    row: ScoreboardRow,
+    latency: LogHistogram,
+    snapshot_lines: Vec<String>,
+}
+
+fn main() {
+    let args = parse_args();
+    let suites: Vec<Suite> = match &args.suite {
+        Some(name) => vec![suite_named(name)],
+        None => all_suites(),
+    };
+    let window = SimDuration::from_millis(args.window_ms);
+    let spec_engine = args.engine == "spec";
+
+    let mut cells = Vec::new();
+    for suite in &suites {
+        for bundle in &suite.apps {
+            let bundle = bundle.clone();
+            let (requests, train, seed) = (args.requests, args.train, args.seed);
+            cells.push(ExperimentCell::new(bundle.app.name.clone(), move || {
+                let gen = bundle.make_input.clone();
+                let (row, log, m) = if spec_engine {
+                    let mut e = prepared_spec(&bundle, SpecConfig::full(), seed, train);
+                    scoreboard_closed(&mut e, "spec", requests, window, move |r| gen(r))
+                } else {
+                    let mut e = prepared_baseline(&bundle, seed);
+                    scoreboard_closed(&mut e, "baseline", requests, window, move |r| gen(r))
+                };
+                // Tag each snapshot line with its app so one merged JSONL
+                // stream stays attributable.
+                let snapshot_lines = log
+                    .lines()
+                    .iter()
+                    .map(|l| format!("{{\"app\": \"{}\", {}", row.app, &l[1..]))
+                    .collect();
+                CellResult {
+                    row,
+                    latency: m.latency_hist.clone(),
+                    snapshot_lines,
+                }
+            }));
+        }
+    }
+
+    let results = run_cells(args.jobs, cells);
+
+    // Fleet-wide aggregation, in submission order so any --jobs value
+    // yields byte-identical output: merged latency distribution plus a
+    // cross-app Space-Saving re-fold of each run's wasted-core-time top-K.
+    let mut fleet_latency = LogHistogram::new();
+    let mut fleet_wasted: SpaceSaving<String> = SpaceSaving::new(16);
+    for r in &results {
+        fleet_latency.merge(&r.latency);
+        for (key, us) in &r.row.wasted_topk {
+            fleet_wasted.add_weight(key.clone(), *us);
+        }
+    }
+
+    let rows: Vec<ScoreboardRow> = results.iter().map(|r| r.row.clone()).collect();
+    print!("{}", render_table(&rows));
+
+    println!("\ntop wasted-core-time functions (fleet-wide):");
+    if fleet_wasted.is_empty() {
+        println!("  (nothing squashed)");
+    }
+    for (key, entry) in fleet_wasted.top().into_iter().take(10) {
+        println!(
+            "  {:<40} {:>10.1} ms wasted (±{:.1})",
+            key,
+            entry.count as f64 / 1_000.0,
+            entry.error as f64 / 1_000.0
+        );
+    }
+
+    println!(
+        "\nfleet latency: {} requests, p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms, max {:.2} ms \
+         ({} histogram buckets)",
+        fleet_latency.count(),
+        fleet_latency.quantile_ms(0.50),
+        fleet_latency.quantile_ms(0.99),
+        fleet_latency.quantile_ms(0.999),
+        fleet_latency.max().unwrap_or(0) as f64 / 1_000.0,
+        fleet_latency.bucket_storage(),
+    );
+
+    if let Some(path) = &args.out {
+        let mut doc = String::new();
+        for row in &rows {
+            doc.push_str(&row.jsonl());
+            doc.push('\n');
+        }
+        std::fs::write(path, doc).expect("write --out");
+        println!("wrote scoreboard rows to {path}");
+    }
+    if let Some(path) = &args.snapshots {
+        let mut doc = String::new();
+        for r in &results {
+            for l in &r.snapshot_lines {
+                doc.push_str(l);
+                doc.push('\n');
+            }
+        }
+        std::fs::write(path, doc).expect("write --snapshots");
+        println!("wrote windowed snapshots to {path}");
+    }
+}

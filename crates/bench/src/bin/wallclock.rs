@@ -14,6 +14,11 @@
 //!    executor at `--jobs` 1/2/4, with per-seed sizing precomputed outside
 //!    the timed region so the sweep measures executor overhead + cell
 //!    work, not redundant setup.
+//! 4. **instrumented overhead**: the same closed loop on a trained
+//!    SpecFaaS engine with and without the streaming-observability
+//!    instruments (metrics registry + windowed snapshots) armed. The
+//!    ratio bounds how much the constant-memory observability layer may
+//!    cost; the guard's clause 4 enforces the documented ceiling.
 //!
 //! Every number is a median of K repeats. Results are printed as a table
 //! and written machine-readably to `BENCH_wallclock.json` (override with
@@ -33,11 +38,11 @@ use specfaas_bench::executor::{self, ExperimentCell};
 use specfaas_bench::report::{f1, Table};
 use specfaas_bench::runner::{
     baseline_single_ms, measure_baseline_concurrent_sized, measure_spec_concurrent_sized,
-    ExperimentParams,
+    prepared_spec, ExperimentParams,
 };
 use specfaas_bench::wallclock_guard;
 use specfaas_core::SpecConfig;
-use specfaas_sim::{SimDuration, SimRng, Simulator};
+use specfaas_sim::{MetricsRegistry, SimDuration, SimRng, Simulator, SnapshotLog};
 
 /// Median of the samples (in place).
 fn median(samples: &mut [f64]) -> f64 {
@@ -201,6 +206,38 @@ fn sweep_secs(jobs: usize, quick: bool, repeats: usize, singles: &[f64]) -> f64 
     })
 }
 
+/// Instrumented-run overhead: times `requests` closed-loop requests on a
+/// trained SpecFaaS engine twice — once plain, once with the streaming
+/// observability instruments armed (recording [`MetricsRegistry`] +
+/// 250 ms windowed [`SnapshotLog`]). Engine prep (prewarm + training) is
+/// hoisted outside both timed regions; repeats continue the same closed
+/// loop, so both arms measure steady-state request processing and the
+/// ratio isolates what the instruments add per event. Returns
+/// `(requests, plain_secs, instrumented_secs)`.
+fn instrumented_overhead(quick: bool, repeats: usize) -> (u64, f64, f64) {
+    let bundle = specfaas_apps::faaschain::apps().remove(0); // Login
+    let requests: u64 = if quick { 200 } else { 1_000 };
+    let seed = ExperimentParams::default().seed;
+
+    let mut plain = prepared_spec(&bundle, SpecConfig::full(), seed, 120);
+    let gen = bundle.make_input.clone();
+    let plain_secs = timed(repeats, || {
+        let gen = gen.clone();
+        std::hint::black_box(plain.run_closed(requests, move |r| gen(r)));
+    });
+
+    let mut inst = prepared_spec(&bundle, SpecConfig::full(), seed, 120);
+    inst.set_registry(MetricsRegistry::recording());
+    inst.set_snapshots(SnapshotLog::new(SimDuration::from_millis(250)));
+    let gen = bundle.make_input.clone();
+    let inst_secs = timed(repeats, || {
+        let gen = gen.clone();
+        std::hint::black_box(inst.run_closed(requests, move |r| gen(r)));
+    });
+
+    (requests, plain_secs, inst_secs)
+}
+
 /// Minimal JSON string escape (labels here are plain ASCII anyway).
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -288,6 +325,17 @@ fn main() {
     println!("{}", t.render());
     println!("(host parallelism: {host_par}, measured 2-worker speedup: {measured_par:.2}x)");
 
+    println!("\n== Wall-clock: instrumented-run overhead (Login) ==\n");
+    let (ov_requests, ov_plain, ov_inst) = instrumented_overhead(quick, row_repeats);
+    let overhead_ratio = ov_inst / ov_plain;
+    println!(
+        "{ov_requests} requests: plain {:.3} s, instrumented {:.3} s, ratio {:.3}x (guard limit {}x)",
+        ov_plain,
+        ov_inst,
+        overhead_ratio,
+        wallclock_guard::INSTRUMENTED_OVERHEAD_LIMIT
+    );
+
     // Machine-readable artifact.
     let mut j = String::new();
     j.push_str("{\n");
@@ -330,7 +378,14 @@ fn main() {
             if i + 1 < sweep.len() { "," } else { "" }
         ));
     }
-    j.push_str("  ]\n}\n");
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"instrumented_overhead\": {{\"app\": \"Login\", \"requests\": {ov_requests}, \
+         \"repeats\": {row_repeats}, \"plain_secs\": {:.4}, \"instrumented_secs\": {:.4}, \
+         \"overhead_ratio\": {:.4}}}\n",
+        ov_plain, ov_inst, overhead_ratio
+    ));
+    j.push_str("}\n");
 
     match (out, quick) {
         (Some(path), _) => {

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use specfaas_apps::AppBundle;
 use specfaas_core::{SpecConfig, SpecEngine};
-use specfaas_platform::{BaselineEngine, EngineCore, Harness, RunMetrics};
-use specfaas_sim::timeseries::MetricsRegistry;
+use specfaas_platform::{BaselineEngine, EngineCore, Harness, RunMetrics, ScoreboardRow};
+use specfaas_sim::timeseries::{MetricsRegistry, SnapshotLog};
 use specfaas_sim::trace::Tracer;
 use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration, SimRng};
 use specfaas_storage::Value;
@@ -122,6 +122,28 @@ pub fn instrumented_closed<E: EngineCore>(
     e.set_registry(registry);
     let m = e.run_closed(requests, input);
     (e.take_tracer(), e.take_registry(), m)
+}
+
+/// Runs a closed loop with the streaming observability instruments armed
+/// (metrics registry + windowed snapshot log) and assembles the
+/// speculation-health scoreboard row for the run. Returns the row, the
+/// snapshot log (final snapshot already stamped) and the run metrics;
+/// the registry is taken back out and discarded — everything the
+/// scoreboard needs has been copied into the row.
+pub fn scoreboard_closed<E: EngineCore>(
+    e: &mut Harness<E>,
+    engine: &'static str,
+    requests: u64,
+    snapshot_window: SimDuration,
+    input: impl FnMut(&mut SimRng) -> Value,
+) -> (ScoreboardRow, SnapshotLog, RunMetrics) {
+    e.set_registry(MetricsRegistry::recording());
+    e.set_snapshots(SnapshotLog::new(snapshot_window));
+    let m = e.run_closed(requests, input);
+    let row = e.scoreboard(engine, &m);
+    let log = e.take_snapshots().expect("snapshots armed above");
+    e.take_registry();
+    (row, log, m)
 }
 
 /// Mean completed-request response (ms) over `m.records`, skipping the

@@ -3,7 +3,7 @@
 //! `BENCH_wallclock.json` is the repo's perf contract: the event-queue
 //! microbenchmark numbers and the executor jobs sweep a change is not
 //! allowed to regress. This module parses the artifact (both the committed
-//! blessing and a freshly measured run) and checks the three clauses CI
+//! blessing and a freshly measured run) and checks the four clauses CI
 //! enforces (`wallclock --guard <committed.json>`):
 //!
 //! 1. **Absolute ceiling** — `schedule_step` median ns/op at 100k pending
@@ -17,6 +17,12 @@
 //!    single effective core the clause is skipped: no harness can beat
 //!    serial there, and the measured-parallelism field in the artifact
 //!    records why.
+//! 4. **Instrumentation overhead** — arming the streaming observability
+//!    instruments (recording registry + windowed snapshots) may not slow
+//!    the measured closed loop past
+//!    [`INSTRUMENTED_OVERHEAD_LIMIT`]× the plain run. This clause is
+//!    absolute (it compares the current run against itself, not against
+//!    the blessing) and is skipped for artifacts that predate the field.
 //!
 //! The parser is a deliberately minimal extractor for the artifact's own
 //! fixed emitter (flat keys, no nesting surprises) — not a general JSON
@@ -42,6 +48,9 @@ pub struct WallclockArtifact {
     /// (see `executor::measured_parallelism`); older v1 artifacts that
     /// predate the field default to `host_parallelism` as a best guess.
     pub measured_parallelism: f64,
+    /// Instrumented/plain wall-time ratio of the observability-overhead
+    /// section (absent in artifacts that predate it).
+    pub overhead_ratio: Option<f64>,
 }
 
 /// Extracts the first number following `"key":` in `chunk`.
@@ -98,6 +107,7 @@ pub fn parse_artifact(json: &str) -> Result<WallclockArtifact, String> {
         host_parallelism,
         measured_parallelism: num_after(json, "measured_parallelism")
             .unwrap_or(host_parallelism as f64),
+        overhead_ratio: num_after(json, "overhead_ratio"),
     })
 }
 
@@ -118,6 +128,20 @@ pub const ABS_HEADROOM: f64 = 1.25;
 pub const FLATNESS_LIMIT: f64 = 2.75;
 /// Measured parallelism below which the jobs clause is vacuous.
 pub const MULTICORE_MIN: f64 = 1.5;
+/// Maximum allowed instrumented/plain wall-time ratio.
+///
+/// The per-event cost of an armed registry is a dozen gauge samples
+/// through cached [`GaugeHandle`]s (O(1) arena writes, no map walk, no
+/// allocation — see `MetricsRegistry::sample_interned`) plus a handful
+/// of O(1) histogram records and Space-Saving updates per request and a
+/// snapshot-due check per event. Measured ratio on the blessing host is
+/// ~1.15–1.4×; the name-keyed map-walk design this replaced measured
+/// ~2.4× and would trip this clause. The limit leaves headroom for noisy
+/// CI containers while still catching an accidental O(n) — a sort or
+/// full-registry scan — sneaking back into the per-event path.
+///
+/// [`GaugeHandle`]: specfaas_sim::GaugeHandle
+pub const INSTRUMENTED_OVERHEAD_LIMIT: f64 = 1.5;
 
 /// Checks `current` against the `committed` blessing. Returns the list of
 /// violated clauses (empty = pass).
@@ -149,6 +173,14 @@ pub fn check(current: &WallclockArtifact, committed: &WallclockArtifact) -> Vec<
             _ => {}
         }
     }
+    if let Some(r) = current.overhead_ratio {
+        if r > INSTRUMENTED_OVERHEAD_LIMIT {
+            violations.push(format!(
+                "observability instruments too expensive: instrumented/plain ratio \
+                 {r:.3}x > {INSTRUMENTED_OVERHEAD_LIMIT}x"
+            ));
+        }
+    }
     violations
 }
 
@@ -165,6 +197,7 @@ mod tests {
             jobs2_speedup: Some(jobs2),
             host_parallelism: 4,
             measured_parallelism: measured,
+            overhead_ratio: Some(1.02),
         }
     }
 
@@ -186,7 +219,8 @@ mod tests {
     {"jobs": 1, "cells": 8, "median_secs": 0.132, "speedup": 1.000},
     {"jobs": 2, "cells": 8, "median_secs": 0.145, "speedup": 0.910},
     {"jobs": 4, "cells": 8, "median_secs": 0.140, "speedup": 0.942}
-  ]
+  ],
+  "instrumented_overhead": {"app": "Login", "requests": 1000, "repeats": 3, "plain_secs": 0.4012, "instrumented_secs": 0.4141, "overhead_ratio": 1.0321}
 }"#;
         let a = parse_artifact(json).unwrap();
         assert_eq!(a.step_ns_1k, 126.51);
@@ -196,6 +230,9 @@ mod tests {
         assert_eq!(a.jobs2_speedup, Some(0.910));
         assert_eq!(a.host_parallelism, 1);
         assert_eq!(a.measured_parallelism, 1.02);
+        // Must pick the ratio key, not a number inside the overhead object
+        // that happens to come first.
+        assert_eq!(a.overhead_ratio, Some(1.0321));
     }
 
     #[test]
@@ -212,6 +249,20 @@ mod tests {
         let a = parse_artifact(json).unwrap();
         assert_eq!(a.measured_parallelism, 4.0);
         assert_eq!(a.jobs2_speedup, None);
+        assert_eq!(a.overhead_ratio, None);
+    }
+
+    #[test]
+    fn overhead_clause_fires_past_the_limit_and_skips_when_absent() {
+        let committed = artifact(100.0, 150.0, 1.0, 1.0);
+        let mut current = artifact(100.0, 150.0, 1.6, 2.0);
+        current.overhead_ratio = Some(INSTRUMENTED_OVERHEAD_LIMIT + 0.1);
+        let v = check(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("instruments too expensive"));
+        // Artifacts that predate the section skip the clause entirely.
+        current.overhead_ratio = None;
+        assert!(check(&current, &committed).is_empty());
     }
 
     #[test]

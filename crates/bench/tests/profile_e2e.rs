@@ -91,6 +91,11 @@ fn assert_metrics_eq(a: &RunMetrics, b: &RunMetrics, label: &str) {
         b.latency.mean_ms(),
         "{label}: latency diverged"
     );
+    assert_eq!(
+        a.p99_response_ms(),
+        b.p99_response_ms(),
+        "{label}: streaming p99 diverged"
+    );
 }
 
 #[test]

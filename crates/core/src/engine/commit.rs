@@ -530,7 +530,7 @@ impl SpecCore {
         self.rt.metrics.functions_squashed += u64::from(req.functions_squashed);
         self.rt.registry.inc("specfaas_requests_completed_total");
         if req.measured {
-            self.rt.metrics.record_completion(InvocationRecord {
+            self.rt.record_completion(InvocationRecord {
                 arrived: req.arrived,
                 completed: now,
                 functions_run: req.functions_run,

@@ -443,6 +443,8 @@ impl SpecCore {
                 req.functions_run += 1;
                 self.rt.metrics.functions_started += 1;
                 self.rt.registry.inc("specfaas_functions_started_total");
+                self.rt
+                    .topk_by_function("specfaas_requests_by_function", &self.app, func, 1);
                 self.rt.registry.inc("specfaas_memo_hits_total");
                 if self.rt.tracer.enabled() {
                     self.rt.tracer.emit(
@@ -486,6 +488,8 @@ impl SpecCore {
         req.functions_run += 1;
         self.rt.metrics.functions_started += 1;
         self.rt.registry.inc("specfaas_functions_started_total");
+        self.rt
+            .topk_by_function("specfaas_requests_by_function", &self.app, func, 1);
         if speculative && self.rt.registry.enabled() {
             self.spec_live.insert(id);
         }

@@ -23,7 +23,7 @@ use specfaas_platform::metrics::{InvocationRecord, RequestOutcome, RunMetrics};
 use specfaas_platform::workload::RequestId;
 use specfaas_sim::trace::{Phase, SquashCause, TraceEventKind};
 use specfaas_sim::FaultSite;
-use specfaas_sim::{SimDuration, SimTime};
+use specfaas_sim::{GaugeHandle, SimDuration, SimTime};
 use specfaas_storage::Value;
 use specfaas_workflow::{AppSpec, Effect, EntryKind, FuncId, Interp, Program};
 
@@ -246,6 +246,10 @@ pub struct SpecCore {
     /// pruned lazily at sample time). Feeds the in-flight-speculation
     /// gauge without touching the unconditional instance bookkeeping.
     spec_live: FxHashSet<InstanceId>,
+    /// Cached `(inflight_spec_slots, memo_entries)` gauge instruments
+    /// ([`specfaas_sim::MetricsRegistry::sample_interned`]): per-event
+    /// sampling without a registry map walk.
+    spec_gauge_h: (Option<GaugeHandle>, Option<GaugeHandle>),
     seqtable: SequenceTable,
     predictor: BranchPredictor,
     memos: MemoTables,
@@ -388,6 +392,7 @@ impl SpecCore {
             squash_kill_busy: SimDuration::ZERO,
             kill_busy_base: SimDuration::ZERO,
             spec_live: FxHashSet::default(),
+            spec_gauge_h: (None, None),
             seqtable,
             instances: FxHashMap::default(),
             meta: FxHashMap::default(),
@@ -427,14 +432,20 @@ impl SpecCore {
         let now = self.rt.sim.now();
         self.rt.sample_cluster_gauges(now);
         self.spec_live.retain(|id| self.instances.contains_key(id));
-        self.rt.registry.sample(
+        self.rt.registry.sample_interned(
+            &mut self.spec_gauge_h.0,
             now,
             "specfaas_inflight_spec_slots",
+            "",
+            "",
             self.spec_live.len() as u64,
         );
-        self.rt.registry.sample(
+        self.rt.registry.sample_interned(
+            &mut self.spec_gauge_h.1,
             now,
             "specfaas_memo_entries",
+            "",
+            "",
             self.memos.total_entries() as u64,
         );
         self.rt.sample_kv_gauge(now);
@@ -454,6 +465,14 @@ impl SpecCore {
         amount: SimDuration,
     ) {
         self.rt.charge_squashed(req.0, func, site, cascade, amount);
+        if amount > SimDuration::ZERO {
+            self.rt.topk_by_function(
+                "specfaas_wasted_core_us_by_function",
+                &self.app,
+                func,
+                amount.as_micros(),
+            );
+        }
     }
 
     // ------------------------------------------------------------------

@@ -303,6 +303,14 @@ impl BaselineCore {
     /// never cascade).
     fn charge_squashed(&mut self, req: u64, func: FuncId, site: &'static str, amount: SimDuration) {
         self.rt.charge_squashed(req, func, site, 0, amount);
+        if amount > SimDuration::ZERO {
+            self.rt.topk_by_function(
+                "specfaas_wasted_core_us_by_function",
+                &self.app,
+                func,
+                amount.as_micros(),
+            );
+        }
     }
 
     /// Request the instance works for, for trace labelling (`u64::MAX`
@@ -409,6 +417,8 @@ impl BaselineCore {
         self.ctxs.insert(id, ctx);
         self.rt.metrics.functions_started += 1;
         self.rt.registry.inc("specfaas_functions_started_total");
+        self.rt
+            .topk_by_function("specfaas_requests_by_function", &self.app, func, 1);
         if let Some(r) = self.requests.get_mut(&req) {
             r.functions_run += 1;
         }
@@ -1211,7 +1221,7 @@ impl BaselineCore {
         }
         self.rt.registry.inc("specfaas_requests_completed_total");
         if state.measured {
-            self.rt.metrics.record_completion(InvocationRecord {
+            self.rt.record_completion(InvocationRecord {
                 arrived: state.arrived,
                 completed: now,
                 functions_run: state.functions_run,

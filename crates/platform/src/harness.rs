@@ -31,7 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use specfaas_sim::timeseries::MetricsRegistry;
+use specfaas_sim::timeseries::{GaugeHandle, MetricsRegistry, SnapshotLog};
 use specfaas_sim::trace::{TraceEventKind, Tracer};
 use specfaas_sim::{FaultInjector, FaultPlan, RetryPolicy};
 use specfaas_sim::{SimDuration, SimRng, SimTime, Simulator};
@@ -40,8 +40,9 @@ use specfaas_workflow::{AppSpec, FuncId};
 
 use crate::cluster::Cluster;
 use crate::exec::InstanceId;
-use crate::metrics::RunMetrics;
+use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::overheads::OverheadModel;
+use crate::scoreboard::ScoreboardRow;
 use crate::workload::{RequestId, Workload};
 
 /// Boxed request-input generator driven by the engine RNG.
@@ -87,6 +88,22 @@ pub struct Runtime<Ev> {
     /// Completion instants of in-flight KV operations (registry-gated;
     /// min-heap popped lazily at sample time).
     pub kv_pending: BinaryHeap<Reverse<SimTime>>,
+    /// Windowed JSONL snapshot emitter (disabled by default; see
+    /// [`Harness::set_snapshots`]). Like the registry, purely
+    /// observational: arming it leaves run output bit-identical.
+    pub snapshots: Option<SnapshotLog>,
+    /// Lazily built node-index label strings ("0", "1", ...), so the
+    /// per-event cluster gauge sampling never allocates.
+    node_labels: Vec<String>,
+    /// Cached warm-pool gauge instrument ([`MetricsRegistry::sample_interned`]).
+    warm_pool_h: Option<GaugeHandle>,
+    /// Cached outstanding-KV-ops gauge instrument.
+    kv_gauge_h: Option<GaugeHandle>,
+    /// Cached per-node `(busy_cores, controller_queue_depth)` instruments.
+    node_gauge_h: Vec<(Option<GaugeHandle>, Option<GaugeHandle>)>,
+    /// Lazily built `"<app>/<function>"` top-K keys indexed by function
+    /// id, so per-function-start sketch updates never re-format.
+    topk_keys: Vec<String>,
     /// Run metrics accumulated since the last driver took them.
     pub metrics: RunMetrics,
     /// Open-loop arrival process (armed by [`Harness::run_open`]).
@@ -125,6 +142,12 @@ impl<Ev> Runtime<Ev> {
             attributed_base: (SimDuration::ZERO, SimDuration::ZERO),
             registry: MetricsRegistry::disabled(),
             kv_pending: BinaryHeap::new(),
+            snapshots: None,
+            node_labels: Vec::new(),
+            warm_pool_h: None,
+            kv_gauge_h: None,
+            node_gauge_h: Vec::new(),
+            topk_keys: Vec::new(),
             metrics: RunMetrics::new(),
             workload: None,
             gen_deadline: SimTime::ZERO,
@@ -182,24 +205,87 @@ impl<Ev> Runtime<Ev> {
             .inc_by("specfaas_squashed_core_us_total", amount.as_micros());
     }
 
+    /// Records a completed request into [`RunMetrics`] *and* the
+    /// streaming registry instruments: end-to-end latency into the
+    /// `specfaas_response_latency_us` histogram and the request's squash
+    /// depth into `specfaas_request_squashed_functions`. Both engines'
+    /// completion paths route through here, so the scoreboard sees the
+    /// same distributions whichever core ran.
+    pub fn record_completion(&mut self, rec: InvocationRecord) {
+        if self.registry.enabled() {
+            self.registry.observe(
+                "specfaas_response_latency_us",
+                rec.response_time().as_micros(),
+            );
+            self.registry.observe(
+                "specfaas_request_squashed_functions",
+                rec.functions_squashed as u64,
+            );
+        }
+        self.metrics.record_completion(rec);
+    }
+
+    /// Adds `weight` for function `func` of `app` to the registry
+    /// heavy-hitter sketch `name`, keyed `"<app>/<function>"`. No-op —
+    /// and allocation-free — when the registry is disabled or the
+    /// function id is the `u32::MAX` sentinel some abort paths carry.
+    pub fn topk_by_function(
+        &mut self,
+        name: &'static str,
+        app: &AppSpec,
+        func: FuncId,
+        weight: u64,
+    ) {
+        if !self.registry.enabled() || func.0 == u32::MAX {
+            return;
+        }
+        let idx = func.0 as usize;
+        if self.topk_keys.len() <= idx {
+            self.topk_keys.resize(idx + 1, String::new());
+        }
+        if self.topk_keys[idx].is_empty() {
+            self.topk_keys[idx] = format!("{}/{}", app.name, app.registry.name(func));
+        }
+        self.registry.topk_add(name, &self.topk_keys[idx], weight);
+    }
+
+    /// Emits pending windowed snapshots if sim-time crossed a boundary.
+    /// One `Option` check when snapshots are disabled — cheap enough for
+    /// the harness dispatch loops to call per event.
+    pub fn tick_snapshots(&mut self) {
+        if let Some(log) = self.snapshots.as_mut() {
+            log.tick(self.sim.now(), &self.registry);
+        }
+    }
+
     /// Samples the cluster-level gauges (warm pool, per-node busy cores
     /// and controller queue depth). Cores call this from their
     /// `sample_gauges` before any engine-specific gauges.
     pub fn sample_cluster_gauges(&mut self, now: SimTime) {
-        self.registry.sample(
+        self.registry.sample_interned(
+            &mut self.warm_pool_h,
             now,
             "specfaas_warm_pool_size",
+            "",
+            "",
             self.cluster.warm_pool_total(),
         );
-        for (i, busy, depth) in self.cluster.node_gauges(now).collect::<Vec<_>>() {
-            let label = i.to_string();
-            self.registry
-                .sample_labeled(now, "specfaas_busy_cores", "node", &label, busy);
-            self.registry.sample_labeled(
+        let nodes = self.cluster.nodes();
+        if self.node_labels.len() < nodes {
+            self.node_labels = (0..nodes).map(|i| i.to_string()).collect();
+            self.node_gauge_h.resize(nodes, (None, None));
+        }
+        let (cluster, registry) = (&self.cluster, &mut self.registry);
+        for (i, busy, depth) in cluster.node_gauges(now) {
+            let label = self.node_labels[i].as_str();
+            let (busy_h, depth_h) = &mut self.node_gauge_h[i];
+            registry.sample_interned(busy_h, now, "specfaas_busy_cores", "node", label, busy);
+            registry.sample_interned(
+                depth_h,
                 now,
                 "specfaas_controller_queue_depth",
                 "node",
-                &label,
+                label,
                 depth as u64,
             );
         }
@@ -212,9 +298,12 @@ impl<Ev> Runtime<Ev> {
         while self.kv_pending.peek().is_some_and(|Reverse(t)| *t <= now) {
             self.kv_pending.pop();
         }
-        self.registry.sample(
+        self.registry.sample_interned(
+            &mut self.kv_gauge_h,
             now,
             "specfaas_outstanding_kv_ops",
+            "",
+            "",
             self.kv_pending.len() as u64,
         );
     }
@@ -450,6 +539,39 @@ impl<E: EngineCore> Harness<E> {
         std::mem::take(&mut self.core.rt_mut().registry)
     }
 
+    /// Installs a windowed JSONL snapshot log, ticked from the dispatch
+    /// loops. Pair with [`Harness::set_registry`] — snapshots render the
+    /// registry's cumulative state, so an empty registry yields empty
+    /// snapshots. Purely observational, like the other instruments.
+    pub fn set_snapshots(&mut self, mut log: SnapshotLog) {
+        let rt = self.core.rt_mut();
+        log.start_at(rt.sim.now());
+        rt.snapshots = Some(log);
+    }
+
+    /// Takes the snapshot log out of the engine (for export), stamping
+    /// one final snapshot at the current sim-time first. `None` if
+    /// snapshots were never armed.
+    pub fn take_snapshots(&mut self) -> Option<SnapshotLog> {
+        let rt = self.core.rt_mut();
+        let mut log = rt.snapshots.take()?;
+        log.finish(rt.sim.now(), &rt.registry);
+        Some(log)
+    }
+
+    /// Assembles the speculation-health scoreboard row for the run that
+    /// produced `metrics`, reading the heavy-hitter and distribution
+    /// instruments from the installed registry. Call after a load driver
+    /// returns and before [`Harness::take_registry`].
+    pub fn scoreboard(&self, engine: &'static str, metrics: &RunMetrics) -> ScoreboardRow {
+        ScoreboardRow::build(
+            &self.core.app().name,
+            engine,
+            metrics,
+            &self.core.rt().registry,
+        )
+    }
+
     /// Runs the end-of-run invariants over the window since the tracer
     /// was installed (or the previous check).
     fn trace_end_of_run(&mut self) {
@@ -496,6 +618,7 @@ impl<E: EngineCore> Harness<E> {
                 break;
             };
             self.core.dispatch(ev);
+            self.core.rt_mut().tick_snapshots();
         }
         self.core.rt().sim.now() - start
     }
@@ -510,6 +633,7 @@ impl<E: EngineCore> Harness<E> {
         loop {
             while let Some((_, ev)) = self.core.rt_mut().sim.step() {
                 self.core.dispatch(ev);
+                self.core.rt_mut().tick_snapshots();
             }
             let stuck = self.core.live_requests();
             if stuck.is_empty() {

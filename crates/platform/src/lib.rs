@@ -40,6 +40,7 @@ pub mod exec;
 pub mod harness;
 pub mod metrics;
 pub mod overheads;
+pub mod scoreboard;
 pub mod workload;
 
 pub use baseline::{BaselineCore, BaselineEngine};
@@ -49,4 +50,5 @@ pub use exec::{FnInstance, InstanceId, InstanceState};
 pub use harness::{EngineCore, Harness, Runtime};
 pub use metrics::{Breakdown, FaultStats, InvocationRecord, RequestOutcome, RunMetrics};
 pub use overheads::OverheadModel;
+pub use scoreboard::ScoreboardRow;
 pub use workload::{Load, RequestId, Workload};

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use specfaas_sim::stats::{HitRate, LatencyRecorder};
-use specfaas_sim::{SimDuration, SimTime};
+use specfaas_sim::{LogHistogram, SimDuration, SimTime};
 
 /// Terminal outcome of one application request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,8 +164,15 @@ impl InvocationRecord {
 /// Aggregated metrics of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
-    /// Response-time recorder over completed requests.
+    /// Exact response-time recorder over completed requests. Stores every
+    /// sample; kept for tests and error-bound comparisons against the
+    /// streaming histogram below.
     pub latency: LatencyRecorder,
+    /// Constant-memory response-time histogram (microseconds). The
+    /// reporting path ([`RunMetrics::p99_response_ms`] and friends) reads
+    /// percentiles from here, bounded within
+    /// [`LogHistogram::RELATIVE_ERROR`] of the exact recorder.
+    pub latency_hist: LogHistogram,
     /// Per-request records.
     pub records: Vec<InvocationRecord>,
     /// Per-function-invocation breakdowns (Fig. 3).
@@ -206,6 +213,7 @@ impl RunMetrics {
     pub fn record_completion(&mut self, rec: InvocationRecord) {
         debug_assert_eq!(rec.outcome, RequestOutcome::Completed);
         self.latency.record(rec.response_time());
+        self.latency_hist.record_duration(rec.response_time());
         self.completed += 1;
         self.records.push(rec);
     }
@@ -233,9 +241,22 @@ impl RunMetrics {
         self.latency.mean_ms()
     }
 
-    /// P99 response time in milliseconds.
-    pub fn p99_response_ms(&mut self) -> f64 {
-        self.latency.p99_ms()
+    /// P99 response time in milliseconds, answered by the streaming
+    /// histogram in constant memory (within
+    /// [`LogHistogram::RELATIVE_ERROR`] of the exact sort-based answer —
+    /// and exact for a single sample, whose min and max coincide).
+    pub fn p99_response_ms(&self) -> f64 {
+        self.latency_hist.quantile_ms(0.99)
+    }
+
+    /// P50 response time in milliseconds (streaming histogram).
+    pub fn p50_response_ms(&self) -> f64 {
+        self.latency_hist.quantile_ms(0.50)
+    }
+
+    /// P99.9 response time in milliseconds (streaming histogram).
+    pub fn p999_response_ms(&self) -> f64 {
+        self.latency_hist.quantile_ms(0.999)
     }
 
     /// Completed requests per second over the window.
@@ -377,6 +398,31 @@ mod tests {
         assert_eq!(m.latency.p50_ms(), 7.0);
         assert_eq!(m.mean_response_ms(), 7.0);
         assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn histogram_p99_tracks_exact_recorder_within_error_bound() {
+        use specfaas_sim::SimRng;
+        let mut m = RunMetrics::new();
+        let mut rng = SimRng::seed(0x0b5e);
+        for i in 0..5_000u64 {
+            // Long-tailed synthetic response times, 1ms..~10s.
+            let dur_ms = 1 + rng.uniform_u64(10) * rng.uniform_u64(1_000);
+            m.record_completion(rec(i, dur_ms, vec![0]));
+        }
+        for (q, exact) in [
+            (0.50, m.latency.percentile_ms(50.0)),
+            (0.99, m.latency.percentile_ms(99.0)),
+        ] {
+            let streamed = m.latency_hist.quantile_ms(q);
+            let err = (streamed - exact).abs() / exact.max(1e-9);
+            assert!(
+                err <= LogHistogram::RELATIVE_ERROR,
+                "q={q}: streamed {streamed} vs exact {exact} (err {err})"
+            );
+        }
+        // Constant memory: the histogram never stores per-sample state.
+        assert!(m.latency_hist.bucket_storage() <= LogHistogram::MAX_BUCKETS);
     }
 
     #[test]

@@ -39,17 +39,21 @@
 pub mod event;
 pub mod fault;
 pub mod hash;
+pub mod hist;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timeseries;
+pub mod topk;
 pub mod trace;
 
 pub use event::{EventId, Simulator};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hist::LogHistogram;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use timeseries::MetricsRegistry;
+pub use timeseries::{GaugeHandle, MetricsRegistry, SnapshotLog};
+pub use topk::SpaceSaving;
 pub use trace::{TraceEvent, TraceEventKind, Tracer};

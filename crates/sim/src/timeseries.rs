@@ -1,5 +1,6 @@
-//! Deterministic time-series metrics: counters and event-driven sampled
-//! gauges with Prometheus text-exposition and CSV export.
+//! Deterministic time-series metrics: counters, event-driven sampled
+//! gauges, streaming histograms and heavy-hitter sketches, with
+//! Prometheus text-exposition, CSV, and windowed JSONL snapshot export.
 //!
 //! [`MetricsRegistry`] follows the same opt-in discipline as the flight
 //! recorder ([`crate::trace::Tracer`]): a disabled registry is a single
@@ -12,8 +13,13 @@
 //! injections, ...). Gauges are event-driven samples: the engine pushes
 //! `(sim-time, value)` pairs at its own control-flow points (launches,
 //! completions, teardowns), and consecutive duplicate values are collapsed
-//! so a long steady state costs one sample. All values are integers, which
-//! keeps both export formats byte-stable across platforms.
+//! so a long steady state costs one sample. Histograms
+//! ([`MetricsRegistry::observe`]) are constant-memory
+//! [`LogHistogram`]s for distributions (latencies, squash depths);
+//! top-K sketches ([`MetricsRegistry::topk_add`]) are
+//! [`SpaceSaving`] heavy-hitter trackers for per-key weight
+//! (requests or wasted core-time per function). All values are integers,
+//! which keeps every export format byte-stable across platforms.
 //!
 //! # Example
 //!
@@ -41,18 +47,98 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::time::SimTime;
+use crate::hist::LogHistogram;
+use crate::time::{SimDuration, SimTime};
+use crate::topk::SpaceSaving;
 
 /// Metric identity: name plus at most one label pair. Unlabeled metrics
 /// use empty strings for both label fields. `BTreeMap` keying on this
 /// tuple gives a deterministic export order for free.
 type Key = (&'static str, &'static str, String);
 
-#[derive(Default)]
+/// Keys a top-K sketch tracks per instrument.
+const TOPK_CAPACITY: usize = 16;
+
+/// One gauge's event-driven sample series.
+type GaugeSeries = Vec<(SimTime, u64)>;
+
+/// Process-wide registry generation counter: each recording registry gets
+/// a distinct generation so stale [`GaugeHandle`]s cached across a
+/// registry swap are detected and re-interned instead of indexing into
+/// the wrong arena. Never exported, so it cannot perturb determinism.
+static REGISTRY_GEN: AtomicU64 = AtomicU64::new(1);
+
+/// An interned gauge instrument: an O(1) ticket into the registry's
+/// series arena, minted by [`MetricsRegistry::sample_interned`]. Only
+/// valid for the registry instance that minted it (enforced via the
+/// embedded generation).
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeHandle {
+    gen: u64,
+    idx: usize,
+}
+
 struct RegistryInner {
+    /// Generation stamp minted at construction (see [`REGISTRY_GEN`]).
+    gen: u64,
     counters: BTreeMap<Key, u64>,
-    gauges: BTreeMap<Key, Vec<(SimTime, u64)>>,
+    /// Gauge *identity* index: label value (the only non-static key
+    /// component) nested inside a `(name, label_key)` outer map, mapping
+    /// to a slot in [`RegistryInner::gauge_series`]. The nesting lets the
+    /// sampling path look an instrument up by `&str` without allocating a
+    /// key; iterating outer-then-inner visits the same `(name, label_key,
+    /// label_value)` order a flat [`Key`] map would, so exports stay
+    /// byte-identical.
+    gauge_index: BTreeMap<(&'static str, &'static str), BTreeMap<String, usize>>,
+    /// Gauge series arena, indexed by [`RegistryInner::gauge_index`] and
+    /// by [`GaugeHandle`]s.
+    gauge_series: Vec<GaugeSeries>,
+    histograms: BTreeMap<Key, LogHistogram>,
+    topks: BTreeMap<&'static str, SpaceSaving<String>>,
+}
+
+impl RegistryInner {
+    fn new() -> Self {
+        RegistryInner {
+            gen: REGISTRY_GEN.fetch_add(1, Ordering::Relaxed),
+            counters: BTreeMap::new(),
+            gauge_index: BTreeMap::new(),
+            gauge_series: Vec::new(),
+            histograms: BTreeMap::new(),
+            topks: BTreeMap::new(),
+        }
+    }
+
+    /// Slot of the gauge `name{label_key="label_value"}`, interning a
+    /// fresh series if this is the instrument's first sample. Borrow-first:
+    /// the steady-state path never allocates.
+    fn intern_gauge(
+        &mut self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+    ) -> usize {
+        let by_label = self.gauge_index.entry((name, label_key)).or_default();
+        if let Some(&idx) = by_label.get(label_value) {
+            return idx;
+        }
+        let idx = self.gauge_series.len();
+        self.gauge_series.push(Vec::new());
+        by_label.insert(label_value.to_string(), idx);
+        idx
+    }
+}
+
+/// Appends one event-driven sample: same-instant samples overwrite,
+/// consecutive duplicate values collapse.
+fn push_sample(series: &mut GaugeSeries, now: SimTime, value: u64) {
+    match series.last_mut() {
+        Some((t, v)) if *t == now => *v = value,
+        Some((_, v)) if *v == value => {}
+        _ => series.push((now, value)),
+    }
 }
 
 /// A deterministic metrics registry: counters plus event-driven sampled
@@ -75,7 +161,7 @@ impl MetricsRegistry {
     /// A registry that records counters and gauge samples.
     pub fn recording() -> Self {
         MetricsRegistry {
-            inner: Some(Box::default()),
+            inner: Some(Box::new(RegistryInner::new())),
         }
     }
 
@@ -127,15 +213,101 @@ impl MetricsRegistry {
         let Some(inner) = self.inner.as_deref_mut() else {
             return;
         };
-        let series = inner
-            .gauges
-            .entry((name, label_key, label_value.to_string()))
-            .or_default();
-        match series.last_mut() {
-            Some((t, v)) if *t == now => *v = value,
-            Some((_, v)) if *v == value => {}
-            _ => series.push((now, value)),
+        let idx = inner.intern_gauge(name, label_key, label_value);
+        push_sample(&mut inner.gauge_series[idx], now, value);
+    }
+
+    /// [`MetricsRegistry::sample_labeled`] through a cached instrument
+    /// handle — the per-event hot path. The first call (or the first
+    /// after a registry swap — detected via the handle's generation)
+    /// interns the gauge and fills `handle`; every later call is an O(1)
+    /// arena index with no map walk and no allocation. Semantically
+    /// identical to re-looking the gauge up by name each time.
+    pub fn sample_interned(
+        &mut self,
+        handle: &mut Option<GaugeHandle>,
+        now: SimTime,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+        value: u64,
+    ) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let idx = match handle {
+            Some(h) if h.gen == inner.gen => h.idx,
+            _ => {
+                let idx = inner.intern_gauge(name, label_key, label_value);
+                *handle = Some(GaugeHandle {
+                    gen: inner.gen,
+                    idx,
+                });
+                idx
+            }
+        };
+        push_sample(&mut inner.gauge_series[idx], now, value);
+    }
+
+    /// Records `value` into the unlabeled histogram `name`. O(1) and
+    /// constant-memory: the backing [`LogHistogram`] allocates at most
+    /// [`LogHistogram::MAX_BUCKETS`] counters however many values arrive.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.observe_labeled(name, "", "", value);
+    }
+
+    /// Records `value` into the histogram `name{label_key="label_value"}`.
+    pub fn observe_labeled(
+        &mut self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+        value: u64,
+    ) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner
+                .histograms
+                .entry((name, label_key, label_value.to_string()))
+                .or_default()
+                .record(value);
         }
+    }
+
+    /// Adds `weight` for `key` to the heavy-hitter sketch `name`
+    /// (capacity 16, created on first use). Keys are free-form strings —
+    /// the engines use `"<app>/<function>"`.
+    pub fn topk_add(&mut self, name: &'static str, key: &str, weight: u64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner
+                .topks
+                .entry(name)
+                .or_insert_with(|| SpaceSaving::new(TOPK_CAPACITY))
+                .add_weight_str(key, weight);
+        }
+    }
+
+    /// The histogram recorded under `name` with the given label pair, if
+    /// any values were observed.
+    pub fn histogram(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> Option<&LogHistogram> {
+        self.inner.as_deref().and_then(|i| {
+            i.histograms
+                .iter()
+                .find(|((n, lk, lv), _)| *n == name && *lk == label_key && lv == label_value)
+                .map(|(_, h)| h)
+        })
+    }
+
+    /// The heavy-hitter sketch recorded under `name`, if any weight was
+    /// added.
+    pub fn topk(&self, name: &str) -> Option<&SpaceSaving<String>> {
+        self.inner
+            .as_deref()
+            .and_then(|i| i.topks.iter().find(|(n, _)| **n == name).map(|(_, s)| s))
     }
 
     /// Current value of a counter (0 if never incremented). Unlabeled
@@ -162,10 +334,11 @@ impl MetricsRegistry {
         self.inner
             .as_deref()
             .and_then(|i| {
-                i.gauges
+                i.gauge_index
                     .iter()
-                    .find(|((n, lk, lv), _)| *n == name && *lk == label_key && lv == label_value)
-                    .map(|(_, v)| v.as_slice())
+                    .find(|((n, lk), _)| *n == name && *lk == label_key)
+                    .and_then(|(_, by_label)| by_label.get(label_value))
+                    .map(|&idx| i.gauge_series[idx].as_slice())
             })
             .unwrap_or(&[])
     }
@@ -190,15 +363,113 @@ impl MetricsRegistry {
             line(&mut out, name, lk, lv, *value);
         }
         last_name = "";
-        for ((name, lk, lv), series) in &inner.gauges {
+        for ((name, lk), by_label) in &inner.gauge_index {
             if *name != last_name {
                 header(&mut out, name, "gauge");
                 last_name = name;
             }
-            if let Some((_, v)) = series.last() {
-                line(&mut out, name, lk, lv, *v);
+            for (lv, &idx) in by_label {
+                if let Some((_, v)) = inner.gauge_series[idx].last() {
+                    line(&mut out, name, lk, lv, *v);
+                }
             }
         }
+        last_name = "";
+        for ((name, lk, lv), hist) in &inner.histograms {
+            if *name != last_name {
+                header(&mut out, name, "histogram");
+                last_name = name;
+            }
+            // Cumulative `le` buckets at the histogram's own (data-driven)
+            // bucket boundaries: bucket [lo, hi) holds values ≤ hi-1, so
+            // the inclusive boundary is hi-1. Exact in the linear region.
+            let mut cumulative = 0u64;
+            for (_, hi, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                bucket_line(&mut out, name, lk, lv, &(hi - 1).to_string(), cumulative);
+            }
+            bucket_line(&mut out, name, lk, lv, "+Inf", hist.count());
+            let labels = label_block(lk, lv);
+            let _ = writeln!(out, "{name}_sum{labels} {}", hist.sum());
+            let _ = writeln!(out, "{name}_count{labels} {}", hist.count());
+        }
+        for (name, sketch) in &inner.topks {
+            header(&mut out, name, "counter");
+            for (key, entry) in sketch.top() {
+                let _ = writeln!(out, "{name}{{key=\"{key}\"}} {}", entry.count);
+            }
+        }
+        out
+    }
+
+    /// Renders every histogram bucket as CSV with header
+    /// `metric,label,bucket_lo,bucket_hi,count,cumulative` — `bucket_hi`
+    /// exclusive, rows sorted by `(metric, label, bucket_lo)`.
+    pub fn export_histograms_csv(&self) -> String {
+        let Some(inner) = self.inner.as_deref() else {
+            return String::new();
+        };
+        let mut out = String::from("metric,label,bucket_lo,bucket_hi,count,cumulative\n");
+        for ((name, lk, lv), hist) in &inner.histograms {
+            let label = if lk.is_empty() {
+                String::new()
+            } else {
+                format!("{lk}={lv}")
+            };
+            let mut cumulative = 0u64;
+            for (lo, hi, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "{name},{label},{lo},{hi},{count},{cumulative}");
+            }
+        }
+        out
+    }
+
+    /// A deterministic one-line JSON summary of the registry's cumulative
+    /// state: every counter total plus per-histogram count/p50/p99/p99.9/max.
+    /// Used by [`SnapshotLog`] for windowed JSONL emission; `t_us` is the
+    /// sim-time the snapshot describes.
+    pub fn snapshot_json(&self, t: SimTime) -> String {
+        let mut out = format!("{{\"t_us\": {}", t.as_micros());
+        if let Some(inner) = self.inner.as_deref() {
+            out.push_str(", \"counters\": {");
+            let mut first = true;
+            for ((name, lk, lv), value) in &inner.counters {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                if lk.is_empty() {
+                    let _ = write!(out, "\"{name}\": {value}");
+                } else {
+                    let _ = write!(out, "\"{name}{{{lk}={lv}}}\": {value}");
+                }
+            }
+            out.push_str("}, \"histograms\": {");
+            let mut first = true;
+            for ((name, lk, lv), hist) in &inner.histograms {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let key = if lk.is_empty() {
+                    (*name).to_string()
+                } else {
+                    format!("{name}{{{lk}={lv}}}")
+                };
+                let _ = write!(
+                    out,
+                    "\"{key}\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                    hist.count(),
+                    hist.quantile(0.50),
+                    hist.quantile(0.99),
+                    hist.quantile(0.999),
+                    hist.max().unwrap_or(0)
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -211,9 +482,11 @@ impl MetricsRegistry {
             return String::new();
         };
         let mut rows: Vec<(SimTime, &str, &str, &str, u64)> = Vec::new();
-        for ((name, lk, lv), series) in &inner.gauges {
-            for (t, v) in series {
-                rows.push((*t, name, lk, lv, *v));
+        for ((name, lk), by_label) in &inner.gauge_index {
+            for (lv, &idx) in by_label {
+                for (t, v) in &inner.gauge_series[idx] {
+                    rows.push((*t, name, lk, lv, *v));
+                }
             }
         }
         rows.sort();
@@ -224,6 +497,80 @@ impl MetricsRegistry {
             } else {
                 let _ = writeln!(out, "{},{},{}={},{}", t.as_micros(), name, lk, lv, v);
             }
+        }
+        out
+    }
+}
+
+/// Windowed JSONL snapshot emitter for long runs.
+///
+/// The harness ticks this from its dispatch loop; whenever sim-time
+/// crosses a window boundary the registry's cumulative state is rendered
+/// (via [`MetricsRegistry::snapshot_json`]) as one JSON line stamped with
+/// the boundary time. Boundaries are fixed multiples of the window, so
+/// the emitted timeline is independent of event spacing — a run that goes
+/// quiet for three windows emits its next snapshot at the first boundary
+/// after activity resumes, stamped with the boundary it crossed.
+///
+/// Like the registry itself, the log only *reads* engine state: arming it
+/// leaves run output bit-identical.
+#[derive(Debug)]
+pub struct SnapshotLog {
+    window: SimDuration,
+    next_due: SimTime,
+    lines: Vec<String>,
+}
+
+impl SnapshotLog {
+    /// Creates a log that snapshots every `window` of sim-time.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window.as_micros() > 0, "snapshot window must be positive");
+        SnapshotLog {
+            window,
+            next_due: SimTime::ZERO + window,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Re-bases the window schedule so the first snapshot is due one
+    /// window after `now`. Harnesses call this at install time so a log
+    /// armed mid-run (e.g. after training) does not backfill a burst of
+    /// snapshots for boundaries that predate it.
+    pub fn start_at(&mut self, now: SimTime) {
+        self.next_due = now + self.window;
+    }
+
+    /// Emits a snapshot if `now` has reached the next window boundary.
+    /// O(1) when no boundary was crossed.
+    pub fn tick(&mut self, now: SimTime, registry: &MetricsRegistry) {
+        while now >= self.next_due {
+            let stamp = self.next_due;
+            self.lines.push(registry.snapshot_json(stamp));
+            self.next_due += self.window;
+        }
+    }
+
+    /// Emits one final snapshot stamped `now` (end of run), regardless of
+    /// window alignment.
+    pub fn finish(&mut self, now: SimTime, registry: &MetricsRegistry) {
+        self.lines.push(registry.snapshot_json(now));
+    }
+
+    /// The snapshot lines emitted so far.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Renders the snapshots as a JSONL document (one JSON object per
+    /// line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
         }
         out
     }
@@ -242,6 +589,29 @@ fn line(out: &mut String, name: &str, lk: &str, lv: &str, value: u64) {
         let _ = writeln!(out, "{name} {value}");
     } else {
         let _ = writeln!(out, "{name}{{{lk}=\"{lv}\"}} {value}");
+    }
+}
+
+/// Renders the label block for non-bucket histogram series (`_sum`,
+/// `_count`): empty for unlabeled metrics.
+fn label_block(lk: &str, lv: &str) -> String {
+    if lk.is_empty() {
+        String::new()
+    } else {
+        format!("{{{lk}=\"{lv}\"}}")
+    }
+}
+
+/// Renders one cumulative histogram bucket line with its `le` boundary
+/// (merged with the metric's own label pair when present).
+fn bucket_line(out: &mut String, name: &str, lk: &str, lv: &str, le: &str, cumulative: u64) {
+    if lk.is_empty() {
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    } else {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{lk}=\"{lv}\",le=\"{le}\"}} {cumulative}"
+        );
     }
 }
 
@@ -269,6 +639,16 @@ fn help_text(name: &str) -> &'static str {
         "specfaas_inflight_spec_slots" => "Live function instances launched speculatively.",
         "specfaas_memo_entries" => "Entries resident across all memo tables.",
         "specfaas_outstanding_kv_ops" => "Key-value operations issued but not yet completed.",
+        "specfaas_response_latency_us" => {
+            "End-to-end response latency of measured requests, microseconds."
+        }
+        "specfaas_request_squashed_functions" => {
+            "Squashed-function count per measured request (squash depth)."
+        }
+        "specfaas_wasted_core_us_by_function" => {
+            "Squashed core-time heavy hitters by app/function, microseconds."
+        }
+        "specfaas_requests_by_function" => "Request-start heavy hitters by app/function.",
         _ => "",
     }
 }
@@ -330,6 +710,76 @@ mod tests {
                 "2000,b,,1",
             ]
         );
+    }
+
+    #[test]
+    fn histogram_exports_cumulative_le_buckets() {
+        let mut r = MetricsRegistry::recording();
+        for v in [5u64, 5, 9, 40] {
+            r.observe("specfaas_response_latency_us", v);
+        }
+        let prom = r.export_prometheus();
+        assert!(prom.contains("# TYPE specfaas_response_latency_us histogram"));
+        assert!(prom.contains("specfaas_response_latency_us_bucket{le=\"5\"} 2"));
+        assert!(prom.contains("specfaas_response_latency_us_bucket{le=\"9\"} 3"));
+        assert!(prom.contains("specfaas_response_latency_us_bucket{le=\"40\"} 4"));
+        assert!(prom.contains("specfaas_response_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(prom.contains("specfaas_response_latency_us_sum 59"));
+        assert!(prom.contains("specfaas_response_latency_us_count 4"));
+        let h = r.histogram("specfaas_response_latency_us", "", "").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(1.0), 40);
+    }
+
+    #[test]
+    fn histogram_csv_lists_nonzero_buckets() {
+        let mut r = MetricsRegistry::recording();
+        r.observe("d", 3);
+        r.observe("d", 3);
+        r.observe_labeled("d", "app", "x", 7);
+        let csv = r.export_histograms_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "metric,label,bucket_lo,bucket_hi,count,cumulative",
+                "d,,3,4,2,2",
+                "d,app=x,7,8,1,1",
+            ]
+        );
+    }
+
+    #[test]
+    fn topk_exports_in_descending_count_order() {
+        let mut r = MetricsRegistry::recording();
+        r.topk_add("specfaas_wasted_core_us_by_function", "app/b", 10);
+        r.topk_add("specfaas_wasted_core_us_by_function", "app/a", 30);
+        let prom = r.export_prometheus();
+        let b_pos = prom.find("key=\"app/b\"").unwrap();
+        let a_pos = prom.find("key=\"app/a\"").unwrap();
+        assert!(a_pos < b_pos, "heavier key must render first");
+        let sketch = r.topk("specfaas_wasted_core_us_by_function").unwrap();
+        assert_eq!(sketch.total(), 40);
+    }
+
+    #[test]
+    fn snapshot_log_emits_on_window_boundaries() {
+        let mut r = MetricsRegistry::recording();
+        let mut log = SnapshotLog::new(SimDuration::from_millis(10));
+        r.inc("specfaas_requests_completed_total");
+        r.observe("specfaas_response_latency_us", 5_000);
+        log.tick(SimTime::from_millis(3), &r); // before first boundary
+        assert!(log.lines().is_empty());
+        log.tick(SimTime::from_millis(25), &r); // crosses 10ms and 20ms
+        assert_eq!(log.lines().len(), 2);
+        assert!(log.lines()[0].starts_with("{\"t_us\": 10000"));
+        assert!(log.lines()[1].starts_with("{\"t_us\": 20000"));
+        assert!(log.lines()[0].contains("\"specfaas_requests_completed_total\": 1"));
+        assert!(log.lines()[0].contains("\"p50\": 5000"));
+        log.finish(SimTime::from_millis(26), &r);
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.ends_with('\n'));
     }
 
     #[test]

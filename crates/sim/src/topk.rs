@@ -1,0 +1,260 @@
+//! Deterministic Space-Saving top-K heavy-hitter sketch.
+//!
+//! [`SpaceSaving`] answers "which keys account for the most weight?"
+//! (requests per function, squashed core-time per function, …) while
+//! tracking at most `k` keys — constant memory however many distinct keys
+//! the stream contains. It is the classic Space-Saving algorithm of
+//! Metwally, Agrawal & El Abbadi (2005): when a new key arrives and the
+//! sketch is full, the key with the *minimum* counter is evicted and the
+//! newcomer inherits its count (recording that inherited amount as the
+//! entry's error bound).
+//!
+//! # Guarantees
+//!
+//! With capacity `k` over a stream of total weight `n`:
+//! - every entry's true weight `t` satisfies `count - error ≤ t ≤ count`;
+//! - any key whose true weight exceeds `n / k` is guaranteed to be
+//!   present in the sketch (the classic heavy-hitter guarantee the
+//!   property tests assert).
+//!
+//! # Determinism
+//!
+//! Entries live in a `BTreeMap` keyed by the item itself, and every
+//! scan (min-eviction, [`SpaceSaving::top`] ordering) breaks count ties
+//! by key order. Two sketches fed the same stream — or merged from the
+//! same shards in any order-insensitive way the caller arranges — render
+//! identically, which keeps `--jobs` output byte-stable.
+
+use std::collections::BTreeMap;
+
+/// One tracked entry: an over-estimate `count` and the inherited
+/// over-estimation bound `error` (true weight is in `[count-error, count]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopEntry {
+    /// Estimated (never under-) weight of the key.
+    pub count: u64,
+    /// Maximum over-estimation: weight inherited from evicted keys.
+    pub error: u64,
+}
+
+/// Deterministic Space-Saving sketch over keys of type `K`.
+///
+/// See the [module documentation](self) for guarantees and the
+/// determinism argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSaving<K: Ord + Clone> {
+    entries: BTreeMap<K, TopEntry>,
+    capacity: usize,
+    total: u64,
+}
+
+impl<K: Ord + Clone> SpaceSaving<K> {
+    /// Creates a sketch tracking at most `k` keys.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "SpaceSaving capacity must be positive");
+        SpaceSaving {
+            entries: BTreeMap::new(),
+            capacity: k,
+            total: 0,
+        }
+    }
+
+    /// Capacity `k` the sketch was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total weight of the stream seen so far (including evicted keys).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of keys currently tracked (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no weight has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds weight 1 to `key`.
+    pub fn add(&mut self, key: K) {
+        self.add_weight(key, 1);
+    }
+
+    /// Adds weight `w` to `key`. If the sketch is full and `key` is new,
+    /// the minimum-count entry (ties broken by smallest key) is evicted
+    /// and `key` inherits its count as both offset and error bound.
+    pub fn add_weight(&mut self, key: K, w: u64) {
+        if w == 0 {
+            return;
+        }
+        self.total += w;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.count += w;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, TopEntry { count: w, error: 0 });
+            return;
+        }
+        // Evict the minimum-count entry; BTreeMap iteration order makes
+        // the smallest key win count ties deterministically.
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.count)
+            .map(|(k, e)| (k.clone(), e.count))
+            .expect("capacity > 0, sketch full");
+        self.entries.remove(&victim.0);
+        self.entries.insert(
+            key,
+            TopEntry {
+                count: victim.1 + w,
+                error: victim.1,
+            },
+        );
+    }
+
+    /// The tracked entries sorted by descending count, count ties broken
+    /// by ascending key — a total, deterministic order.
+    pub fn top(&self) -> Vec<(K, TopEntry)> {
+        let mut v: Vec<(K, TopEntry)> = self.entries.iter().map(|(k, e)| (k.clone(), *e)).collect();
+        v.sort_by(|(ka, ea), (kb, eb)| eb.count.cmp(&ea.count).then_with(|| ka.cmp(kb)));
+        v
+    }
+
+    /// The estimated count for `key`, if tracked.
+    pub fn get(&self, key: &K) -> Option<TopEntry> {
+        self.entries.get(key).copied()
+    }
+
+    /// Folds another sketch into this one by replaying its entries as
+    /// weighted additions in key order (each entry keeps its own error,
+    /// plus any inherited on eviction). The result depends only on the
+    /// multiset of shard entries fed in a fixed fold order — callers that
+    /// merge shards in submission order (as `run_cells` returns them) get
+    /// byte-identical output at any job count.
+    pub fn merge(&mut self, other: &SpaceSaving<K>) {
+        self.total += other.total;
+        for (k, e) in &other.entries {
+            self.total -= e.count; // add_weight re-adds it below
+            let prior_err = self.entries.get(k).map(|mine| mine.error).unwrap_or(0);
+            self.add_weight(k.clone(), e.count);
+            if let Some(mine) = self.entries.get_mut(k) {
+                // Propagate the shard's own over-estimation bound on top of
+                // whatever this sketch already attributed to the key.
+                mine.error = mine.error.max(prior_err) + e.error;
+            }
+        }
+    }
+}
+
+impl SpaceSaving<String> {
+    /// [`SpaceSaving::add_weight`] by borrowed key: allocation-free when
+    /// `key` is already tracked (the per-event hot path in the metrics
+    /// registry), cloning only on first sight or eviction.
+    pub fn add_weight_str(&mut self, key: &str, w: u64) {
+        if w == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.get_mut(key) {
+            e.count += w;
+            self.total += w;
+            return;
+        }
+        self.add_weight(key.to_string(), w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exact_counts_under_capacity() {
+        let mut s = SpaceSaving::new(4);
+        for _ in 0..5 {
+            s.add("a");
+        }
+        for _ in 0..3 {
+            s.add("b");
+        }
+        let top = s.top();
+        assert_eq!(top[0], ("a", TopEntry { count: 5, error: 0 }));
+        assert_eq!(top[1], ("b", TopEntry { count: 3, error: 0 }));
+        assert_eq!(s.total(), 8);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count_as_error() {
+        let mut s = SpaceSaving::new(2);
+        s.add_weight("a", 10);
+        s.add_weight("b", 3);
+        s.add_weight("c", 1); // evicts b (min), inherits 3
+        let c = s.get(&"c").unwrap();
+        assert_eq!(c, TopEntry { count: 4, error: 3 });
+        assert!(s.get(&"b").is_none());
+        assert_eq!(s.total(), 14);
+    }
+
+    #[test]
+    fn count_ties_evict_smallest_key() {
+        let mut s = SpaceSaving::new(2);
+        s.add_weight("x", 2);
+        s.add_weight("y", 2);
+        s.add_weight("z", 1);
+        // x and y tie at 2; x (smaller key) is the deterministic victim.
+        assert!(s.get(&"x").is_none());
+        assert!(s.get(&"y").is_some());
+        assert_eq!(s.get(&"z"), Some(TopEntry { count: 3, error: 2 }));
+    }
+
+    #[test]
+    fn heavy_hitter_guarantee_smoke() {
+        // 1000 total, k=10: anything above 100 must survive arbitrary noise.
+        let mut s = SpaceSaving::new(10);
+        for i in 0..850u64 {
+            s.add(format!("noise-{}", i % 97));
+        }
+        for _ in 0..150 {
+            s.add("whale".to_string());
+        }
+        let e = s.get(&"whale".to_string()).expect("heavy hitter evicted");
+        assert!(e.count >= 150, "count {} underestimates", e.count);
+        assert!(e.count - e.error <= 150);
+    }
+
+    #[test]
+    fn top_order_is_total_and_deterministic() {
+        let mut s = SpaceSaving::new(8);
+        for k in ["d", "b", "a", "c"] {
+            s.add_weight(k, 7);
+        }
+        let keys: Vec<&str> = s.top().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn merge_preserves_totals_and_bounds() {
+        let mut a = SpaceSaving::new(4);
+        let mut b = SpaceSaving::new(4);
+        for _ in 0..6 {
+            a.add("x");
+        }
+        for _ in 0..4 {
+            b.add("x");
+        }
+        b.add_weight("y", 9);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total(), a.total() + b.total());
+        let x = merged.get(&"x").unwrap();
+        assert!(x.count >= 10, "merged count {} lost weight", x.count);
+    }
+}
