@@ -45,4 +45,6 @@ pub mod topology;
 pub mod trainticket;
 
 pub use characterize::{characterize_suite, SuiteCharacterization};
-pub use suite::{all_suites, find_app, suite_named, AppBundle, Suite, SuiteDef, SUITE_DEFS};
+pub use suite::{
+    all_app_specs, all_suites, find_app, suite_named, AppBundle, Suite, SuiteDef, SUITE_DEFS,
+};

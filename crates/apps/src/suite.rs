@@ -146,6 +146,18 @@ pub fn suite_named(name: &str) -> Suite {
         })
 }
 
+/// Every registered application's spec, in suite registration order —
+/// the template set the multi-tenant fleet layer instantiates tenants
+/// from. Specs are shared (`Arc`), so a 10⁴-tenant fleet still holds
+/// only 19 templates.
+pub fn all_app_specs() -> Vec<Arc<AppSpec>> {
+    all_suites()
+        .into_iter()
+        .flat_map(|s| s.apps)
+        .map(|b| b.app)
+        .collect()
+}
+
 /// Finds an application by name (case-insensitive) across every
 /// registered suite.
 pub fn find_app(name: &str) -> Option<AppBundle> {

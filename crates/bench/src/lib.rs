@@ -27,6 +27,7 @@
 //! | `faults`  | fault-injection ablation: fault-rate and retry-budget sweeps |
 //! | `trace`   | flight recorder: invariant-checked run, `--trace` exports Chrome-trace JSON |
 //! | `profile` | metrics registry + trace analytics: Prometheus/CSV export, critical paths, squash attribution |
+//! | `scale`   | trace-driven multi-tenant scale runs: 10⁶+ requests across {10², 10³, 10⁴} tenants, guarded by `BENCH_scale.json` |
 //!
 //! The library half provides the shared measurement protocol
 //! ([`runner`]), plain-text table rendering ([`report`]), and post-hoc
@@ -37,6 +38,7 @@ pub mod executor;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod scale_guard;
 pub mod wallclock_guard;
 
 pub use executor::{run_cells, ExperimentCell};

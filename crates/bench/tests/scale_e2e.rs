@@ -1,0 +1,111 @@
+//! End-to-end checks of the trace-driven multi-tenant scale engine as the
+//! `scale` binary drives it: real application templates, both engines,
+//! determinism, and the constant-memory property that makes 10⁶–10⁷
+//! request runs feasible.
+
+use std::sync::Arc;
+
+use specfaas_apps::all_app_specs;
+use specfaas_platform::fleet::{ScaleConfig, ScaleEngine, ScaleStats, TemplateProfile};
+use specfaas_sim::tracegen::TraceConfig;
+
+fn templates() -> Vec<Arc<TemplateProfile>> {
+    all_app_specs()
+        .iter()
+        .map(|a| Arc::new(TemplateProfile::from_app(a)))
+        .collect()
+}
+
+fn run(tenants: u32, requests: u64, seed: u64, speculative: bool) -> ScaleStats {
+    let trace = TraceConfig::new(tenants, requests, seed);
+    let cfg = ScaleConfig::new(trace, speculative);
+    ScaleEngine::new(cfg, templates()).run()
+}
+
+/// A fingerprint of everything that must be reproducible run-to-run (and
+/// therefore across `--jobs`, since cells are independent and reported in
+/// submission order).
+fn fingerprint(s: &ScaleStats) -> Vec<u64> {
+    vec![
+        s.completed,
+        s.sim_span.as_micros(),
+        s.latency.count(),
+        s.latency.quantile_ms(0.50).to_bits(),
+        s.latency.quantile_ms(0.99).to_bits(),
+        s.mean_ms().to_bits(),
+        s.cold_starts,
+        s.warm_starts,
+        s.evictions,
+        s.wasted_core_us,
+        s.busy_core_us,
+        s.peak_live as u64,
+        s.peak_mem_bytes,
+    ]
+}
+
+#[test]
+fn quick_run_completes_and_speculation_wins() {
+    let base = run(50, 20_000, 7, false);
+    let spec = run(50, 20_000, 7, true);
+    assert_eq!(base.completed, 20_000);
+    assert_eq!(spec.completed, 20_000);
+    // Warmup requests are excluded from the latency distribution.
+    assert_eq!(base.latency.count(), 20_000 - 1_000);
+    // Prewarmed pool + cold-start coalescing: steady state runs warm.
+    assert!(base.cold_rate() < 0.10, "cold rate {}", base.cold_rate());
+    // Speculative overlap must beat the sequential baseline at flow level.
+    let win = base.mean_ms() / spec.mean_ms();
+    assert!(win > 1.2, "speculation win {win:.2} <= 1.2");
+    // Baseline never squashes; speculation wastes a bounded fraction.
+    assert_eq!(base.wasted_core_us, 0);
+    assert!(spec.wasted_frac() < 0.25, "wasted {}", spec.wasted_frac());
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    for speculative in [false, true] {
+        let a = run(80, 15_000, 0xFA5C, speculative);
+        let b = run(80, 15_000, 0xFA5C, speculative);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "spec={speculative}");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = run(80, 15_000, 1, true);
+    let b = run(80, 15_000, 2, true);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn memory_is_constant_in_request_count() {
+    // The whole point of streaming metrics and the slab: a 3x longer
+    // trace must not grow the footprint materially (the histogram may
+    // touch a few more buckets; the slab high-water mark may wiggle).
+    let short = run(100, 20_000, 11, true);
+    let long = run(100, 60_000, 11, true);
+    let ratio = long.peak_mem_bytes as f64 / short.peak_mem_bytes as f64;
+    assert!(
+        ratio < 1.5,
+        "peak mem grew {ratio:.2}x over a 3x longer trace \
+         ({} -> {} bytes)",
+        short.peak_mem_bytes,
+        long.peak_mem_bytes,
+    );
+}
+
+#[test]
+fn memory_grows_sublinearly_with_tenants() {
+    // Per-tenant state is a few interned words plus warm-pool slots, so
+    // 10x the tenants must cost well under 10x the memory.
+    let small = run(50, 10_000, 3, true);
+    let big = run(500, 10_000, 3, true);
+    let ratio = big.peak_mem_bytes as f64 / small.peak_mem_bytes as f64;
+    assert!(
+        ratio < 8.0,
+        "peak mem grew {ratio:.2}x for 10x tenants \
+         ({} -> {} bytes)",
+        small.peak_mem_bytes,
+        big.peak_mem_bytes,
+    );
+}

@@ -37,6 +37,7 @@ pub mod baseline;
 pub mod cluster;
 pub mod container;
 pub mod exec;
+pub mod fleet;
 pub mod harness;
 pub mod metrics;
 pub mod overheads;
@@ -47,6 +48,7 @@ pub use baseline::{BaselineCore, BaselineEngine};
 pub use cluster::{Cluster, NodeId};
 pub use container::{ContainerAcquire, ContainerPool};
 pub use exec::{FnInstance, InstanceId, InstanceState};
+pub use fleet::{Fleet, ScaleConfig, ScaleEngine, ScaleStats, TemplateProfile, WarmPool};
 pub use harness::{EngineCore, Harness, Runtime};
 pub use metrics::{Breakdown, FaultStats, InvocationRecord, RequestOutcome, RunMetrics};
 pub use overheads::OverheadModel;

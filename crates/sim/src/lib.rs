@@ -47,6 +47,7 @@ pub mod time;
 pub mod timeseries;
 pub mod topk;
 pub mod trace;
+pub mod tracegen;
 
 pub use event::{EventId, Simulator};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
@@ -57,3 +58,4 @@ pub use time::{SimDuration, SimTime};
 pub use timeseries::{GaugeHandle, MetricsRegistry, SnapshotLog};
 pub use topk::SpaceSaving;
 pub use trace::{TraceEvent, TraceEventKind, Tracer};
+pub use tracegen::{Arrival, TraceConfig, TraceGen, ZipfTable};

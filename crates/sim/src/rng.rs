@@ -117,7 +117,12 @@ impl SimRng {
     }
 
     /// Uniform float in `(0, 1)` — never exactly zero, safe for `ln()`.
-    fn uniform_f64_open(&mut self) -> f64 {
+    ///
+    /// Public so hot paths that have hoisted a distribution's constants
+    /// (e.g. an exponential's precomputed mean) can reproduce
+    /// [`SimRng::exponential`] bit-for-bit without re-paying its per-call
+    /// assertion and division.
+    pub fn uniform_f64_open(&mut self) -> f64 {
         loop {
             let u = self.uniform_f64();
             if u > 0.0 {

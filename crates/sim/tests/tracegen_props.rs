@@ -1,0 +1,163 @@
+//! Determinism and structure properties of the synthetic trace generator.
+//!
+//! These are the guarantees the scale bench leans on: byte-identical
+//! streams per seed, a `(time, seq)` total order that survives per-tenant
+//! splitting and re-merging, and popularity ranks that do not move when
+//! experiment cells re-derive the Zipf table under `--jobs` sharding.
+
+use specfaas_sim::tracegen::{encode_stream, Arrival, TraceConfig, TraceGen, ZipfTable};
+use specfaas_sim::SimDuration;
+
+#[test]
+fn same_seed_is_byte_identical() {
+    for seed in [0u64, 7, 0xFAA5] {
+        let cfg = TraceConfig::new(200, 20_000, seed);
+        let a: Vec<Arrival> = TraceGen::new(cfg.clone()).collect();
+        let b: Vec<Arrival> = TraceGen::new(cfg).collect();
+        assert_eq!(encode_stream(&a), encode_stream(&b), "seed {seed}");
+        assert_eq!(a.len(), 20_000);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a: Vec<Arrival> = TraceGen::new(TraceConfig::new(50, 1_000, 1)).collect();
+    let b: Vec<Arrival> = TraceGen::new(TraceConfig::new(50, 1_000, 2)).collect();
+    assert_ne!(encode_stream(&a), encode_stream(&b));
+}
+
+#[test]
+fn batch_size_does_not_change_the_stream() {
+    let cfg = TraceConfig::new(100, 10_000, 11);
+    let reference: Vec<Arrival> = TraceGen::new(cfg.clone()).collect();
+    for batch in [1usize, 17, 1024, 100_000] {
+        let mut gen = TraceGen::new(cfg.clone());
+        let mut got = Vec::new();
+        while gen.fill(&mut got, batch) > 0 {}
+        assert_eq!(reference, got, "batch size {batch}");
+    }
+}
+
+#[test]
+fn stream_is_a_time_seq_total_order_with_dense_seq() {
+    let cfg = TraceConfig::new(300, 30_000, 23);
+    let arrivals: Vec<Arrival> = TraceGen::new(cfg).collect();
+    for (i, a) in arrivals.iter().enumerate() {
+        assert_eq!(a.seq, i as u64, "seq must be dense");
+    }
+    for w in arrivals.windows(2) {
+        assert!(
+            (w[0].time, w[0].seq) < (w[1].time, w[1].seq),
+            "stream must be strictly ordered by (time, seq)"
+        );
+    }
+}
+
+/// Splitting the stream into per-tenant sub-streams and merging them back
+/// by (time, seq) must reproduce the original stream exactly — the
+/// property that lets shards process tenants independently.
+#[test]
+fn per_tenant_streams_merge_back_deterministically() {
+    let cfg = TraceConfig::new(64, 20_000, 31);
+    let original: Vec<Arrival> = TraceGen::new(cfg).collect();
+
+    let mut per_tenant: Vec<Vec<Arrival>> = vec![Vec::new(); 64];
+    for a in &original {
+        per_tenant[a.tenant as usize].push(*a);
+    }
+    // Each sub-stream inherits the order.
+    for stream in &per_tenant {
+        for w in stream.windows(2) {
+            assert!((w[0].time, w[0].seq) < (w[1].time, w[1].seq));
+        }
+    }
+    let mut merged: Vec<Arrival> = per_tenant.into_iter().flatten().collect();
+    merged.sort_by_key(|a| (a.time, a.seq));
+    assert_eq!(merged, original);
+}
+
+/// Popularity ranks depend only on (seed, tenants): re-deriving the table
+/// from another worker/shard, with a different sample history or request
+/// budget, yields the same tenant⇄rank mapping.
+#[test]
+fn zipf_ranks_stable_across_jobs_sharding() {
+    let seed = 0x5CA1E;
+    let tenants = 1_000;
+    let reference = ZipfTable::new(tenants, 1.1, seed);
+
+    // Shard 1: derived standalone.
+    let standalone = ZipfTable::new(tenants, 1.1, seed);
+    // Shard 2: derived inside a TraceGen that has consumed arrivals.
+    let mut cfg = TraceConfig::new(tenants, 5_000, seed);
+    cfg.zipf_exponent = 1.1;
+    let mut gen = TraceGen::new(cfg.clone());
+    let mut sink = Vec::new();
+    gen.fill(&mut sink, 5_000);
+    // Shard 3: same seed but a different request budget.
+    cfg.requests = 123;
+    let other_budget = TraceGen::new(cfg);
+
+    for t in 0..tenants {
+        let want = reference.rank_of_tenant(t);
+        assert_eq!(standalone.rank_of_tenant(t), want);
+        assert_eq!(gen.zipf().rank_of_tenant(t), want);
+        assert_eq!(other_budget.zipf().rank_of_tenant(t), want);
+    }
+}
+
+/// The hottest rank must actually dominate the arrival stream, and lower
+/// ranks must (statistically) outdraw much higher ones.
+#[test]
+fn popularity_follows_rank() {
+    let cfg = TraceConfig::new(500, 100_000, 17);
+    let gen = TraceGen::new(cfg.clone());
+    let zipf = gen.zipf().clone();
+    let mut counts = vec![0u64; 500];
+    for a in gen {
+        counts[a.tenant as usize] += 1;
+    }
+    let by_rank: Vec<u64> = (0..500)
+        .map(|r| counts[zipf.tenant_of_rank(r) as usize])
+        .collect();
+    assert!(
+        by_rank[0] > by_rank[100] * 5,
+        "rank 0 ({}) should dwarf rank 100 ({})",
+        by_rank[0],
+        by_rank[100]
+    );
+    let head: u64 = by_rank[..10].iter().sum();
+    let total: u64 = by_rank.iter().sum();
+    assert!(
+        head as f64 > total as f64 * 0.4,
+        "top-10 tenants should take a heavy share (got {head}/{total})"
+    );
+}
+
+#[test]
+fn arrival_encoding_is_20_bytes_and_invertible_in_order() {
+    let cfg = TraceConfig::new(10, 100, 3);
+    let arrivals: Vec<Arrival> = TraceGen::new(cfg).collect();
+    let bytes = encode_stream(&arrivals);
+    assert_eq!(bytes.len(), arrivals.len() * 20);
+    // Spot-check the first record's layout.
+    let t = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let tenant = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    assert_eq!(t, arrivals[0].time.as_micros());
+    assert_eq!(seq, 0);
+    assert_eq!(tenant, arrivals[0].tenant);
+}
+
+#[test]
+fn gaps_always_advance_time() {
+    let mut cfg = TraceConfig::new(4, 10_000, 41);
+    cfg.mean_rps = 1e6; // brutal rate: gaps clamp at 1 µs
+    let arrivals: Vec<Arrival> = TraceGen::new(cfg).collect();
+    for w in arrivals.windows(2) {
+        assert!(
+            w[1].time >= w[0].time + SimDuration::from_micros(1),
+            "every candidate gap is clamped to >= 1 µs"
+        );
+    }
+    assert!(arrivals[0].time.as_micros() >= 1);
+}
