@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use specfaas_apps::AppBundle;
 use specfaas_core::{SpecConfig, SpecEngine};
-use specfaas_platform::{BaselineEngine, EngineCore, Harness, RunMetrics, ScoreboardRow};
+use specfaas_platform::{
+    BaselineEngine, EngineCore, Harness, PolicyConfig, RunMetrics, ScoreboardRow,
+};
 use specfaas_sim::timeseries::{MetricsRegistry, SnapshotLog};
 use specfaas_sim::trace::Tracer;
 use specfaas_sim::{FaultPlan, RetryPolicy, SimDuration, SimRng};
@@ -54,7 +56,20 @@ impl ExperimentParams {
 
 /// Builds a pre-warmed baseline engine with seeded storage.
 pub fn prepared_baseline(bundle: &AppBundle, seed: u64) -> BaselineEngine {
+    prepared_baseline_with(bundle, seed, &PolicyConfig::default())
+}
+
+/// [`prepared_baseline`] under an explicit platform policy, attached
+/// before pre-warm so the policy governs the whole engine lifetime
+/// (under [`PolicyConfig::default`] this is bit-identical to the
+/// unparameterized builder).
+pub fn prepared_baseline_with(
+    bundle: &AppBundle,
+    seed: u64,
+    policy: &PolicyConfig,
+) -> BaselineEngine {
     let mut e = BaselineEngine::new(Arc::clone(&bundle.app), seed);
+    e.set_policies(policy);
     e.prewarm();
     let mut rng = SimRng::seed(seed ^ 0x5eed);
     (bundle.seed)(&mut e.kv, &mut rng);
@@ -68,7 +83,28 @@ pub fn prepared_spec(
     seed: u64,
     train_requests: u64,
 ) -> SpecEngine {
+    prepared_spec_with(
+        bundle,
+        config,
+        seed,
+        train_requests,
+        &PolicyConfig::default(),
+    )
+}
+
+/// [`prepared_spec`] under an explicit platform policy. The policy is
+/// attached before pre-warm and training, so a prewarm policy's sequence
+/// table is populated by the training invocations exactly like SpecFaaS'
+/// own speculation tables.
+pub fn prepared_spec_with(
+    bundle: &AppBundle,
+    config: SpecConfig,
+    seed: u64,
+    train_requests: u64,
+    policy: &PolicyConfig,
+) -> SpecEngine {
     let mut e = SpecEngine::new(Arc::clone(&bundle.app), config, seed);
+    e.set_policies(policy);
     e.prewarm();
     let mut rng = SimRng::seed(seed ^ 0x5eed);
     (bundle.seed)(&mut e.kv, &mut rng);

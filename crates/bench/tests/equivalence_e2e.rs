@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use specfaas_apps::AppBundle;
-use specfaas_core::{SpecConfig, SpecEngine};
+use specfaas_core::{PolicyConfig, SpecConfig, SpecEngine};
 use specfaas_platform::{BaselineEngine, RequestOutcome, RunMetrics};
 use specfaas_sim::SimRng;
 use specfaas_storage::Value;
@@ -123,6 +123,73 @@ fn spec_and_baseline_agree_on_state_and_outputs() {
                 }
                 assert_eq!(kb, ks, "{label}: final KV-store state diverges");
             }
+        }
+    }
+}
+
+/// Platform policies may only move *when* containers exist — never what
+/// the workflow computes. Both engines under the same aggressive
+/// non-default policy (round-robin placement, short-TTL unloading,
+/// sequence-table prewarm) must still agree on outcomes, committed
+/// function multisets and the final KV state.
+#[test]
+fn engines_agree_under_non_default_policy() {
+    let policy = PolicyConfig::parse("place=round-robin+keepalive=ttl:150ms+prewarm=seq-table")
+        .expect("policy spec parses");
+    for suite in specfaas_apps::all_suites() {
+        let bundle = &suite.apps[0];
+        for seed in [1u64, 0xE0] {
+            let label = format!(
+                "{}/{}/seed={seed}/policy={}",
+                suite.name,
+                bundle.app.name,
+                policy.label()
+            );
+            let inputs = inputs_for(bundle, seed);
+
+            let mut be = BaselineEngine::new(Arc::clone(&bundle.app), seed);
+            be.set_policies(&policy);
+            be.prewarm();
+            let mut rng = SimRng::seed(seed ^ 0x5eed);
+            (bundle.seed)(&mut be.kv, &mut rng);
+            for input in &inputs {
+                be.run_single(input.clone());
+            }
+            let mb = be.run_closed(0, |_| Value::Null);
+
+            let mut se = SpecEngine::new(Arc::clone(&bundle.app), SpecConfig::full(), seed);
+            se.set_policies(&policy);
+            se.prewarm();
+            let mut rng = SimRng::seed(seed ^ 0x5eed);
+            (bundle.seed)(&mut se.kv, &mut rng);
+            for input in &inputs {
+                se.run_single(input.clone());
+            }
+            let ms = se.run_closed(0, |_| Value::Null);
+
+            assert_eq!(mb.completed, ms.completed, "{label}: completed diverge");
+            assert_eq!(mb.failed, ms.failed, "{label}: failed diverge");
+            for (i, (rb, rs)) in mb.records.iter().zip(&ms.records).enumerate() {
+                assert_eq!(rb.outcome, rs.outcome, "{label}: request {i} outcome");
+                let mut sb = rb.sequence.clone();
+                let mut ss = rs.sequence.clone();
+                sb.sort_unstable();
+                ss.sort_unstable();
+                assert_eq!(sb, ss, "{label}: request {i} committed functions");
+            }
+            let kb = kv_dump(
+                be.kv
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), format!("{v:?}")))
+                    .collect(),
+            );
+            let ks = kv_dump(
+                se.kv
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), format!("{v:?}")))
+                    .collect(),
+            );
+            assert_eq!(kb, ks, "{label}: final KV-store state diverges");
         }
     }
 }

@@ -8,6 +8,13 @@ use serde::{Deserialize, Serialize};
 // naturally pull it from the same module as `SpecConfig`.
 pub use specfaas_sim::RetryPolicy;
 
+// Platform-policy selection (placement / keep-alive / prewarm) rides in
+// the same module for the same reason: experiment configs compose a
+// `SpecConfig` with a `PolicyConfig` and hand both to the harness.
+pub use specfaas_platform::policy::{
+    KeepAliveChoice, PlacementChoice, PolicyConfig, PrewarmChoice,
+};
+
 /// How mis-speculated function executions are terminated (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SquashMechanism {

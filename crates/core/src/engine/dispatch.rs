@@ -469,7 +469,7 @@ impl SpecCore {
                 .controller_delay(ctrl, now, self.rt.model.spec_launch_service);
         let id = InstanceId(self.rt.next_inst);
         self.rt.next_inst += 1;
-        let node = self.rt.cluster.pick_node();
+        let node = self.rt.cluster.pick_node(func);
         let program = self.app.registry.spec(func).program.clone();
         let child_rng = self.rt.rng.split();
         let mut inst = FnInstance::new(id, func, node, &program, input, child_rng, now);

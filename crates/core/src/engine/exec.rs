@@ -16,10 +16,11 @@ impl SpecCore {
         let inst = self.instances.get_mut(&id).expect("live instance");
         let node = inst.node;
         let func = inst.func;
+        let now = self.rt.sim.now();
         match self
             .rt
             .cluster
-            .acquire_container(node, func, &self.rt.model)
+            .acquire_container(node, func, now, &self.rt.model)
         {
             ContainerAcquire::Warm => {
                 self.rt.registry.inc("specfaas_warm_starts_total");

@@ -179,9 +179,7 @@ impl SpecCore {
                         if meta_acquired {
                             self.rt
                                 .cluster
-                                .node_mut(inst_node)
-                                .containers
-                                .release(inst_func, true);
+                                .release_container(inst_node, inst_func, now, true);
                         }
                     }
                     self.instances.remove(&id);
@@ -242,9 +240,7 @@ impl SpecCore {
                         if meta_acquired {
                             self.rt
                                 .cluster
-                                .node_mut(inst_node)
-                                .containers
-                                .release(inst_func, reusable);
+                                .release_container(inst_node, inst_func, now, reusable);
                         }
                         self.meta.remove(&id);
                         self.instances.remove(&id);
@@ -258,9 +254,7 @@ impl SpecCore {
                         if meta_acquired {
                             self.rt
                                 .cluster
-                                .node_mut(inst_node)
-                                .containers
-                                .release(inst_func, reusable);
+                                .release_container(inst_node, inst_func, now, reusable);
                         }
                     }
                     InstanceState::ColdStarting => {
@@ -271,9 +265,7 @@ impl SpecCore {
                         if meta_acquired {
                             self.rt
                                 .cluster
-                                .node_mut(inst_node)
-                                .containers
-                                .release(inst_func, true);
+                                .release_container(inst_node, inst_func, now, true);
                         }
                     }
                     _ => {
@@ -313,9 +305,7 @@ impl SpecCore {
         }
         self.rt
             .cluster
-            .node_mut(inst.node)
-            .containers
-            .release(inst.func, reusable);
+            .release_container(inst.node, inst.func, now, reusable);
     }
 
     /// Steps a lazily-squashed orphan instance: effects proceed against
@@ -464,9 +454,7 @@ impl SpecCore {
         if acquired {
             self.rt
                 .cluster
-                .node_mut(inst.node)
-                .containers
-                .release(inst.func, false);
+                .release_container(inst.node, inst.func, now, false);
         }
     }
 

@@ -45,7 +45,7 @@ pub mod predictor;
 pub mod seqtable;
 pub mod stall;
 
-pub use config::{RetryPolicy, SpecConfig, SquashMechanism};
+pub use config::{PolicyConfig, RetryPolicy, SpecConfig, SquashMechanism};
 pub use databuffer::DataBuffer;
 pub use engine::{SpecCore, SpecEngine};
 pub use memo::{MemoEntry, MemoTable};

@@ -408,7 +408,7 @@ impl BaselineCore {
                 .cluster
                 .controller_delay(ctrl, now, self.rt.model.controller_service);
         let id = self.alloc_inst();
-        let node = self.rt.cluster.pick_node();
+        let node = self.rt.cluster.pick_node(func);
         let program = self.app.registry.spec(func).program.clone();
         let child_rng = self.rt.rng.split();
         let mut inst = FnInstance::new(id, func, node, &program, input, child_rng, now);
@@ -461,10 +461,11 @@ impl BaselineCore {
         let node = inst.node;
         let func = inst.func;
         self.has_container.insert(id);
+        let now = self.rt.sim.now();
         match self
             .rt
             .cluster
-            .acquire_container(node, func, &self.rt.model)
+            .acquire_container(node, func, now, &self.rt.model)
         {
             ContainerAcquire::Warm => {
                 self.rt.registry.inc("specfaas_warm_starts_total");
@@ -783,9 +784,7 @@ impl BaselineCore {
         }
         self.rt
             .cluster
-            .node_mut(inst.node)
-            .containers
-            .release(inst.func, true);
+            .release_container(inst.node, inst.func, now, true);
         self.rt.metrics.breakdowns.push(inst.breakdown);
 
         match ctx {
@@ -1049,9 +1048,7 @@ impl BaselineCore {
         if self.has_container.remove(&id) {
             self.rt
                 .cluster
-                .node_mut(inst.node)
-                .containers
-                .release(inst.func, false);
+                .release_container(inst.node, inst.func, now, false);
         }
         Some(inst)
     }

@@ -7,14 +7,23 @@
 //! independent controllers spread across different nodes"), modeled as a
 //! FIFO service station; controller queueing is what inflates platform and
 //! transfer overheads under load.
+//!
+//! The cluster is also where the platform-policy layer plugs into the
+//! single-app engines: it owns one [`PlacementPolicy`] (consulted by
+//! [`Cluster::pick_node`]), one [`KeepAlivePolicy`] (threaded into every
+//! container acquire/release), and one [`PrewarmPolicy`] (consulted on
+//! each acquisition; fed committed function sequences through
+//! [`Cluster::observe_sequence`]). The defaults reproduce the
+//! pre-policy-layer behaviour bit for bit.
 
 use specfaas_sim::resource::{CorePool, ServiceStation};
 use specfaas_sim::{SimDuration, SimTime};
 use specfaas_workflow::FuncId;
 
-use crate::container::{ContainerAcquire, ContainerPool};
+use crate::container::{ContainerAcquire, ContainerPool, FuncContainerStats};
 use crate::exec::InstanceId;
 use crate::overheads::OverheadModel;
+use crate::policy::{KeepAlivePolicy, PlacementPolicy, PolicyConfig, PrewarmPolicy};
 
 /// Index of a node in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -46,15 +55,25 @@ pub struct Node {
 pub struct Cluster {
     nodes: Vec<Node>,
     rr_next: usize,
+    placement: Box<dyn PlacementPolicy>,
+    keepalive: Box<dyn KeepAlivePolicy>,
+    prewarm: Box<dyn PrewarmPolicy>,
+    /// Scratch free-slot snapshot handed to the placement policy
+    /// (reused so placement never allocates).
+    free_scratch: Vec<u64>,
+    /// Scratch prewarm-target list (reused per acquisition).
+    prewarm_scratch: Vec<u32>,
 }
 
 impl Cluster {
-    /// A cluster of `nodes` nodes with `slots_per_node` execution slots.
+    /// A cluster of `nodes` nodes with `slots_per_node` execution slots,
+    /// under the default platform policies.
     ///
     /// # Panics
     /// Panics if either argument is zero.
     pub fn new(nodes: usize, slots_per_node: u64) -> Self {
         assert!(nodes > 0 && slots_per_node > 0);
+        let cfg = PolicyConfig::default();
         Cluster {
             nodes: (0..nodes)
                 .map(|_| Node {
@@ -64,12 +83,40 @@ impl Cluster {
                 })
                 .collect(),
             rr_next: 0,
+            placement: cfg.build_placement(),
+            keepalive: cfg.build_keepalive(),
+            prewarm: cfg.build_prewarm(),
+            free_scratch: Vec::with_capacity(nodes),
+            prewarm_scratch: Vec::new(),
         }
     }
 
     /// The paper's testbed: 5 nodes × 24 cores × 2-way SMT = 48 slots.
     pub fn paper_testbed() -> Self {
         Cluster::new(5, 48)
+    }
+
+    /// Replaces the installed platform policies. Call before the runs it
+    /// should govern (existing idle containers keep their timestamps, so
+    /// a newly installed TTL applies to them retroactively).
+    pub fn set_policies(&mut self, cfg: &PolicyConfig) {
+        self.placement = cfg.build_placement();
+        self.keepalive = cfg.build_keepalive();
+        self.prewarm = cfg.build_prewarm();
+    }
+
+    /// `placement/keepalive/prewarm` names of the installed policies.
+    pub fn policy_names(&self) -> (&'static str, &'static str, &'static str) {
+        (
+            self.placement.name(),
+            self.keepalive.name(),
+            self.prewarm.name(),
+        )
+    }
+
+    /// The installed keep-alive policy (shared with the container pools).
+    pub fn keepalive_policy(&self) -> &dyn KeepAlivePolicy {
+        &*self.keepalive
     }
 
     /// Number of nodes.
@@ -105,17 +152,16 @@ impl Cluster {
         }
     }
 
-    /// Picks the node with the most free execution slots (ties broken by
-    /// lowest index) — a deterministic least-loaded placement policy.
-    pub fn pick_node(&self) -> NodeId {
-        let best = self
-            .nodes
-            .iter()
-            .enumerate()
-            .max_by_key(|(i, n)| (n.cores.free(), usize::MAX - i))
-            .map(|(i, _)| i)
-            .expect("cluster has nodes");
-        NodeId(best)
+    /// Picks the node to run `func`, as decided by the installed
+    /// placement policy over a snapshot of per-node free execution
+    /// slots. The default ([`crate::policy::LeastLoaded`]) picks the
+    /// node with the most free slots, ties broken by lowest index.
+    pub fn pick_node(&mut self, func: FuncId) -> NodeId {
+        self.free_scratch.clear();
+        self.free_scratch
+            .extend(self.nodes.iter().map(|n| n.cores.free()));
+        let best = self.placement.place(func.0, &self.free_scratch);
+        NodeId(best.min(self.nodes.len() - 1))
     }
 
     /// Assigns a home controller round-robin (requests spread evenly).
@@ -136,14 +182,48 @@ impl Cluster {
         self.nodes[ctrl.0].controller.submit(now, service)
     }
 
-    /// Acquires a container for `func` on `node`.
+    /// Acquires a container for `func` on `node` at `now`.
+    ///
+    /// Also gives the prewarm policy its per-invocation hook: functions
+    /// it predicts will run next begin warming on the same node (so the
+    /// successor's creation overlaps this function's execution), unless
+    /// that node already holds an idle or warming container for them.
     pub fn acquire_container(
         &mut self,
         node: NodeId,
         func: FuncId,
+        now: SimTime,
         model: &OverheadModel,
     ) -> ContainerAcquire {
-        self.nodes[node.0].containers.acquire(func, model)
+        let mut targets = std::mem::take(&mut self.prewarm_scratch);
+        targets.clear();
+        self.prewarm.on_invoke(func.0, &mut targets);
+        let pool = &mut self.nodes[node.0].containers;
+        for &t in &targets {
+            let f = FuncId(t);
+            if pool.idle_count(f) == 0 && pool.warming_count(f) == 0 {
+                pool.begin_warming(f, now + model.cold_start());
+            }
+        }
+        self.prewarm_scratch = targets;
+        pool.acquire(func, now, model, &*self.keepalive)
+    }
+
+    /// Releases a container for `func` on `node` at `now`. `reusable ==
+    /// false` (container-kill squash) destroys it; otherwise the
+    /// keep-alive policy decides whether it survives in the warm pool.
+    pub fn release_container(&mut self, node: NodeId, func: FuncId, now: SimTime, reusable: bool) {
+        self.nodes[node.0]
+            .containers
+            .release(func, now, reusable, &*self.keepalive);
+    }
+
+    /// Feeds one committed request's function sequence (in commit order)
+    /// to the prewarm policy's successor-learning hook.
+    pub fn observe_sequence(&mut self, sequence: &[u32]) {
+        for w in sequence.windows(2) {
+            self.prewarm.observe(w[0], w[1]);
+        }
     }
 
     /// Average execution-slot utilization across all nodes at `now`.
@@ -198,9 +278,40 @@ impl Cluster {
         self.nodes.iter().map(|n| n.containers.warm_starts()).sum()
     }
 
+    /// Idle containers reclaimed by the keep-alive policy, across the
+    /// cluster.
+    pub fn evictions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.containers.evictions()).sum()
+    }
+
+    /// Acquisitions that piggybacked on an in-flight prewarm creation.
+    pub fn prewarm_hits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.containers.prewarm_hits()).sum()
+    }
+
     /// Idle warm containers across the cluster — the warm-pool gauge.
     pub fn warm_pool_total(&self) -> u64 {
         self.nodes.iter().map(|n| n.containers.idle_total()).sum()
+    }
+
+    /// Per-function container-lifecycle counters aggregated across all
+    /// nodes, sorted by function id (deterministic output order).
+    pub fn func_container_stats(&self) -> Vec<(FuncId, FuncContainerStats)> {
+        let mut agg: Vec<(FuncId, FuncContainerStats)> = Vec::new();
+        for n in &self.nodes {
+            for (f, s) in n.containers.per_func_stats() {
+                match agg.iter_mut().find(|(g, _)| *g == f) {
+                    Some((_, a)) => {
+                        a.cold += s.cold;
+                        a.warm += s.warm;
+                        a.evicted += s.evicted;
+                    }
+                    None => agg.push((f, s)),
+                }
+            }
+        }
+        agg.sort_by_key(|(f, _)| *f);
+        agg
     }
 
     /// Per-node `(busy execution slots, controller queue depth at
@@ -217,6 +328,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{PlacementChoice, PrewarmChoice};
 
     #[test]
     fn paper_testbed_shape() {
@@ -228,12 +340,27 @@ mod tests {
     #[test]
     fn pick_node_prefers_free_slots() {
         let mut c = Cluster::new(3, 2);
-        assert_eq!(c.pick_node(), NodeId(0), "all equal: lowest index");
+        let f = FuncId(0);
+        assert_eq!(c.pick_node(f), NodeId(0), "all equal: lowest index");
         // Occupy both slots of node 0 and one of node 1.
         assert!(c.node_mut(NodeId(0)).cores.try_acquire(SimTime::ZERO));
         assert!(c.node_mut(NodeId(0)).cores.try_acquire(SimTime::ZERO));
         assert!(c.node_mut(NodeId(1)).cores.try_acquire(SimTime::ZERO));
-        assert_eq!(c.pick_node(), NodeId(2));
+        assert_eq!(c.pick_node(f), NodeId(2));
+    }
+
+    #[test]
+    fn placement_policy_governs_pick_node() {
+        let mut c = Cluster::new(3, 2);
+        c.set_policies(&PolicyConfig {
+            placement: PlacementChoice::RoundRobin,
+            ..PolicyConfig::default()
+        });
+        let f = FuncId(0);
+        assert_eq!(c.pick_node(f), NodeId(0));
+        assert_eq!(c.pick_node(f), NodeId(1));
+        assert_eq!(c.pick_node(f), NodeId(2));
+        assert_eq!(c.pick_node(f), NodeId(0));
     }
 
     #[test]
@@ -261,5 +388,27 @@ mod tests {
         for i in 0..2 {
             assert_eq!(c.node(NodeId(i)).containers.idle_count(FuncId(0)), 3);
         }
+    }
+
+    #[test]
+    fn seq_table_prewarm_warms_the_successor() {
+        let mut c = Cluster::new(1, 4);
+        c.set_policies(&PolicyConfig {
+            prewarm: PrewarmChoice::SeqTable,
+            ..PolicyConfig::default()
+        });
+        let model = OverheadModel::default();
+        // Teach the table that function 1 follows function 0.
+        c.observe_sequence(&[0, 1]);
+        c.observe_sequence(&[0, 1]);
+        c.acquire_container(NodeId(0), FuncId(0), SimTime::ZERO, &model);
+        assert_eq!(
+            c.node(NodeId(0)).containers.warming_count(FuncId(1)),
+            1,
+            "the predicted successor begins warming"
+        );
+        // Re-acquiring function 0 does not duplicate the warming entry.
+        c.acquire_container(NodeId(0), FuncId(0), SimTime::ZERO, &model);
+        assert_eq!(c.node(NodeId(0)).containers.warming_count(FuncId(1)), 1);
     }
 }

@@ -14,13 +14,28 @@
 //!   pays a full cold start;
 //! * **lazy squash** — the handler keeps running to natural completion,
 //!   holding its container (and core) hostage until then.
+//!
+//! Which idle containers *survive* is not the pool's decision: it asks
+//! the installed [`KeepAlivePolicy`] (idle TTL, per-function cap, or no
+//! keep-alive at all) and applies the answer lazily at acquire/release
+//! time. Idle containers are held newest-last with their release
+//! instants, so TTL expiry pops the front and warm reuse pops the back —
+//! an expired container can never be handed out, because staleness is
+//! checked before any warm handout. The pool also tracks *warming*
+//! containers (creations begun ahead of demand by a
+//! [`crate::policy::PrewarmPolicy`]): an acquisition that finds one
+//! in-flight pays only the remaining creation time instead of a full
+//! cold start.
+
+use std::collections::VecDeque;
 
 use specfaas_sim::hash::FxHashMap;
 
-use specfaas_sim::SimDuration;
+use specfaas_sim::{SimDuration, SimTime};
 use specfaas_workflow::FuncId;
 
 use crate::overheads::OverheadModel;
+use crate::policy::KeepAlivePolicy;
 
 /// Result of asking the pool for a container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,22 +43,44 @@ pub enum ContainerAcquire {
     /// A warm container was available; the handler can fork immediately.
     Warm,
     /// No warm container: a new one must be created first, taking the
-    /// returned duration (container creation + runtime setup).
+    /// returned duration (container creation + runtime setup — or the
+    /// shorter remainder when a prewarm creation is already in flight).
     Cold(SimDuration),
+}
+
+/// Per-function container-lifecycle counters: how often this function
+/// paid a cold start, was served warm, and had idle containers reclaimed
+/// by the keep-alive policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncContainerStats {
+    /// Acquisitions that paid a (full or partial) cold start.
+    pub cold: u64,
+    /// Acquisitions served from the warm pool.
+    pub warm: u64,
+    /// Idle containers reclaimed by keep-alive (TTL expiry, cap
+    /// pressure, or no-keep-alive teardown). Engine-driven destruction
+    /// (container-kill squashes) is not counted here.
+    pub evicted: u64,
 }
 
 /// The container pool of one node.
 ///
-/// Tracks, per function: how many warm containers sit idle and how many
-/// are currently executing a handler. Capacity is unbounded — containers
-/// consume memory, not execution slots, and the paper's cluster never
-/// exhausts memory — but creation is never free.
+/// Tracks, per function: the release instants of idle warm containers
+/// (ascending; front oldest), the ready instants of containers being
+/// created ahead of demand, and how many are currently executing a
+/// handler. Containers consume memory, not execution slots — but how
+/// many idle ones survive is the [`KeepAlivePolicy`]'s call, and
+/// creation is never free.
 #[derive(Debug, Clone, Default)]
 pub struct ContainerPool {
-    idle: FxHashMap<FuncId, u32>,
+    idle: FxHashMap<FuncId, VecDeque<SimTime>>,
+    warming: FxHashMap<FuncId, VecDeque<SimTime>>,
     busy: FxHashMap<FuncId, u32>,
+    stats: FxHashMap<FuncId, FuncContainerStats>,
     cold_starts: u64,
     warm_starts: u64,
+    evictions: u64,
+    prewarm_hits: u64,
 }
 
 impl ContainerPool {
@@ -54,53 +91,152 @@ impl ContainerPool {
 
     /// Creates a pool pre-warmed with `count` containers for each listed
     /// function — the paper's default warmed-up environment (§IV assumes
-    /// start-up overheads have been removed by prior techniques).
+    /// start-up overheads have been removed by prior techniques). The
+    /// stock is stamped idle-since-time-zero, so a TTL keep-alive decays
+    /// it like any other idle container.
     pub fn prewarmed(funcs: impl IntoIterator<Item = FuncId>, count: u32) -> Self {
         let mut pool = ContainerPool::new();
         for f in funcs {
-            pool.idle.insert(f, count);
+            pool.idle
+                .insert(f, (0..count).map(|_| SimTime::ZERO).collect());
         }
         pool
     }
 
-    /// Acquires a container for `func`, preferring warm ones.
-    pub fn acquire(&mut self, func: FuncId, model: &OverheadModel) -> ContainerAcquire {
-        let idle = self.idle.entry(func).or_insert(0);
-        if *idle > 0 {
-            *idle -= 1;
-            *self.busy.entry(func).or_insert(0) += 1;
-            self.warm_starts += 1;
-            ContainerAcquire::Warm
-        } else {
-            *self.busy.entry(func).or_insert(0) += 1;
-            self.cold_starts += 1;
-            ContainerAcquire::Cold(model.cold_start())
+    /// Moves warming containers whose creation finished by `now` into
+    /// the idle set (idle since their ready instant). The per-function
+    /// idle cap is enforced afterwards so prewarm promotions can never
+    /// grow the pool past what the keep-alive policy allows (warming is
+    /// only ever populated by a prewarm policy, so this is unreachable
+    /// under the defaults).
+    fn promote_ready(&mut self, func: FuncId, now: SimTime, policy: &dyn KeepAlivePolicy) {
+        let Some(w) = self.warming.get_mut(&func) else {
+            return;
+        };
+        while w.front().is_some_and(|ready| *ready <= now) {
+            let ready = w.pop_front().expect("checked front");
+            let q = self.idle.entry(func).or_default();
+            // Promotions can interleave with ordinary releases, so keep
+            // the queue sorted by idle-since instant.
+            let at = q.partition_point(|t| *t <= ready);
+            q.insert(at, ready);
         }
+        let cap = policy.per_func_idle_cap() as usize;
+        let q = self.idle.entry(func).or_default();
+        while q.len() > cap {
+            q.pop_front();
+            self.evictions += 1;
+            self.stats.entry(func).or_default().evicted += 1;
+        }
+    }
+
+    /// Reclaims idle containers of `func` whose TTL elapsed by `now`.
+    fn expire(&mut self, func: FuncId, now: SimTime, policy: &dyn KeepAlivePolicy) {
+        let Some(ttl) = policy.ttl() else {
+            return;
+        };
+        let Some(q) = self.idle.get_mut(&func) else {
+            return;
+        };
+        while q.front().is_some_and(|released| *released + ttl <= now) {
+            q.pop_front();
+            self.evictions += 1;
+            self.stats.entry(func).or_default().evicted += 1;
+        }
+    }
+
+    /// Acquires a container for `func` at `now`, preferring warm ones,
+    /// then in-flight prewarm creations, then a fresh cold start. The
+    /// keep-alive policy is consulted first so expired idle containers
+    /// are reclaimed, never handed out.
+    pub fn acquire(
+        &mut self,
+        func: FuncId,
+        now: SimTime,
+        model: &OverheadModel,
+        policy: &dyn KeepAlivePolicy,
+    ) -> ContainerAcquire {
+        self.promote_ready(func, now, policy);
+        self.expire(func, now, policy);
+        *self.busy.entry(func).or_insert(0) += 1;
+        if self
+            .idle
+            .get_mut(&func)
+            .is_some_and(|q| q.pop_back().is_some())
+        {
+            self.warm_starts += 1;
+            self.stats.entry(func).or_default().warm += 1;
+            return ContainerAcquire::Warm;
+        }
+        self.cold_starts += 1;
+        self.stats.entry(func).or_default().cold += 1;
+        if let Some(ready) = self.warming.get_mut(&func).and_then(|w| w.pop_front()) {
+            // A prewarm creation is already in flight: piggyback on it
+            // and pay only the remaining creation time.
+            self.prewarm_hits += 1;
+            return ContainerAcquire::Cold(ready.saturating_since(now));
+        }
+        ContainerAcquire::Cold(model.cold_start())
     }
 
     /// Releases a container after its handler finished or was squashed.
     ///
     /// `reusable == true` (normal completion or process-kill squash)
-    /// returns it to the warm pool; `false` (container-kill squash)
-    /// destroys it.
+    /// offers it back to the warm pool — the keep-alive policy decides
+    /// whether it survives; `false` (container-kill squash) destroys it.
     ///
     /// # Panics
     /// Panics if no container for `func` is busy.
-    pub fn release(&mut self, func: FuncId, reusable: bool) {
+    pub fn release(
+        &mut self,
+        func: FuncId,
+        now: SimTime,
+        reusable: bool,
+        policy: &dyn KeepAlivePolicy,
+    ) {
         let busy = self
             .busy
             .get_mut(&func)
             .filter(|n| **n > 0)
             .expect("release of a container that was never acquired");
         *busy -= 1;
-        if reusable {
-            *self.idle.entry(func).or_insert(0) += 1;
+        if !reusable {
+            return;
+        }
+        if !policy.keep_idle() {
+            self.evictions += 1;
+            self.stats.entry(func).or_default().evicted += 1;
+            return;
+        }
+        self.idle.entry(func).or_default().push_back(now);
+        self.expire(func, now, policy);
+        let cap = policy.per_func_idle_cap() as usize;
+        let q = self.idle.entry(func).or_default();
+        while q.len() > cap {
+            q.pop_front();
+            self.evictions += 1;
+            self.stats.entry(func).or_default().evicted += 1;
         }
     }
 
-    /// Warm idle containers currently available for `func`.
+    /// Starts creating a container for `func` ahead of demand; it
+    /// becomes idle (or serves a piggybacking acquisition) at `ready`.
+    pub fn begin_warming(&mut self, func: FuncId, ready: SimTime) {
+        let w = self.warming.entry(func).or_default();
+        let at = w.partition_point(|t| *t <= ready);
+        w.insert(at, ready);
+    }
+
+    /// Warm idle containers currently available for `func`. Counts the
+    /// raw idle set — TTL expiry is lazy, so recently-expired containers
+    /// may still be counted until the next acquire/release touches them.
     pub fn idle_count(&self, func: FuncId) -> u32 {
-        self.idle.get(&func).copied().unwrap_or(0)
+        self.idle.get(&func).map_or(0, |q| q.len() as u32)
+    }
+
+    /// Containers currently being created ahead of demand for `func`.
+    pub fn warming_count(&self, func: FuncId) -> u32 {
+        self.warming.get(&func).map_or(0, |q| q.len() as u32)
     }
 
     /// Containers currently running handlers for `func`.
@@ -109,13 +245,13 @@ impl ContainerPool {
     }
 
     /// Warm idle containers across every function — the node's warm-pool
-    /// size gauge. Summing `u32` counts is order-independent, so the
-    /// result is deterministic despite the `HashMap` backing store.
+    /// size gauge. Summing counts is order-independent, so the result is
+    /// deterministic despite the `HashMap` backing store.
     pub fn idle_total(&self) -> u64 {
-        self.idle.values().map(|n| u64::from(*n)).sum()
+        self.idle.values().map(|q| q.len() as u64).sum()
     }
 
-    /// Total cold starts served.
+    /// Total cold starts served (including prewarm piggybacks).
     pub fn cold_starts(&self) -> u64 {
         self.cold_starts
     }
@@ -124,53 +260,100 @@ impl ContainerPool {
     pub fn warm_starts(&self) -> u64 {
         self.warm_starts
     }
+
+    /// Idle containers reclaimed by the keep-alive policy.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Acquisitions that piggybacked on an in-flight prewarm creation.
+    pub fn prewarm_hits(&self) -> u64 {
+        self.prewarm_hits
+    }
+
+    /// Lifecycle counters for one function.
+    pub fn func_stats(&self, func: FuncId) -> FuncContainerStats {
+        self.stats.get(&func).copied().unwrap_or_default()
+    }
+
+    /// Per-function lifecycle counters, in arbitrary (hash-map) order —
+    /// callers aggregate and sort.
+    pub fn per_func_stats(&self) -> impl Iterator<Item = (FuncId, FuncContainerStats)> + '_ {
+        self.stats.iter().map(|(f, s)| (*f, *s))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{DefaultKeepAlive, FixedTtlKeepAlive, NoKeepAlive};
 
     fn model() -> OverheadModel {
         OverheadModel::default()
     }
 
+    const KA: DefaultKeepAlive = DefaultKeepAlive;
+
     #[test]
     fn cold_then_warm() {
         let mut p = ContainerPool::new();
         let f = FuncId(0);
-        match p.acquire(f, &model()) {
+        match p.acquire(f, SimTime::ZERO, &model(), &KA) {
             ContainerAcquire::Cold(d) => assert_eq!(d, model().cold_start()),
             other => panic!("expected cold, got {other:?}"),
         }
-        p.release(f, true);
-        assert_eq!(p.acquire(f, &model()), ContainerAcquire::Warm);
+        p.release(f, SimTime::from_millis(5), true, &KA);
+        assert_eq!(
+            p.acquire(f, SimTime::from_millis(6), &model(), &KA),
+            ContainerAcquire::Warm
+        );
         assert_eq!(p.cold_starts(), 1);
         assert_eq!(p.warm_starts(), 1);
+        assert_eq!(
+            p.func_stats(f),
+            FuncContainerStats {
+                cold: 1,
+                warm: 1,
+                evicted: 0
+            }
+        );
     }
 
     #[test]
     fn prewarmed_pool_skips_cold_start() {
         let f = FuncId(3);
         let mut p = ContainerPool::prewarmed([f], 2);
-        assert_eq!(p.acquire(f, &model()), ContainerAcquire::Warm);
-        assert_eq!(p.acquire(f, &model()), ContainerAcquire::Warm);
-        assert!(matches!(p.acquire(f, &model()), ContainerAcquire::Cold(_)));
+        let t = SimTime::ZERO;
+        assert_eq!(p.acquire(f, t, &model(), &KA), ContainerAcquire::Warm);
+        assert_eq!(p.acquire(f, t, &model(), &KA), ContainerAcquire::Warm);
+        assert!(matches!(
+            p.acquire(f, t, &model(), &KA),
+            ContainerAcquire::Cold(_)
+        ));
     }
 
     #[test]
     fn container_kill_destroys() {
         let f = FuncId(0);
         let mut p = ContainerPool::prewarmed([f], 1);
-        p.acquire(f, &model());
-        p.release(f, false); // container-kill squash
-        assert!(matches!(p.acquire(f, &model()), ContainerAcquire::Cold(_)));
+        p.acquire(f, SimTime::ZERO, &model(), &KA);
+        p.release(f, SimTime::from_millis(1), false, &KA); // container-kill squash
+        assert!(matches!(
+            p.acquire(f, SimTime::from_millis(2), &model(), &KA),
+            ContainerAcquire::Cold(_)
+        ));
+        assert_eq!(
+            p.evictions(),
+            0,
+            "squash destruction is not a policy eviction"
+        );
     }
 
     #[test]
     fn per_function_isolation() {
         let mut p = ContainerPool::prewarmed([FuncId(0)], 1);
         assert!(matches!(
-            p.acquire(FuncId(1), &model()),
+            p.acquire(FuncId(1), SimTime::ZERO, &model(), &KA),
             ContainerAcquire::Cold(_)
         ));
         assert_eq!(p.idle_count(FuncId(0)), 1);
@@ -181,6 +364,98 @@ mod tests {
     #[should_panic(expected = "never acquired")]
     fn release_without_acquire_panics() {
         let mut p = ContainerPool::new();
-        p.release(FuncId(0), true);
+        p.release(FuncId(0), SimTime::ZERO, true, &KA);
+    }
+
+    #[test]
+    fn default_policy_bounds_idle_growth() {
+        // Satellite regression test: the pre-policy pool had no eviction
+        // at all, so idle_total grew monotonically. The default policy
+        // caps idle containers per function.
+        let f = FuncId(0);
+        let mut p = ContainerPool::new();
+        let churn = crate::policy::DEFAULT_PER_FUNC_IDLE_CAP + 100;
+        for i in 0..churn {
+            // Burst of cold starts...
+            p.acquire(f, SimTime::from_millis(u64::from(i)), &model(), &KA);
+        }
+        for i in 0..churn {
+            // ...all released back: only the cap survives.
+            p.release(f, SimTime::from_millis(u64::from(churn + i)), true, &KA);
+        }
+        assert_eq!(
+            p.idle_total(),
+            u64::from(crate::policy::DEFAULT_PER_FUNC_IDLE_CAP)
+        );
+        assert_eq!(p.evictions(), 100);
+        assert_eq!(p.func_stats(f).evicted, 100);
+    }
+
+    #[test]
+    fn ttl_expires_idle_containers() {
+        let ka = FixedTtlKeepAlive {
+            ttl: SimDuration::from_millis(10),
+        };
+        let f = FuncId(0);
+        let mut p = ContainerPool::prewarmed([f], 2);
+        // Within TTL: warm.
+        assert_eq!(
+            p.acquire(f, SimTime::from_millis(9), &model(), &ka),
+            ContainerAcquire::Warm
+        );
+        // Past TTL: the remaining prewarmed container expired.
+        assert!(matches!(
+            p.acquire(f, SimTime::from_millis(10), &model(), &ka),
+            ContainerAcquire::Cold(_)
+        ));
+        assert_eq!(p.evictions(), 1);
+    }
+
+    #[test]
+    fn no_keepalive_destroys_on_release() {
+        let ka = NoKeepAlive;
+        let f = FuncId(0);
+        let mut p = ContainerPool::new();
+        p.acquire(f, SimTime::ZERO, &model(), &ka);
+        p.release(f, SimTime::from_millis(1), true, &ka);
+        assert_eq!(p.idle_total(), 0);
+        assert_eq!(p.evictions(), 1);
+        assert!(matches!(
+            p.acquire(f, SimTime::from_millis(2), &model(), &ka),
+            ContainerAcquire::Cold(_)
+        ));
+    }
+
+    #[test]
+    fn warming_serves_partial_cold_start() {
+        let f = FuncId(0);
+        let mut p = ContainerPool::new();
+        let full = model().cold_start();
+        p.begin_warming(f, SimTime::ZERO + full);
+        // Acquire midway through the prewarm creation: pay the rest.
+        let mid = SimTime::ZERO + SimDuration::from_micros(full.as_micros() / 2);
+        match p.acquire(f, mid, &model(), &KA) {
+            ContainerAcquire::Cold(d) => {
+                assert!(d < full, "piggyback must be cheaper than a full cold start");
+                assert_eq!(d, (SimTime::ZERO + full).saturating_since(mid));
+            }
+            other => panic!("expected partial cold, got {other:?}"),
+        }
+        assert_eq!(p.prewarm_hits(), 1);
+    }
+
+    #[test]
+    fn warming_promotes_to_idle_when_ready() {
+        let f = FuncId(0);
+        let mut p = ContainerPool::new();
+        p.begin_warming(f, SimTime::from_millis(5));
+        assert_eq!(p.warming_count(f), 1);
+        // After the creation finished, the container serves warm.
+        assert_eq!(
+            p.acquire(f, SimTime::from_millis(6), &model(), &KA),
+            ContainerAcquire::Warm
+        );
+        assert_eq!(p.warming_count(f), 0);
+        assert_eq!(p.warm_starts(), 1);
     }
 }

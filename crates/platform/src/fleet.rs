@@ -56,6 +56,7 @@ use specfaas_sim::{FxHashMap, LogHistogram, SimDuration, SimRng, SimTime, Simula
 use specfaas_workflow::{AppSpec, EntryKind};
 
 use crate::overheads::OverheadModel;
+use crate::policy::{KeepAlivePolicy, PolicyConfig, PrewarmPolicy};
 
 /// Floor on a stage's mean compute so zero-compute glue functions still
 /// cost something (they do in reality: interpreter spin-up, marshalling).
@@ -318,12 +319,20 @@ impl Fleet {
 /// into a full pool evicts the least-recently-used function's container
 /// first. All bookkeeping is ordered (`BTreeSet` keyed by a monotone
 /// use-sequence), so eviction order is deterministic.
+///
+/// The pool consults the same [`KeepAlivePolicy`] trait as the
+/// single-app container pools: no-keep-alive destroys containers at
+/// release, and a fixed TTL reclaims a function's idle stock once its
+/// most recent release is `ttl` old (whole-entry expiry — at flow level,
+/// a function's duplicates recycle together, so per-container tracking
+/// would only duplicate the recency key). Expiry runs before any warm
+/// handout, so an expired container is never revived.
 #[derive(Debug, Clone)]
 pub struct WarmPool {
     capacity: u32,
     total_idle: u32,
-    /// gfunc → (idle count, current recency key).
-    idle: FxHashMap<u32, (u32, u64)>,
+    /// gfunc → (idle count, current recency key, last release instant).
+    idle: FxHashMap<u32, (u32, u64, SimTime)>,
     /// (recency key, gfunc) in eviction order (oldest first).
     lru: BTreeSet<(u64, u32)>,
     seq: u64,
@@ -331,7 +340,8 @@ pub struct WarmPool {
     pub cold_starts: u64,
     /// Acquisitions served warm.
     pub warm_starts: u64,
-    /// Idle containers evicted to stay under capacity.
+    /// Idle containers evicted to stay under capacity or reclaimed by
+    /// the keep-alive policy.
     pub evictions: u64,
 }
 
@@ -350,9 +360,29 @@ impl WarmPool {
         }
     }
 
-    /// Takes a warm container for `gfunc` if one is idle. Returns true on
-    /// a warm hit; false means the caller pays a cold start.
-    pub fn acquire(&mut self, gfunc: u32) -> bool {
+    /// Drops `gfunc`'s whole idle entry, counting every container as
+    /// evicted.
+    fn expire_entry(&mut self, gfunc: u32) {
+        if let Some((count, key, _)) = self.idle.remove(&gfunc) {
+            self.lru.remove(&(key, gfunc));
+            self.total_idle -= count;
+            self.evictions += u64::from(count);
+        }
+    }
+
+    /// Takes a warm container for `gfunc` if one is idle and not expired
+    /// at `now`. Returns true on a warm hit; false means the caller pays
+    /// a cold start.
+    pub fn acquire(&mut self, gfunc: u32, now: SimTime, policy: &dyn KeepAlivePolicy) -> bool {
+        if let Some(ttl) = policy.ttl() {
+            if self
+                .idle
+                .get(&gfunc)
+                .is_some_and(|&(_, _, released)| released + ttl <= now)
+            {
+                self.expire_entry(gfunc);
+            }
+        }
         if let Some(entry) = self.idle.get_mut(&gfunc) {
             entry.0 -= 1;
             self.total_idle -= 1;
@@ -369,10 +399,16 @@ impl WarmPool {
         }
     }
 
-    /// Returns a container for `gfunc` to the idle pool, refreshing its
-    /// recency and evicting the least-recently-used function's container
-    /// if the pool is at capacity.
-    pub fn release(&mut self, gfunc: u32) {
+    /// Returns a container for `gfunc` to the idle pool at `now` — if
+    /// the keep-alive policy keeps it — refreshing its recency, sweeping
+    /// TTL-expired entries from the cold end of the LRU order, and
+    /// evicting the least-recently-used function's container if the pool
+    /// is at capacity.
+    pub fn release(&mut self, gfunc: u32, now: SimTime, policy: &dyn KeepAlivePolicy) {
+        if !policy.keep_idle() {
+            self.evictions += 1;
+            return;
+        }
         self.seq += 1;
         let key = self.seq;
         match self.idle.get_mut(&gfunc) {
@@ -380,13 +416,26 @@ impl WarmPool {
                 self.lru.remove(&(entry.1, gfunc));
                 entry.0 += 1;
                 entry.1 = key;
+                entry.2 = now;
             }
             None => {
-                self.idle.insert(gfunc, (1, key));
+                self.idle.insert(gfunc, (1, key, now));
             }
         }
         self.lru.insert((key, gfunc));
         self.total_idle += 1;
+        if let Some(ttl) = policy.ttl() {
+            // The LRU order is also release-time order (both follow the
+            // monotone seq), so expired entries cluster at the front.
+            while let Some(&(_, victim)) = self.lru.iter().next() {
+                let &(_, _, released) = self.idle.get(&victim).expect("lru entry tracked");
+                if released + ttl <= now {
+                    self.expire_entry(victim);
+                } else {
+                    break;
+                }
+            }
+        }
         while self.total_idle > self.capacity {
             let &(vkey, victim) = self.lru.iter().next().expect("idle pool non-empty");
             let entry = self.idle.get_mut(&victim).expect("lru entry tracked");
@@ -403,6 +452,12 @@ impl WarmPool {
     /// Idle containers currently pooled.
     pub fn idle_total(&self) -> u32 {
         self.total_idle
+    }
+
+    /// Idle containers currently pooled for `gfunc` (raw count; TTL
+    /// expiry is lazy).
+    pub fn idle_count(&self, gfunc: u32) -> u32 {
+        self.idle.get(&gfunc).map_or(0, |e| e.0)
     }
 
     /// The configured idle-capacity bound.
@@ -455,11 +510,17 @@ pub struct ScaleConfig {
     pub mispredict: f64,
     /// Probability a stage is served from the memo table (spec only).
     pub memo_hit: f64,
+    /// Platform policies (keep-alive and prewarm; placement has no
+    /// meaning against the fleet's single shared pool and is ignored).
+    /// The default reproduces the pre-policy-layer behaviour bit for
+    /// bit.
+    pub policy: PolicyConfig,
 }
 
 impl ScaleConfig {
     /// A config with the default flow-model probabilities (10 %
-    /// misprediction, 25 % memo hits) and auto-sized resources.
+    /// misprediction, 25 % memo hits), auto-sized resources, and the
+    /// default platform policies.
     pub fn new(trace: TraceConfig, speculative: bool) -> ScaleConfig {
         ScaleConfig {
             trace,
@@ -470,6 +531,7 @@ impl ScaleConfig {
             prewarm: true,
             mispredict: 0.10,
             memo_hit: 0.25,
+            policy: PolicyConfig::default(),
         }
     }
 }
@@ -506,6 +568,9 @@ pub struct ScaleStats {
     pub cores: u32,
     /// Warm-pool capacity the run was sized to.
     pub warm_capacity: u32,
+    /// Container creations started ahead of demand by the prewarm
+    /// policy (0 under the default no-prewarm policy).
+    pub prewarm_issued: u64,
 }
 
 impl ScaleStats {
@@ -599,6 +664,14 @@ pub struct ScaleEngine {
     /// Cold creations currently in flight per function (bounded by
     /// [`MAX_CONCURRENT_COLD_STARTS`]).
     creating: FxHashMap<u32, u32>,
+    /// Keep-alive policy threaded into every pool acquire/release.
+    keepalive: Box<dyn KeepAlivePolicy>,
+    /// Prewarm policy consulted at each container acquisition.
+    prewarm: Box<dyn PrewarmPolicy>,
+    /// Scratch prewarm-target list (reused per acquisition).
+    prewarm_scratch: Vec<u32>,
+    /// Container creations started ahead of demand.
+    prewarm_issued: u64,
     warmup_requests: u64,
     cores: u32,
     free_cores: u32,
@@ -633,8 +706,12 @@ impl ScaleEngine {
             ((demand / 0.5).ceil() as u32).max(64)
         }
         .max(fleet.max_stage_width());
+        let keepalive = cfg.policy.build_keepalive();
+        let prewarm = cfg.policy.build_prewarm();
         let warm_capacity = if cfg.warm_capacity > 0 {
             cfg.warm_capacity
+        } else if let Some(c) = keepalive.pool_capacity() {
+            c.max(1)
         } else {
             // One keep-alive slot per function, doubled plus headroom for
             // the concurrency duplicates hot functions accumulate
@@ -653,8 +730,11 @@ impl ScaleEngine {
         let rng = SimRng::seed(cfg.trace.seed ^ 0x5CA1_E0E0_F1EE_7001);
         let mut pool = WarmPool::new(warm_capacity);
         if cfg.prewarm {
+            // Seeded through the policy: no-keep-alive fleets start cold
+            // (their seed containers are torn down on the spot), and a
+            // TTL decays the seed stock like any other idle container.
             for g in 0..fleet.total_gfuncs() {
-                pool.release(g);
+                pool.release(g, SimTime::ZERO, &*keepalive);
             }
         }
         ScaleEngine {
@@ -669,6 +749,10 @@ impl ScaleEngine {
             pool,
             cold_waiters: FxHashMap::default(),
             creating: FxHashMap::default(),
+            keepalive,
+            prewarm,
+            prewarm_scratch: Vec::new(),
+            prewarm_issued: 0,
             warmup_requests,
             cores,
             free_cores: cores,
@@ -698,7 +782,7 @@ impl ScaleEngine {
                 Ev::Arrive => self.on_arrive(now),
                 Ev::Start { req, stage } => self.on_start(now, req, stage),
                 Ev::Done { req, stage } => self.on_done(now, req, stage),
-                Ev::ColdReady { gfunc } => self.on_cold_ready(gfunc),
+                Ev::ColdReady { gfunc } => self.on_cold_ready(now, gfunc),
                 Ev::Complete { req } => self.on_complete(now, req),
             }
         }
@@ -721,6 +805,7 @@ impl ScaleEngine {
             top_tenants: self.top_tenants,
             cores: self.cores,
             warm_capacity: self.pool.capacity(),
+            prewarm_issued: self.prewarm_issued,
         }
     }
 
@@ -835,7 +920,8 @@ impl ScaleEngine {
         // cold creation finishes or a busy container recycles.
         if !rt.held_container {
             let g = self.fleet.gfunc(tenant, stage);
-            if self.pool.acquire(g) {
+            self.maybe_prewarm(now, g);
+            if self.pool.acquire(g, now, &*self.keepalive) {
                 self.slab[req as usize].stages[stage as usize].held_container = true;
             } else {
                 self.cold_waiters
@@ -863,15 +949,36 @@ impl ScaleEngine {
     /// A cold creation for `gfunc` finished: hand the fresh container to
     /// the next queued waiter, or pool it if the queue already drained
     /// via recycling.
-    fn on_cold_ready(&mut self, gfunc: u32) {
+    fn on_cold_ready(&mut self, now: SimTime, gfunc: u32) {
         let c = self.creating.get_mut(&gfunc).expect("creation tracked");
         *c -= 1;
         if *c == 0 {
             self.creating.remove(&gfunc);
         }
         if !self.handoff(gfunc) {
-            self.pool.release(gfunc);
+            self.pool.release(gfunc, now, &*self.keepalive);
         }
+    }
+
+    /// Gives the prewarm policy its per-acquisition hook: predicted
+    /// successors of `gfunc` with no idle container and no creation in
+    /// flight begin warming through the ordinary cold-start machinery
+    /// (so a prewarmed container hands off to queued waiters exactly
+    /// like a demand-started one, and pooling it on completion respects
+    /// the capacity bound by construction).
+    fn maybe_prewarm(&mut self, now: SimTime, gfunc: u32) {
+        let mut targets = std::mem::take(&mut self.prewarm_scratch);
+        targets.clear();
+        self.prewarm.on_invoke(gfunc, &mut targets);
+        for &p in &targets {
+            if self.pool.idle_count(p) == 0 && !self.creating.contains_key(&p) {
+                *self.creating.entry(p).or_insert(0) += 1;
+                self.prewarm_issued += 1;
+                self.sim
+                    .schedule_at(now + self.model.cold_start(), Ev::ColdReady { gfunc: p });
+            }
+        }
+        self.prewarm_scratch = targets;
     }
 
     /// Pops the next per-function cold waiter, if any, gives it the
@@ -924,7 +1031,7 @@ impl ScaleEngine {
             // Recycle directly to a queued waiter when one exists; the
             // container only returns to the idle pool otherwise.
             if !self.handoff(g) {
-                self.pool.release(g);
+                self.pool.release(g, now, &*self.keepalive);
             }
             let r = &mut self.slab[req as usize].stages[stage as usize];
             r.held_container = false;
@@ -949,6 +1056,14 @@ impl ScaleEngine {
         // Valid completion.
         self.slab[req as usize].stages[stage as usize].valid_done = true;
         let n = self.slab[req as usize].stages.len() as u16;
+        if stage + 1 < n {
+            // Feed the observed chain edge to the prewarm policy (a
+            // no-op under the default no-prewarm policy).
+            let tenant = self.slab[req as usize].tenant;
+            let from = self.fleet.gfunc(tenant, stage);
+            let to = self.fleet.gfunc(tenant, stage + 1);
+            self.prewarm.observe(from, to);
+        }
         if self.cfg.speculative {
             // Wake a squashed successor waiting on this resolution.
             if stage + 1 < n && self.slab[req as usize].stages[stage as usize + 1].awaiting_rerun {
@@ -1090,15 +1205,17 @@ mod tests {
 
     #[test]
     fn warm_pool_caps_idle_and_evicts_lru() {
+        let ka = crate::policy::DefaultKeepAlive;
+        let t = SimTime::ZERO;
         let mut p = WarmPool::new(2);
-        p.release(10);
-        p.release(11);
-        p.release(12); // evicts gfunc 10 (oldest)
+        p.release(10, t, &ka);
+        p.release(11, t, &ka);
+        p.release(12, t, &ka); // evicts gfunc 10 (oldest)
         assert_eq!(p.idle_total(), 2);
         assert_eq!(p.evictions, 1);
-        assert!(!p.acquire(10), "evicted function must be cold");
-        assert!(p.acquire(11));
-        assert!(p.acquire(12));
+        assert!(!p.acquire(10, t, &ka), "evicted function must be cold");
+        assert!(p.acquire(11, t, &ka));
+        assert!(p.acquire(12, t, &ka));
         assert_eq!(p.warm_starts, 2);
         assert_eq!(p.cold_starts, 1);
         assert_eq!(p.idle_total(), 0);
@@ -1106,15 +1223,72 @@ mod tests {
 
     #[test]
     fn warm_pool_refreshes_recency_on_release() {
+        let ka = crate::policy::DefaultKeepAlive;
+        let t = SimTime::ZERO;
         let mut p = WarmPool::new(2);
-        p.release(1);
-        p.release(2);
-        assert!(p.acquire(1));
-        p.release(1); // 1 is now fresher than 2
-        p.release(3); // evicts 2
-        assert!(!p.acquire(2));
-        assert!(p.acquire(1));
-        assert!(p.acquire(3));
+        p.release(1, t, &ka);
+        p.release(2, t, &ka);
+        assert!(p.acquire(1, t, &ka));
+        p.release(1, t, &ka); // 1 is now fresher than 2
+        p.release(3, t, &ka); // evicts 2
+        assert!(!p.acquire(2, t, &ka));
+        assert!(p.acquire(1, t, &ka));
+        assert!(p.acquire(3, t, &ka));
+    }
+
+    #[test]
+    fn warm_pool_ttl_expires_whole_entries() {
+        let ka = crate::policy::FixedTtlKeepAlive {
+            ttl: SimDuration::from_millis(10),
+        };
+        let mut p = WarmPool::new(8);
+        p.release(5, SimTime::ZERO, &ka);
+        // Within the TTL the container is still warm.
+        assert!(p.acquire(5, SimTime::ZERO + SimDuration::from_millis(5), &ka));
+        p.release(5, SimTime::ZERO + SimDuration::from_millis(5), &ka);
+        // Past the TTL the entry is expired and counted as evicted.
+        assert!(!p.acquire(5, SimTime::ZERO + SimDuration::from_millis(20), &ka));
+        assert_eq!(p.evictions, 1);
+    }
+
+    #[test]
+    fn warm_pool_no_keepalive_never_pools() {
+        let ka = crate::policy::NoKeepAlive;
+        let mut p = WarmPool::new(8);
+        p.release(3, SimTime::ZERO, &ka);
+        assert_eq!(p.idle_total(), 0);
+        assert_eq!(p.evictions, 1);
+        assert!(!p.acquire(3, SimTime::ZERO, &ka));
+    }
+
+    #[test]
+    fn scale_seq_table_prewarm_issues_creations() {
+        let mut cfg = ScaleConfig::new(toy_trace(10, 4_000, 7), false);
+        cfg.prewarm = false; // start cold so the policy has work to do
+        cfg.policy.prewarm = crate::policy::PrewarmChoice::SeqTable;
+        let stats = ScaleEngine::new(cfg, toy_templates()).run();
+        assert_eq!(stats.completed, 4_000);
+        assert!(
+            stats.prewarm_issued > 0,
+            "chained stages must trigger seq-table prewarms"
+        );
+    }
+
+    #[test]
+    fn scale_default_policy_matches_legacy_behaviour() {
+        // The pluggable default policy must leave the flow-level engine's
+        // results exactly where the hard-coded LRU pool had them.
+        let mk = |policy: PolicyConfig| {
+            let mut cfg = ScaleConfig::new(toy_trace(16, 3_000, 23), true);
+            cfg.policy = policy;
+            ScaleEngine::new(cfg, toy_templates()).run()
+        };
+        let a = mk(PolicyConfig::default());
+        let b = mk(PolicyConfig::platform_default());
+        assert_eq!(a.latency.sum(), b.latency.sum());
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.prewarm_issued, 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::cluster::Cluster;
 use crate::exec::InstanceId;
 use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::overheads::OverheadModel;
+use crate::policy::PolicyConfig;
 use crate::scoreboard::ScoreboardRow;
 use crate::workload::{RequestId, Workload};
 
@@ -210,8 +211,11 @@ impl<Ev> Runtime<Ev> {
     /// `specfaas_response_latency_us` histogram and the request's squash
     /// depth into `specfaas_request_squashed_functions`. Both engines'
     /// completion paths route through here, so the scoreboard sees the
-    /// same distributions whichever core ran.
+    /// same distributions whichever core ran — and the prewarm policy
+    /// learns the same committed function sequences whichever engine
+    /// executed them.
     pub fn record_completion(&mut self, rec: InvocationRecord) {
+        self.cluster.observe_sequence(&rec.sequence);
         if self.registry.enabled() {
             self.registry.observe(
                 "specfaas_response_latency_us",
@@ -482,6 +486,15 @@ impl<E: EngineCore> Harness<E> {
         self.core.rt_mut().cluster.flush_warm_containers();
     }
 
+    /// Installs the platform policies (placement, keep-alive, prewarm) —
+    /// the same attachment idiom as faults/tracer/registry. Call before
+    /// the runs the policies should govern. The default
+    /// [`PolicyConfig`] leaves every run bit-identical to an engine this
+    /// was never called on.
+    pub fn set_policies(&mut self, cfg: &PolicyConfig) {
+        self.core.rt_mut().cluster.set_policies(cfg);
+    }
+
     /// Arms deterministic fault injection with the given plan and
     /// retry/backoff policy. The injector draws from a dedicated RNG
     /// stream derived from the engine seed, so enabling faults never
@@ -561,15 +574,23 @@ impl<E: EngineCore> Harness<E> {
 
     /// Assembles the speculation-health scoreboard row for the run that
     /// produced `metrics`, reading the heavy-hitter and distribution
-    /// instruments from the installed registry. Call after a load driver
-    /// returns and before [`Harness::take_registry`].
+    /// instruments from the installed registry plus the cluster's
+    /// per-function container-lifecycle counters (cold/warm/evicted —
+    /// tracked in the pools, not the registry, so arming them cannot
+    /// perturb the Prometheus export). Call after a load driver returns
+    /// and before [`Harness::take_registry`].
     pub fn scoreboard(&self, engine: &'static str, metrics: &RunMetrics) -> ScoreboardRow {
-        ScoreboardRow::build(
-            &self.core.app().name,
-            engine,
-            metrics,
-            &self.core.rt().registry,
-        )
+        let app = self.core.app();
+        let rt = self.core.rt();
+        let mut row = ScoreboardRow::build(&app.name, engine, metrics, &rt.registry);
+        row.evictions = rt.cluster.evictions();
+        row.func_containers = rt
+            .cluster
+            .func_container_stats()
+            .into_iter()
+            .map(|(f, s)| (app.registry.name(f).to_string(), s.cold, s.warm, s.evicted))
+            .collect();
+        row
     }
 
     /// Runs the end-of-run invariants over the window since the tracer

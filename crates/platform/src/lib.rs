@@ -25,6 +25,10 @@
 //!   engine-agnostic state embedded in each engine core, the
 //!   [`EngineCore`] trait, and the generic [`Harness`] driver that owns
 //!   the load drivers and all instrument attachment.
+//! * [`policy`] — the pluggable platform-policy layer: placement,
+//!   keep-alive and prewarm as traits, with the paper's fixed platform as
+//!   the bit-identical defaults, threaded through both the single-app
+//!   cluster path and the multi-tenant fleet.
 //! * [`baseline`] — the conventional OpenWhisk execution engine: strictly
 //!   sequential function scheduling through controller + conductor,
 //!   expressed as an [`EngineCore`].
@@ -41,16 +45,21 @@ pub mod fleet;
 pub mod harness;
 pub mod metrics;
 pub mod overheads;
+pub mod policy;
 pub mod scoreboard;
 pub mod workload;
 
 pub use baseline::{BaselineCore, BaselineEngine};
 pub use cluster::{Cluster, NodeId};
-pub use container::{ContainerAcquire, ContainerPool};
+pub use container::{ContainerAcquire, ContainerPool, FuncContainerStats};
 pub use exec::{FnInstance, InstanceId, InstanceState};
 pub use fleet::{Fleet, ScaleConfig, ScaleEngine, ScaleStats, TemplateProfile, WarmPool};
 pub use harness::{EngineCore, Harness, Runtime};
 pub use metrics::{Breakdown, FaultStats, InvocationRecord, RequestOutcome, RunMetrics};
 pub use overheads::OverheadModel;
+pub use policy::{
+    KeepAliveChoice, KeepAlivePolicy, PlacementChoice, PlacementPolicy, PolicyConfig,
+    PrewarmChoice, PrewarmPolicy,
+};
 pub use scoreboard::ScoreboardRow;
 pub use workload::{Load, RequestId, Workload};

@@ -54,6 +54,16 @@ pub struct ScoreboardRow {
     /// heaviest first (from the registry's Space-Saving sketch; empty
     /// when the registry was not armed or nothing was squashed).
     pub wasted_topk: Vec<(String, u64)>,
+    /// Idle containers reclaimed by the keep-alive policy (TTL expiry,
+    /// cap pressure, or no-keep-alive teardown), cluster-wide. Filled by
+    /// [`crate::Harness::scoreboard`]; zero when built directly.
+    pub evictions: u64,
+    /// Per-function container lifecycle as `(function, cold, warm,
+    /// evicted)`, in function-id order. Tracked by the container pools —
+    /// not the registry — so the counters exist even in uninstrumented
+    /// runs. Filled by [`crate::Harness::scoreboard`]; empty when built
+    /// directly.
+    pub func_containers: Vec<(String, u64, u64, u64)>,
 }
 
 impl ScoreboardRow {
@@ -103,6 +113,8 @@ impl ScoreboardRow {
             warm_starts: registry.counter("specfaas_warm_starts_total", "", ""),
             cold_starts: registry.counter("specfaas_cold_starts_total", "", ""),
             wasted_topk,
+            evictions: 0,
+            func_containers: Vec::new(),
         }
     }
 
@@ -124,6 +136,26 @@ impl ScoreboardRow {
             0.0
         } else {
             self.warm_starts as f64 / total as f64
+        }
+    }
+
+    /// Fraction of container acquisitions that paid a cold start —
+    /// computed from the per-function pool counters when present (they
+    /// survive even uninstrumented runs), else from the registry-fed
+    /// totals. 0 with no acquisitions observed.
+    pub fn cold_rate(&self) -> f64 {
+        let (cold, warm) = if self.func_containers.is_empty() {
+            (self.cold_starts, self.warm_starts)
+        } else {
+            self.func_containers
+                .iter()
+                .fold((0, 0), |(c, w), (_, fc, fw, _)| (c + fc, w + fw))
+        };
+        let total = cold + warm;
+        if total == 0 {
+            0.0
+        } else {
+            cold as f64 / total as f64
         }
     }
 
@@ -160,13 +192,24 @@ impl ScoreboardRow {
             topk.push_str(&format!("{{\"key\": \"{key}\", \"wasted_us\": {us}}}"));
         }
         topk.push(']');
+        let mut containers = String::from("[");
+        for (i, (func, cold, warm, evicted)) in self.func_containers.iter().enumerate() {
+            if i > 0 {
+                containers.push_str(", ");
+            }
+            containers.push_str(&format!(
+                "{{\"fn\": \"{func}\", \"cold\": {cold}, \"warm\": {warm}, \"evicted\": {evicted}}}"
+            ));
+        }
+        containers.push(']');
         format!(
             "{{\"app\": \"{}\", \"engine\": \"{}\", \"completed\": {}, \"failed\": {}, \
              \"branch_accuracy\": {:.4}, \"branch_total\": {}, \"memo_hit_rate\": {:.4}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
              \"squash_depth\": \"{}\", \"useful_core_ms\": {:.3}, \"squashed_core_ms\": {:.3}, \
              \"wasted_fraction\": {:.4}, \"warm_starts\": {}, \"cold_starts\": {}, \
-             \"warm_rate\": {:.4}, \"wasted_topk\": {}}}",
+             \"warm_rate\": {:.4}, \"evictions\": {}, \"wasted_topk\": {}, \
+             \"containers\": {}}}",
             self.app,
             self.engine,
             self.completed,
@@ -184,7 +227,9 @@ impl ScoreboardRow {
             self.warm_starts,
             self.cold_starts,
             self.warm_rate(),
+            self.evictions,
             topk,
+            containers,
         )
     }
 }
@@ -287,9 +332,27 @@ mod tests {
         assert!(json.starts_with("{\"app\": \"train_ticket\""));
         assert!(json.contains("\"p99_ms\": 10.000"));
         assert!(json.contains("\"wasted_topk\": []"));
+        assert!(json.contains("\"evictions\": 0"));
+        assert!(json.contains("\"containers\": []"));
         let table = render_table(std::slice::from_ref(&row));
         assert_eq!(table.lines().count(), 2);
         assert!(table.contains("train_ticket"));
         assert_eq!(table, render_table(std::slice::from_ref(&row)));
+    }
+
+    #[test]
+    fn container_counters_render_and_rate() {
+        let m = metrics_with(1, 0);
+        let reg = MetricsRegistry::disabled();
+        let mut row = ScoreboardRow::build("hotel_booking", "spec", &m, &reg);
+        row.evictions = 4;
+        row.func_containers = vec![
+            ("search".to_string(), 1, 9, 0),
+            ("book".to_string(), 3, 7, 4),
+        ];
+        assert!((row.cold_rate() - 0.2).abs() < 1e-12);
+        let json = row.jsonl();
+        assert!(json.contains("\"evictions\": 4"));
+        assert!(json.contains("{\"fn\": \"search\", \"cold\": 1, \"warm\": 9, \"evicted\": 0}"));
     }
 }

@@ -1,0 +1,175 @@
+//! Randomized property tests for the pluggable policy layer
+//! (DESIGN.md, "Pluggable platform policies").
+//!
+//! Two safety properties the policies must uphold under arbitrary
+//! interleavings of acquisitions, releases and prewarm creations:
+//!
+//! * **TTL keep-alive never revives an evicted container.** An acquire
+//!   is served warm if and only if an idle container exists whose TTL
+//!   has not elapsed — checked against an independent reference model of
+//!   the idle set over thousands of random schedules.
+//! * **Prewarm never exceeds pool capacity.** However many creations a
+//!   prewarm policy starts, the idle stock never exceeds the keep-alive
+//!   policy's bound — per function on the single-node [`ContainerPool`],
+//!   and pool-wide on the fleet's [`WarmPool`].
+
+use specfaas_platform::policy::{DefaultKeepAlive, FixedTtlKeepAlive, KeepAlivePolicy};
+use specfaas_platform::{ContainerAcquire, ContainerPool, WarmPool};
+use specfaas_sim::{SimDuration, SimRng, SimTime};
+use specfaas_workflow::FuncId;
+
+/// Keep-alive with a deliberately tiny idle cap so random schedules hit
+/// the bound constantly.
+#[derive(Debug)]
+struct TinyCap {
+    ttl: Option<SimDuration>,
+    cap: u32,
+}
+
+impl KeepAlivePolicy for TinyCap {
+    fn name(&self) -> &'static str {
+        "tiny-cap"
+    }
+    fn ttl(&self) -> Option<SimDuration> {
+        self.ttl
+    }
+    fn per_func_idle_cap(&self) -> u32 {
+        self.cap
+    }
+}
+
+/// TTL keep-alive against a reference model: the pool's warm/cold
+/// decision must match "some idle container's TTL has not elapsed", and
+/// a warm hand-out must consume the newest such container (LIFO) — so an
+/// expired (evicted) container can never be revived.
+#[test]
+fn ttl_keepalive_never_revives_an_evicted_container() {
+    let ttl = SimDuration::from_millis(50);
+    let policy = FixedTtlKeepAlive { ttl };
+    let model = specfaas_platform::OverheadModel::default();
+    const FUNCS: u32 = 4;
+
+    for seed in 0..20u64 {
+        let mut rng = SimRng::seed(0x77_1000 + seed);
+        let mut pool = ContainerPool::new();
+        // Reference: per function, the release instants of idle
+        // containers (ascending) and how many are busy.
+        let mut ref_idle: Vec<Vec<SimTime>> = vec![Vec::new(); FUNCS as usize];
+        let mut busy: Vec<u32> = vec![0; FUNCS as usize];
+        let mut now = SimTime::ZERO;
+
+        for _ in 0..2_000 {
+            now += SimDuration::from_micros(rng.uniform_u64(40_000));
+            let f = rng.uniform_u64(FUNCS as u64) as usize;
+            let func = FuncId(f as u32);
+            if busy[f] > 0 && rng.uniform_u64(2) == 0 {
+                pool.release(func, now, true, &policy);
+                busy[f] -= 1;
+                ref_idle[f].push(now);
+                // Release also settles lazy expiry for this function.
+                ref_idle[f].retain(|released| *released + ttl > now);
+            } else {
+                // Reference expiry: drop every container whose TTL
+                // elapsed. They are gone for good — the pool must agree.
+                ref_idle[f].retain(|released| *released + ttl > now);
+                let expect_warm = !ref_idle[f].is_empty();
+                if expect_warm {
+                    // LIFO: the newest idle container is handed out.
+                    ref_idle[f].pop();
+                }
+                let got = pool.acquire(func, now, &model, &policy);
+                busy[f] += 1;
+                match (expect_warm, got) {
+                    (true, ContainerAcquire::Warm) => {}
+                    (false, ContainerAcquire::Cold(_)) => {}
+                    (want, got) => panic!(
+                        "seed {seed}: at {now:?} func {f} expected warm={want}, got {got:?} \
+                         (an expired container must never be revived)"
+                    ),
+                }
+            }
+            // The op above touched `func`, so its lazy expiry is now
+            // settled: the pool's idle set must equal the reference's.
+            assert_eq!(
+                pool.idle_count(func) as usize,
+                ref_idle[f].len(),
+                "seed {seed}: idle set diverged from the reference model at {now:?}"
+            );
+        }
+    }
+}
+
+/// Single-node pool: however many prewarm creations are issued, the
+/// idle stock per function never exceeds the keep-alive policy's cap —
+/// including at promote time, when several warming containers become
+/// idle at once.
+#[test]
+fn prewarm_never_exceeds_per_function_cap() {
+    let policy = TinyCap { ttl: None, cap: 3 };
+    let model = specfaas_platform::OverheadModel::default();
+    const FUNCS: u32 = 3;
+
+    for seed in 0..20u64 {
+        let mut rng = SimRng::seed(0x99_2000 + seed);
+        let mut pool = ContainerPool::new();
+        let mut busy: Vec<u32> = vec![0; FUNCS as usize];
+        let mut now = SimTime::ZERO;
+
+        for _ in 0..2_000 {
+            now += SimDuration::from_micros(rng.uniform_u64(200_000));
+            let f = rng.uniform_u64(FUNCS as u64) as usize;
+            let func = FuncId(f as u32);
+            match rng.uniform_u64(3) {
+                // Aggressive prewarmer: issue creations regardless of
+                // demand.
+                0 => pool.begin_warming(func, now + model.cold_start()),
+                1 if busy[f] > 0 => {
+                    pool.release(func, now, true, &policy);
+                    busy[f] -= 1;
+                }
+                _ => {
+                    pool.acquire(func, now, &model, &policy);
+                    busy[f] += 1;
+                }
+            }
+            for g in 0..FUNCS {
+                assert!(
+                    pool.idle_count(FuncId(g)) <= policy.cap,
+                    "seed {seed}: func {g} idle {} exceeds cap {} at {now:?}",
+                    pool.idle_count(FuncId(g)),
+                    policy.cap
+                );
+            }
+        }
+    }
+}
+
+/// Fleet pool: random acquire/release interleavings (prewarmed
+/// containers also land via `release`) never grow the shared idle stock
+/// past the pool capacity.
+#[test]
+fn fleet_warm_pool_never_exceeds_capacity() {
+    const CAPACITY: u32 = 8;
+    const GFUNCS: u64 = 16;
+    let policy = DefaultKeepAlive;
+
+    for seed in 0..20u64 {
+        let mut rng = SimRng::seed(0xAB_3000 + seed);
+        let mut pool = WarmPool::new(CAPACITY);
+        let mut now = SimTime::ZERO;
+        for _ in 0..3_000 {
+            now += SimDuration::from_micros(rng.uniform_u64(100_000));
+            let g = rng.uniform_u64(GFUNCS) as u32;
+            if rng.uniform_u64(2) == 0 {
+                pool.acquire(g, now, &policy);
+            } else {
+                pool.release(g, now, &policy);
+            }
+            assert!(
+                pool.idle_total() <= CAPACITY,
+                "seed {seed}: idle {} exceeds capacity {CAPACITY} at {now:?}",
+                pool.idle_total()
+            );
+        }
+    }
+}
